@@ -1,0 +1,312 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark reports its headline quantity via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness; `bench_output.txt` records the results.
+//
+// Simulations are memoized in a shared runner: the 19 baseline runs feed
+// Figs. 1, 4, 5, 7, 8, 9 and every speedup denominator, so the full
+// suite runs each distinct (config, benchmark) pair exactly once.
+package gpumembw_test
+
+import (
+	"sync"
+	"testing"
+
+	"gpumembw"
+	"gpumembw/internal/config"
+	"gpumembw/internal/exp"
+	"gpumembw/internal/stats"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *exp.Runner
+)
+
+func sharedRunner() *exp.Runner {
+	runnerOnce.Do(func() { runner = exp.NewRunner(nil) })
+	return runner
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// BenchmarkFig1_StallsAndLatencies measures per-benchmark issue stalls,
+// L2-AHL and AML on the baseline (paper AVG: 62%, 303, 452).
+func BenchmarkFig1_StallsAndLatencies(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st, ahl, aml []float64
+		for _, row := range rows {
+			st = append(st, row.StallFrac)
+			ahl = append(ahl, row.L2AHL)
+			aml = append(aml, row.AML)
+		}
+		b.ReportMetric(100*avg(st), "stall-%")
+		b.ReportMetric(avg(ahl), "L2-AHL-cycles")
+		b.ReportMetric(avg(aml), "AML-cycles")
+	}
+}
+
+// BenchmarkTableII_IdealMemory measures P∞ and P_DRAM speedups
+// (paper AVG: 2.37 and 1.15).
+func BenchmarkTableII_IdealMemory(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pinf, pdram []float64
+		for _, row := range rows {
+			pinf = append(pinf, row.PInf)
+			pdram = append(pdram, row.PDRAM)
+		}
+		b.ReportMetric(avg(pinf), "Pinf-x")
+		b.ReportMetric(avg(pdram), "Pdram-x")
+	}
+}
+
+// BenchmarkFig3_LatencySweep sweeps the fixed L1 miss latency for the
+// paper's representative benchmarks (plateau then decline).
+func BenchmarkFig3_LatencySweep(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig3(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at0, at800 []float64
+		for _, p := range pts {
+			switch p.Latency {
+			case 0:
+				at0 = append(at0, p.NormIPC)
+			case 800:
+				at800 = append(at800, p.NormIPC)
+			}
+		}
+		b.ReportMetric(avg(at0), "normIPC@0")
+		b.ReportMetric(avg(at800), "normIPC@800")
+	}
+}
+
+// BenchmarkFig4_L2QueueOccupancy measures how often L2 access queues are
+// completely full (paper AVG: 46% of usage lifetime).
+func BenchmarkFig4_L2QueueOccupancy(b *testing.B) {
+	benchOccupancy(b, (*exp.Runner).Fig4)
+}
+
+// BenchmarkFig5_DRAMQueueOccupancy measures how often DRAM scheduler queues
+// are completely full (paper AVG: 39%).
+func BenchmarkFig5_DRAMQueueOccupancy(b *testing.B) {
+	benchOccupancy(b, (*exp.Runner).Fig5)
+}
+
+func benchOccupancy(b *testing.B, fig func(*exp.Runner) ([]exp.OccupancyRow, error)) {
+	b.Helper()
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := fig(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var full []float64
+		for _, row := range rows {
+			full = append(full, row.Fractions[stats.OccupancyBuckets-1])
+		}
+		b.ReportMetric(100*avg(full), "full-%")
+	}
+}
+
+// BenchmarkFig6_StructuralHazard runs the MSHR=2 vs MSHR=32 illustration
+// (examples/hazards) and reports the hazard slowdown.
+func BenchmarkFig6_StructuralHazard(b *testing.B) {
+	run := func(mshrs int) int64 {
+		wl, err := gpumembw.WorkloadSpec{
+			Name: "fig6", Iters: 4, LoadsPerIter: 4, ALUPerIter: 1,
+			DepDist: 1, WarpsPerCore: 1, Seed: 1,
+		}.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := gpumembw.Baseline()
+		cfg.Core.NumCores = 1
+		cfg.Core.WarpsPerCore = 1
+		cfg.L1.MSHREntries = mshrs
+		m, err := gpumembw.Run(cfg, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		small, large := run(2), run(32)
+		b.ReportMetric(float64(small)/float64(large), "hazard-slowdown-x")
+	}
+}
+
+// BenchmarkFig7_IssueStallTaxonomy reports the str-MEM share of issue
+// stalls (paper AVG: 71%).
+func BenchmarkFig7_IssueStallTaxonomy(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var strMem []float64
+		for _, row := range rows {
+			strMem = append(strMem, row.Fractions[2])
+		}
+		b.ReportMetric(100*avg(strMem), "str-MEM-%")
+	}
+}
+
+// BenchmarkFig8_L2StallTaxonomy reports the bp-ICNT share of L2 stalls
+// (paper AVG: 42%).
+func BenchmarkFig8_L2StallTaxonomy(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bpICNT []float64
+		for _, row := range rows {
+			bpICNT = append(bpICNT, row.Fractions[0])
+		}
+		b.ReportMetric(100*avg(bpICNT), "bp-ICNT-%")
+	}
+}
+
+// BenchmarkFig9_L1StallTaxonomy reports the bp-L2 share of L1 stalls
+// (paper AVG: 48%).
+func BenchmarkFig9_L1StallTaxonomy(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bpL2 []float64
+		for _, row := range rows {
+			bpL2 = append(bpL2, row.Fractions[2])
+		}
+		b.ReportMetric(100*avg(bpL2), "bp-L2-%")
+	}
+}
+
+// BenchmarkFig10_DesignSpace reports the average speedups of the six
+// 4×-scaled design points (paper: L1 1.04, L2 1.59, DRAM 1.11, L1+L2 1.69,
+// L2+DRAM 1.76, All 1.90).
+func BenchmarkFig10_DesignSpace(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, names, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := range names {
+			var sp []float64
+			for _, row := range rows {
+				sp = append(sp, row.Speedups[c])
+			}
+			b.ReportMetric(avg(sp), names[c]+"-x")
+		}
+	}
+}
+
+// BenchmarkFig11_CoreFrequency reports the wall-clock performance at
+// 1.6 GHz relative to 1.4 GHz (paper, real GTX 480: bandwidth-bound
+// benchmarks lose up to 10%).
+func BenchmarkFig11_CoreFrequency(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hi, lo []float64
+		for _, p := range pts {
+			switch p.CoreMHz {
+			case 1600:
+				hi = append(hi, p.NormPerf)
+			case 1200:
+				lo = append(lo, p.NormPerf)
+			}
+		}
+		b.ReportMetric(avg(hi), "perf@1.6GHz-x")
+		b.ReportMetric(avg(lo), "perf@1.2GHz-x")
+	}
+}
+
+// BenchmarkFig12_CostEffective reports the average speedups of the
+// cost-effective configurations (paper: 16+48 1.234, 16+68 1.29,
+// 32+52 1.257, HBM 1.11).
+func BenchmarkFig12_CostEffective(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		rows, names, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := range names {
+			var sp []float64
+			for _, row := range rows {
+				sp = append(sp, row.Speedups[c])
+			}
+			b.ReportMetric(avg(sp), shortConfig(names[c])+"-x")
+		}
+	}
+}
+
+func shortConfig(s string) string {
+	if len(s) > 14 {
+		return s[len(s)-5:]
+	}
+	return s
+}
+
+// BenchmarkTableIII_AreaModel reports the §VII-C area overheads
+// (paper: ≈1.1% storage-only, ≈1.6% with the wider crossbars).
+func BenchmarkTableIII_AreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.AreaAnalysis()
+		for _, row := range rows {
+			if row.Config == "cost-effective-16+68" {
+				b.ReportMetric(100*row.OverheadFrac, "16+68-die-%")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed on the
+// baseline configuration (cycles simulated per wall second).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	wl, err := gpumembw.WorkloadByName("ii")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := gpumembw.Run(config.Baseline(), wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = m.Cycles
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

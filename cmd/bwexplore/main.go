@@ -1,0 +1,83 @@
+// Command bwexplore runs custom design-space explorations: pick the memory
+// levels to scale and a scaling factor, and it reports per-benchmark
+// speedups over the baseline plus the estimated area cost.
+//
+// Usage:
+//
+//	bwexplore -levels l2 -factor 4
+//	bwexplore -levels l1,l2 -factor 2 -bench mm,sc,lbm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpumembw"
+	"gpumembw/internal/area"
+	"gpumembw/internal/config"
+	"gpumembw/internal/exp"
+)
+
+func main() {
+	levels := flag.String("levels", "l2", "comma-separated levels to scale: l1,l2,dram")
+	factor := flag.Int("factor", 4, "scaling factor for the selected levels")
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all 19)")
+	flag.Parse()
+
+	cfg := gpumembw.Baseline()
+	cfg.Name = fmt.Sprintf("%s-%dx", *levels, *factor)
+	for _, level := range strings.Split(*levels, ",") {
+		switch strings.TrimSpace(level) {
+		case "l1":
+			cfg.L1.MissQueueEntries *= *factor
+			cfg.L1.MSHREntries *= *factor
+			cfg.Core.MemPipelineWidth *= *factor
+		case "l2":
+			cfg.L2.MissQueueEntries *= *factor
+			cfg.L2.ResponseQueueEntries *= *factor
+			cfg.L2.MSHREntries *= *factor
+			cfg.L2.AccessQueueEntries *= *factor
+			cfg.L2.DataPortBytes *= *factor
+			cfg.Icnt.ReqFlitBytes *= *factor
+			cfg.Icnt.ReplyFlitBytes *= *factor
+			cfg.L2.NumBanks *= *factor
+		case "dram":
+			cfg.DRAM.SchedQueueEntries *= *factor
+			cfg.DRAM.BanksPerChip *= *factor
+			cfg.DRAM.BusWidthBits *= *factor
+		default:
+			fmt.Fprintf(os.Stderr, "unknown level %q (want l1, l2 or dram)\n", level)
+			os.Exit(2)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	names := gpumembw.BenchmarkNames()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	r := exp.NewRunner(os.Stderr)
+	fmt.Printf("%-12s %10s\n", "bench", "speedup")
+	sum := 0.0
+	for _, b := range names {
+		s, err := r.Speedup(cfg, strings.TrimSpace(b))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %9.2fx\n", b, s)
+		sum += s
+	}
+	fmt.Printf("%-12s %9.2fx\n", "AVG", sum/float64(len(names)))
+
+	base := config.Baseline()
+	est := area.Compare(&base, &cfg)
+	fmt.Printf("\narea: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",
+		est.StorageKB, est.CrossbarMM2, est.TotalMM2, 100*est.OverheadFrac)
+}

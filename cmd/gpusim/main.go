@@ -1,0 +1,91 @@
+// Command gpusim runs one benchmark on one memory-hierarchy configuration
+// and prints the full metric set the paper measures.
+//
+// Usage:
+//
+//	gpusim -bench mm -config baseline
+//	gpusim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"gpumembw"
+)
+
+func main() {
+	bench := flag.String("bench", "mm", "benchmark name (see -list)")
+	cfgName := flag.String("config", "baseline", "configuration preset (see -list)")
+	list := flag.Bool("list", false, "list benchmarks and configurations")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (Table II order):")
+		for _, n := range gpumembw.BenchmarkNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("configs:")
+		cfgs := gpumembw.Configs()
+		names := make([]string, 0, len(cfgs))
+		for n := range cfgs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	wl, err := gpumembw.WorkloadByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg, err := gpumembw.ConfigByName(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	m, err := gpumembw.Run(cfg, wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("benchmark      %s on %s\n", m.Benchmark, m.Config)
+	fmt.Printf("cycles         %d (%.1f ms wall, simulated in %v)\n", m.Cycles, m.WallSeconds*1e3, elapsed.Round(time.Millisecond))
+	fmt.Printf("instructions   %d\n", m.Instructions)
+	fmt.Printf("IPC            %.3f\n", m.IPC)
+	fmt.Printf("issue stalls   %.1f%% of active cycles\n", 100*m.IssueStallFrac)
+	for i, l := range m.IssueStalls.Labels {
+		fmt.Printf("  %-9s    %5.1f%%\n", l, 100*m.IssueStalls.Fractions()[i])
+	}
+	fmt.Printf("AML            %.0f core cycles\n", m.AML)
+	fmt.Printf("L2-AHL         %.0f core cycles\n", m.L2AHL)
+	fmt.Printf("L1 miss rate   %.1f%%   L2 miss rate %.1f%%\n", 100*m.L1MissRate, 100*m.L2MissRate)
+	fmt.Printf("L1 stalls      ")
+	for i, l := range m.L1Stalls.Labels {
+		fmt.Printf("%s %.1f%%  ", l, 100*m.L1Stalls.Fractions()[i])
+	}
+	fmt.Println()
+	fmt.Printf("L2 stalls      ")
+	for i, l := range m.L2Stalls.Labels {
+		fmt.Printf("%s %.1f%%  ", l, 100*m.L2Stalls.Fractions()[i])
+	}
+	fmt.Println()
+	fmt.Printf("L2 accessq     full %.0f%% of usage lifetime\n", 100*m.L2AccessOcc.FullFraction())
+	fmt.Printf("DRAM schedq    full %.0f%% of usage lifetime\n", 100*m.DRAMSchedOcc.FullFraction())
+	fmt.Printf("DRAM bw eff    %.1f%%   row hits %.1f%%\n", 100*m.DRAMBandwidthEff, 100*m.DRAMRowHitRate)
+	fmt.Printf("icnt util      req %.1f%%  reply %.1f%%\n", 100*m.ReqNetUtil, 100*m.ReplyNetUtil)
+	if m.Truncated {
+		fmt.Println("WARNING: run truncated by MaxCycles")
+	}
+}

@@ -1,0 +1,56 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section and writes the rendered tables to stdout (or a file).
+//
+// Usage:
+//
+//	paperfigs                    # everything (several minutes)
+//	paperfigs -only fig1,fig8    # selected sections
+//	paperfigs -o EXPERIMENTS.out # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gpumembw/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated sections ("+strings.Join(exp.Sections, ",")+")")
+	outPath := flag.String("o", "", "output file (default stdout)")
+	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
+	flag.Parse()
+
+	var sections []string
+	if *only != "" {
+		sections = strings.Split(*only, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	start := time.Now()
+	r := exp.NewRunner(progress)
+	if err := r.Report(out, sections); err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,68 @@
+// Hazards reproduces the Fig. 6 illustration of the paper: how a small MSHR
+// file turns independent instructions into serialized ones.
+//
+// A single warp executes the paper's instruction pattern — a run of
+// independent loads to distinct lines followed by an independent multiply:
+//
+//	I1: LD r1   (miss)        I4: LD r4   (miss)
+//	I2: LD r2   (miss)        I5: MULT    (independent)
+//	I3: LD r3   (miss)
+//
+// With a 2-entry MSHR, I3 encounters a structural hazard: it blocks the
+// load-store unit, so I4 and the independent multiply stall behind it and
+// every miss round-trip serializes. With ample MSHRs all four loads
+// overlap. The example runs both machines on the real memory hierarchy and
+// prints the resulting timelines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gpumembw"
+)
+
+func run(mshrs int) int64 {
+	wl, err := gpumembw.WorkloadSpec{
+		Name: "fig6", Iters: 4,
+		LoadsPerIter: 4, ALUPerIter: 1,
+		DepDist:      1, // the ALU op is independent of the loads
+		WarpsPerCore: 1,
+		Seed:         1,
+	}.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gpumembw.Baseline()
+	cfg.Name = fmt.Sprintf("fig6-mshr-%d", mshrs)
+	cfg.Core.NumCores = 1
+	cfg.Core.WarpsPerCore = 1
+	cfg.L1.MSHREntries = mshrs
+
+	m, err := gpumembw.Run(cfg, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Cycles
+}
+
+func main() {
+	fmt.Println("Fig. 6 — structural hazards from a small MSHR file")
+	fmt.Println(strings.Repeat("-", 64))
+	small := run(2)
+	large := run(32)
+	fmt.Printf("MSHR = 2:   %4d cycles — the third miss blocks the LSU, so\n", small)
+	fmt.Println("            later loads and the independent MULT serialize")
+	fmt.Println("            behind it, one miss round-trip at a time")
+	fmt.Printf("MSHR = 32:  %4d cycles — all misses overlap; the independent\n", large)
+	fmt.Println("            instructions issue back to back")
+	if small <= large {
+		fmt.Println("\nunexpected: the small MSHR did not hurt — check configuration")
+		return
+	}
+	fmt.Printf("\nstructural-hazard penalty: %d cycles (%.1fx slowdown)\n",
+		small-large, float64(small)/float64(large))
+	fmt.Println("\nthis is the per-warp mechanism behind the str-MEM bars of Fig. 7:")
+	fmt.Println("scarce L1 resources stop cores from hiding memory latency.")
+}

@@ -1,0 +1,113 @@
+// Package gpumembw reproduces "Evaluating and Mitigating Bandwidth
+// Bottlenecks Across the Memory Hierarchy in GPUs" (Dublish, Nagarajan,
+// Topham — ISPASS 2017) as a cycle-level GPU memory-hierarchy simulator.
+//
+// The library simulates a GTX 480-class GPU — SIMT cores with GTO warp
+// scheduling behind write-evict L1s, flit-granularity request/reply
+// crossbars, a banked write-back L2 organized into memory partitions, and
+// FR-FCFS GDDR5 channels — and measures where bandwidth bottlenecks form:
+// per-cause issue stalls, L1/L2 pipeline stalls, queue-occupancy histograms,
+// memory latencies, and DRAM bandwidth efficiency.
+//
+// # Quick start
+//
+//	wl, _ := gpumembw.WorkloadByName("mm")
+//	m, err := gpumembw.Run(gpumembw.Baseline(), wl)
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f, stalled %.0f%%, AML %.0f cycles\n",
+//	    m.IPC, 100*m.IssueStallFrac, m.AML)
+//
+// Configurations mirror the paper's design space: Baseline (Table I), the
+// 4× scaled points of Fig. 10 (ScaledL1/L2/DRAM and combinations), the
+// cost-effective asymmetric crossbars of Fig. 12 (16+48, 16+68, 32+52),
+// the ideal memory systems of Table II (InfiniteBW, InfiniteDRAM), the
+// fixed-latency sweep of Fig. 3, and an HBM-class DRAM.
+//
+// The exp subcommands (cmd/paperfigs, cmd/gpusim, cmd/bwexplore) regenerate
+// every table and figure of the paper; see EXPERIMENTS.md for measured-vs-
+// paper results.
+package gpumembw
+
+import (
+	"fmt"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/trace"
+)
+
+// Config is the full architectural description of a simulated GPU
+// (Table I baseline plus every Table III knob).
+type Config = config.Config
+
+// Metrics holds everything the paper measures for one simulation.
+type Metrics = core.Metrics
+
+// Workload is a synthetic trace-driven kernel.
+type Workload = smcore.Workload
+
+// WorkloadSpec parameterizes a synthetic kernel (instruction mix, TLP,
+// coalescing, working-set geometry, sharing, code footprint).
+type WorkloadSpec = trace.Spec
+
+// Benchmark couples a workload spec with the paper's Table II reference
+// speedups.
+type Benchmark = trace.Benchmark
+
+// Configuration presets, re-exported from internal/config.
+var (
+	Baseline           = config.Baseline
+	ScaledL1           = config.ScaledL1
+	ScaledL2           = config.ScaledL2
+	ScaledDRAM         = config.ScaledDRAM
+	ScaledL1L2         = config.ScaledL1L2
+	ScaledL2DRAM       = config.ScaledL2DRAM
+	ScaledAll          = config.ScaledAll
+	HBM                = config.HBM
+	CostEffective16x48 = config.CostEffective16x48
+	CostEffective16x68 = config.CostEffective16x68
+	CostEffective32x52 = config.CostEffective32x52
+	AsymmetricOnly     = config.AsymmetricOnly
+	InfiniteBW         = config.InfiniteBW
+	InfiniteDRAM       = config.InfiniteDRAM
+	FixedL1MissLatency = config.FixedL1MissLatency
+	WithCoreClock      = config.WithCoreClock
+)
+
+// Run simulates wl on cfg and returns the collected metrics.
+func Run(cfg Config, wl *Workload) (Metrics, error) {
+	return core.RunWorkload(cfg, wl)
+}
+
+// Benchmarks returns the 19 synthetic benchmarks in Table II order.
+func Benchmarks() []Benchmark { return trace.Table() }
+
+// BenchmarkNames returns the benchmark names in Table II order.
+func BenchmarkNames() []string { return trace.Names() }
+
+// WorkloadByName builds the named Table II benchmark.
+func WorkloadByName(name string) (*Workload, error) { return trace.ByName(name) }
+
+// Configs returns every named configuration preset the paper evaluates.
+func Configs() map[string]Config {
+	list := []Config{
+		config.Baseline(), config.ScaledL1(), config.ScaledL2(), config.ScaledDRAM(),
+		config.ScaledL1L2(), config.ScaledL2DRAM(), config.ScaledAll(), config.HBM(),
+		config.CostEffective16x48(), config.CostEffective16x68(), config.CostEffective32x52(),
+		config.AsymmetricOnly(), config.InfiniteBW(), config.InfiniteDRAM(),
+	}
+	out := make(map[string]Config, len(list))
+	for _, c := range list {
+		out[c.Name] = c
+	}
+	return out
+}
+
+// ConfigByName returns the named preset.
+func ConfigByName(name string) (Config, error) {
+	if c, ok := Configs()[name]; ok {
+		return c, nil
+	}
+	return Config{}, fmt.Errorf("gpumembw: unknown config %q", name)
+}

@@ -1,0 +1,76 @@
+package gpumembw_test
+
+import (
+	"testing"
+
+	"gpumembw"
+)
+
+func TestConfigsRegistry(t *testing.T) {
+	cfgs := gpumembw.Configs()
+	for _, name := range []string{
+		"baseline", "L1-4x", "L2-4x", "DRAM-4x", "L1+L2-4x", "L2+DRAM-4x",
+		"All-4x", "HBM", "cost-effective-16+48", "cost-effective-16+68",
+		"cost-effective-32+52", "asymmetric-16+48-only", "P-inf", "P-dram",
+	} {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Errorf("missing config %q", name)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := gpumembw.ConfigByName("baseline"); err != nil {
+		t.Error(err)
+	}
+	if _, err := gpumembw.ConfigByName("bogus"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	names := gpumembw.BenchmarkNames()
+	if len(names) != 19 {
+		t.Fatalf("benchmarks = %d, want 19", len(names))
+	}
+	if len(gpumembw.Benchmarks()) != 19 {
+		t.Fatal("Benchmarks() incomplete")
+	}
+	for _, n := range names {
+		if _, err := gpumembw.WorkloadByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Small custom workload through the public API only.
+	wl, err := gpumembw.WorkloadSpec{
+		Name: "facade", Iters: 6,
+		LoadsPerIter: 2, ALUPerIter: 4, DepDist: 1,
+		Pattern: 0, WarpsPerCore: 4, Seed: 2,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpumembw.Baseline()
+	cfg.Core.NumCores = 2
+	m, err := gpumembw.Run(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instructions != 2*4*6*int64(2+4) {
+		t.Fatalf("instructions = %d", m.Instructions)
+	}
+	pinf := gpumembw.InfiniteBW()
+	pinf.Core.NumCores = 2
+	mi, err := gpumembw.Run(pinf, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Speedup(m) < 0.9 {
+		t.Errorf("P∞ speedup %.2f implausibly low", mi.Speedup(m))
+	}
+}

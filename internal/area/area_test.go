@@ -1,0 +1,80 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"gpumembw/internal/config"
+)
+
+func TestBaselineHasZeroOverhead(t *testing.T) {
+	base := config.Baseline()
+	e := Compare(&base, &base)
+	if e.TotalMM2 != 0 || e.StorageKB != 0 {
+		t.Fatalf("baseline vs baseline = %+v", e)
+	}
+}
+
+func TestAsymmetric16x48HasNoWireOverhead(t *testing.T) {
+	base := config.Baseline()
+	ce := config.CostEffective16x48()
+	e := Compare(&base, &ce)
+	if e.CrossbarMM2 != 0 {
+		t.Fatalf("16+48 keeps total flit bytes at 64; wire delta = %g mm²", e.CrossbarMM2)
+	}
+	if e.StorageKB <= 0 {
+		t.Fatal("cost-effective queues must add storage")
+	}
+	// Paper: ≈1.1% overhead for the storage-only configuration.
+	if e.OverheadFrac < 0.005 || e.OverheadFrac > 0.02 {
+		t.Fatalf("16+48 overhead = %.2f%%, want ≈1.1%%", 100*e.OverheadFrac)
+	}
+}
+
+func TestWiderCrossbarsCost20BytesOfWire(t *testing.T) {
+	base := config.Baseline()
+	for _, cfg := range []config.Config{config.CostEffective16x68(), config.CostEffective32x52()} {
+		e := Compare(&base, &cfg)
+		// Paper: +20 B of point-to-point wires = 3.62 mm².
+		if math.Abs(e.CrossbarMM2-3.625) > 0.01 {
+			t.Errorf("%s crossbar delta = %g mm², want ≈3.62", cfg.Name, e.CrossbarMM2)
+		}
+		// Paper: ≈1.6% net overhead including buffers and MSHRs.
+		if e.OverheadFrac < 0.01 || e.OverheadFrac > 0.025 {
+			t.Errorf("%s overhead = %.2f%%, want ≈1.6%%", cfg.Name, 100*e.OverheadFrac)
+		}
+	}
+}
+
+func TestStorageAccountingMatchesPaperDensity(t *testing.T) {
+	// 94 KB must map to 7.48 mm² by construction.
+	if got := 94 * MM2PerKB; math.Abs(got-7.48) > 1e-9 {
+		t.Fatalf("density calibration broken: %g", got)
+	}
+	// 64 B of flit width must map to 11.6 mm² of wires.
+	if got := 64 * CrossbarWireMM2PerByte; math.Abs(got-11.6) > 1e-9 {
+		t.Fatalf("wire calibration broken: %g", got)
+	}
+}
+
+func TestScaledL2CostsMoreThanCostEffective(t *testing.T) {
+	base := config.Baseline()
+	ce := config.CostEffective16x68()
+	scaled := config.ScaledL2()
+	eCE := Compare(&base, &ce)
+	eScaled := Compare(&base, &scaled)
+	if eScaled.TotalMM2 <= eCE.TotalMM2 {
+		t.Fatalf("4× L2 scaling (%.1f mm²) must cost more than cost-effective (%.1f mm²)",
+			eScaled.TotalMM2, eCE.TotalMM2)
+	}
+}
+
+func TestShrinkingReducesEstimate(t *testing.T) {
+	base := config.Baseline()
+	small := config.Baseline()
+	small.L2.AccessQueueEntries = 4
+	e := Compare(&base, &small)
+	if e.StorageKB >= 0 {
+		t.Fatalf("shrinking queues must yield negative storage, got %g KB", e.StorageKB)
+	}
+}

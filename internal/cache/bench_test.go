@@ -1,0 +1,43 @@
+package cache
+
+import "testing"
+
+// BenchmarkTagArrayAccess measures the hot L1 lookup path.
+func BenchmarkTagArrayAccess(b *testing.B) {
+	ta := NewTagArray(32, 4, 128, 1)
+	for i := uint64(0); i < 128; i++ {
+		ta.ReserveVictim(i * 128)
+		ta.Fill(i * 128)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.Access(uint64(i%128) * 128)
+	}
+}
+
+// BenchmarkTagArrayMissPath measures reserve+fill round trips.
+func BenchmarkTagArrayMissPath(b *testing.B) {
+	ta := NewTagArray(64, 8, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * 128
+		if _, ok := ta.ReserveVictim(addr); ok {
+			ta.Fill(addr)
+		}
+	}
+}
+
+// BenchmarkMSHRAllocateRelease measures MSHR bookkeeping.
+func BenchmarkMSHRAllocateRelease(b *testing.B) {
+	m := NewMSHR[int](32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i % 24)
+		if m.Allocate(addr, i) == AllocFullEntries {
+			m.Release(addr)
+		}
+		if i%3 == 0 {
+			m.Release(addr)
+		}
+	}
+}

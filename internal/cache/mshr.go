@@ -1,0 +1,114 @@
+package cache
+
+// AllocResult reports the outcome of an MSHR allocation attempt.
+type AllocResult uint8
+
+const (
+	// AllocNew created a fresh entry: the caller must send a miss request
+	// to the next level.
+	AllocNew AllocResult = iota
+	// AllocMerged attached the requester to an existing entry (a
+	// secondary miss): no new request goes to the next level.
+	AllocMerged
+	// AllocFullEntries failed: the MSHR has no free entries. This is the
+	// paper's "mshr" structural hazard.
+	AllocFullEntries
+	// AllocFullMerge failed: the target entry exists but its merge list
+	// is full.
+	AllocFullMerge
+)
+
+// String implements fmt.Stringer.
+func (r AllocResult) String() string {
+	switch r {
+	case AllocNew:
+		return "new"
+	case AllocMerged:
+		return "merged"
+	case AllocFullEntries:
+		return "full-entries"
+	case AllocFullMerge:
+		return "full-merge"
+	default:
+		return "unknown"
+	}
+}
+
+// MSHR is a miss-status holding register file: a fully associative table
+// from outstanding miss line address to the requesters waiting on its fill.
+// maxEntries ≤ 0 makes it unbounded (ideal modes); maxMerge ≤ 0 allows
+// unlimited merging.
+type MSHR[T any] struct {
+	entries    map[uint64][]T
+	maxEntries int
+	maxMerge   int
+}
+
+// NewMSHR builds an MSHR with the given entry count and per-entry merge
+// capacity (the primary miss counts toward the merge capacity).
+func NewMSHR[T any](maxEntries, maxMerge int) *MSHR[T] {
+	return &MSHR[T]{
+		entries:    make(map[uint64][]T),
+		maxEntries: maxEntries,
+		maxMerge:   maxMerge,
+	}
+}
+
+// Len returns the number of live entries.
+func (m *MSHR[T]) Len() int { return len(m.entries) }
+
+// Full reports whether a new (non-merging) allocation would fail.
+func (m *MSHR[T]) Full() bool {
+	return m.maxEntries > 0 && len(m.entries) >= m.maxEntries
+}
+
+// Pending reports whether addr has an outstanding miss.
+func (m *MSHR[T]) Pending(addr uint64) bool {
+	_, ok := m.entries[addr]
+	return ok
+}
+
+// CanAccept reports whether Allocate(addr, …) would succeed, without
+// performing it. Stall-attribution code uses it to classify a blocked
+// request before committing resources.
+func (m *MSHR[T]) CanAccept(addr uint64) bool {
+	if waiters, ok := m.entries[addr]; ok {
+		return m.maxMerge <= 0 || len(waiters) < m.maxMerge
+	}
+	return !m.Full()
+}
+
+// Allocate records that item waits on the fill of addr. On AllocNew the
+// caller must forward the miss to the next level; on AllocMerged it must
+// not. The two failure results leave the MSHR unchanged.
+func (m *MSHR[T]) Allocate(addr uint64, item T) AllocResult {
+	if waiters, ok := m.entries[addr]; ok {
+		if m.maxMerge > 0 && len(waiters) >= m.maxMerge {
+			return AllocFullMerge
+		}
+		m.entries[addr] = append(waiters, item)
+		return AllocMerged
+	}
+	if m.Full() {
+		return AllocFullEntries
+	}
+	m.entries[addr] = []T{item}
+	return AllocNew
+}
+
+// Waiters returns the requesters currently merged on addr without
+// releasing them (primary first, in allocation order).
+func (m *MSHR[T]) Waiters(addr uint64) []T {
+	return m.entries[addr]
+}
+
+// Release completes the miss on addr, removing the entry and returning
+// every waiter (primary first, in allocation order).
+func (m *MSHR[T]) Release(addr uint64) []T {
+	waiters, ok := m.entries[addr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, addr)
+	return waiters
+}

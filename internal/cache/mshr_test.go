@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHR[int](2, 3)
+	if got := m.Allocate(0x100, 1); got != AllocNew {
+		t.Fatalf("first allocate = %v", got)
+	}
+	if got := m.Allocate(0x100, 2); got != AllocMerged {
+		t.Fatalf("second allocate = %v", got)
+	}
+	if got := m.Allocate(0x100, 3); got != AllocMerged {
+		t.Fatalf("third allocate = %v", got)
+	}
+	if got := m.Allocate(0x100, 4); got != AllocFullMerge {
+		t.Fatalf("merge past capacity = %v", got)
+	}
+	if got := m.Allocate(0x200, 5); got != AllocNew {
+		t.Fatalf("second entry = %v", got)
+	}
+	if got := m.Allocate(0x300, 6); got != AllocFullEntries {
+		t.Fatalf("entry past capacity = %v", got)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	waiters := m.Release(0x100)
+	if len(waiters) != 3 || waiters[0] != 1 || waiters[1] != 2 || waiters[2] != 3 {
+		t.Fatalf("release = %v", waiters)
+	}
+	if m.Pending(0x100) {
+		t.Fatal("released entry still pending")
+	}
+	if got := m.Allocate(0x300, 6); got != AllocNew {
+		t.Fatalf("allocate after release = %v", got)
+	}
+}
+
+func TestMSHRCanAcceptMirrorsAllocate(t *testing.T) {
+	m := NewMSHR[int](1, 2)
+	if !m.CanAccept(0x100) {
+		t.Fatal("empty MSHR must accept")
+	}
+	m.Allocate(0x100, 1)
+	if !m.CanAccept(0x100) {
+		t.Fatal("mergeable entry must accept")
+	}
+	if m.CanAccept(0x200) {
+		t.Fatal("full entries must reject a new address")
+	}
+	m.Allocate(0x100, 2)
+	if m.CanAccept(0x100) {
+		t.Fatal("full merge list must reject")
+	}
+}
+
+func TestMSHRUnbounded(t *testing.T) {
+	m := NewMSHR[int](0, 0)
+	for i := 0; i < 100; i++ {
+		r := m.Allocate(uint64(i), i)
+		if r != AllocNew {
+			t.Fatalf("allocate %d = %v", i, r)
+		}
+		for j := 0; j < 50; j++ {
+			if m.Allocate(uint64(i), j) != AllocMerged {
+				t.Fatalf("merge %d/%d failed", i, j)
+			}
+		}
+	}
+	if m.Full() {
+		t.Fatal("unbounded MSHR reports full")
+	}
+}
+
+func TestMSHRReleaseUnknown(t *testing.T) {
+	m := NewMSHR[int](4, 4)
+	if w := m.Release(0xdead); w != nil {
+		t.Fatalf("release of unknown address = %v", w)
+	}
+}
+
+// TestMSHRBookkeeping checks, under random traffic, that CanAccept always
+// predicts Allocate, entry count never exceeds capacity, and every
+// allocated waiter is returned exactly once by Release.
+func TestMSHRBookkeeping(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const entries, merge = 4, 3
+		m := NewMSHR[int](entries, merge)
+		allocated := map[int]bool{}
+		released := map[int]bool{}
+		nextID := 0
+		for _, o := range ops {
+			addr := uint64(o % 8)
+			if o%5 == 4 {
+				for _, w := range m.Release(addr) {
+					if released[w] {
+						return false // double release
+					}
+					released[w] = true
+				}
+				continue
+			}
+			can := m.CanAccept(addr)
+			r := m.Allocate(addr, nextID)
+			ok := r == AllocNew || r == AllocMerged
+			if can != ok {
+				return false
+			}
+			if ok {
+				allocated[nextID] = true
+				nextID++
+			}
+			if m.Len() > entries {
+				return false
+			}
+		}
+		// Drain everything.
+		for addr := uint64(0); addr < 8; addr++ {
+			for _, w := range m.Release(addr) {
+				if released[w] {
+					return false
+				}
+				released[w] = true
+			}
+		}
+		return len(released) == len(allocated)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocResultString(t *testing.T) {
+	for _, r := range []AllocResult{AllocNew, AllocMerged, AllocFullEntries, AllocFullMerge} {
+		if r.String() == "unknown" {
+			t.Errorf("missing string for %d", r)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package cache provides the building blocks shared by the L1 and L2 models:
+// a set-associative tag array with LRU replacement, allocate-on-miss line
+// reservation and write policies, and an MSHR table with request merging.
+//
+// Line reservation is central to the paper's structural-hazard analysis
+// (§IV-A2): Fermi reserves the victim line when the miss is *sent*, so a set
+// whose lines are all reserved by outstanding misses blocks the cache
+// pipeline ("cache" stalls in Figs. 8 and 9).
+package cache
+
+import "fmt"
+
+// LineState is the state of one cache line.
+type LineState uint8
+
+const (
+	// Invalid lines hold no data.
+	Invalid LineState = iota
+	// Valid lines hold data and may be replaced.
+	Valid
+	// Reserved lines are allocated to an outstanding miss (allocate-on-
+	// miss) and cannot be replaced until the fill returns.
+	Reserved
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Valid:
+		return "valid"
+	case Reserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+type line struct {
+	addr    uint64 // line-aligned address (tag)
+	state   LineState
+	dirty   bool
+	lastUse int64
+}
+
+// Victim describes the line evicted by ReserveVictim.
+type Victim struct {
+	Addr  uint64
+	Dirty bool // dirty victims must be written back (L2 write-back policy)
+	Valid bool // false when an invalid way was claimed, so nothing was evicted
+}
+
+// TagArray is a set-associative array of cache-line tags with true-LRU
+// replacement. It holds no data — the simulator is timing-only.
+//
+// IndexStride spreads addresses across banked caches: the set index of a
+// line is (addr/lineBytes/indexStride) mod sets, so a bank receiving every
+// numBanks-th line still uses all its sets.
+type TagArray struct {
+	sets        [][]line
+	lineBytes   uint64
+	indexStride uint64
+	clock       int64 // monotonic access counter driving LRU
+}
+
+// NewTagArray builds a tag array with the given geometry. indexStride must
+// be ≥ 1 (use 1 for an unbanked cache).
+func NewTagArray(sets, ways, lineBytes, indexStride int) *TagArray {
+	if sets <= 0 || ways <= 0 || lineBytes <= 0 || indexStride <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry sets=%d ways=%d line=%d stride=%d",
+			sets, ways, lineBytes, indexStride))
+	}
+	t := &TagArray{
+		sets:        make([][]line, sets),
+		lineBytes:   uint64(lineBytes),
+		indexStride: uint64(indexStride),
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]line, ways)
+	}
+	return t
+}
+
+// Sets returns the number of sets.
+func (t *TagArray) Sets() int { return len(t.sets) }
+
+// Ways returns the associativity.
+func (t *TagArray) Ways() int { return len(t.sets[0]) }
+
+// LineAddr returns addr rounded down to its cache-line base.
+func (t *TagArray) LineAddr(addr uint64) uint64 {
+	return addr - addr%t.lineBytes
+}
+
+func (t *TagArray) setIndex(addr uint64) int {
+	return int(addr / t.lineBytes / t.indexStride % uint64(len(t.sets)))
+}
+
+func (t *TagArray) find(addr uint64) *line {
+	addr = t.LineAddr(addr)
+	set := t.sets[t.setIndex(addr)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Probe returns the state of the line holding addr without touching LRU
+// state. Invalid means the line is absent.
+func (t *TagArray) Probe(addr uint64) LineState {
+	if l := t.find(addr); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Access looks up addr and, on a valid hit, updates its LRU position and
+// returns true. Reserved lines return false: the data has not arrived, so
+// the access must merge with the outstanding miss instead.
+func (t *TagArray) Access(addr uint64) bool {
+	l := t.find(addr)
+	if l == nil || l.state != Valid {
+		return false
+	}
+	t.clock++
+	l.lastUse = t.clock
+	return true
+}
+
+// MarkDirty sets the dirty bit of a valid line (write-back write hit).
+// It reports whether the line was present and valid.
+func (t *TagArray) MarkDirty(addr uint64) bool {
+	l := t.find(addr)
+	if l == nil || l.state != Valid {
+		return false
+	}
+	t.clock++
+	l.lastUse = t.clock
+	l.dirty = true
+	return true
+}
+
+// Invalidate drops the line holding addr regardless of state (the L1
+// write-evict policy invalidates on store hits). It reports whether a line
+// was dropped.
+func (t *TagArray) Invalidate(addr uint64) bool {
+	l := t.find(addr)
+	if l == nil {
+		return false
+	}
+	l.state = Invalid
+	l.dirty = false
+	return true
+}
+
+// HasReplaceable reports whether the set for addr has an invalid or valid
+// (non-reserved) way — i.e. whether ReserveVictim can succeed. A false
+// return is the paper's "lack of replaceable cache lines" structural hazard.
+func (t *TagArray) HasReplaceable(addr uint64) bool {
+	set := t.sets[t.setIndex(t.LineAddr(addr))]
+	for i := range set {
+		if set[i].state != Reserved {
+			return true
+		}
+	}
+	return false
+}
+
+// ReserveVictim allocates a line for an outstanding miss on addr
+// (allocate-on-miss): it claims an invalid way if one exists, otherwise
+// evicts the LRU valid way. The reserved line cannot be replaced until
+// Fill. It fails (ok=false) when every way in the set is reserved.
+func (t *TagArray) ReserveVictim(addr uint64) (victim Victim, ok bool) {
+	addr = t.LineAddr(addr)
+	set := t.sets[t.setIndex(addr)]
+	chosen := -1
+	for i := range set {
+		switch set[i].state {
+		case Invalid:
+			if chosen == -1 || set[chosen].state == Valid {
+				chosen = i
+			}
+		case Valid:
+			if chosen == -1 || (set[chosen].state == Valid && set[i].lastUse < set[chosen].lastUse) {
+				chosen = i
+			}
+		}
+	}
+	if chosen == -1 {
+		return Victim{}, false
+	}
+	if set[chosen].state == Valid {
+		victim = Victim{Addr: set[chosen].addr, Dirty: set[chosen].dirty, Valid: true}
+	}
+	t.clock++
+	set[chosen] = line{addr: addr, state: Reserved, lastUse: t.clock}
+	return victim, true
+}
+
+// Fill completes the outstanding miss on addr, turning its reserved line
+// valid. Filling an unreserved address installs the line directly (evicting
+// per ReserveVictim) — used by fills that bypassed reservation, such as
+// full-line stores with write-allocate.
+func (t *TagArray) Fill(addr uint64) Victim {
+	addr = t.LineAddr(addr)
+	if l := t.find(addr); l != nil {
+		l.state = Valid
+		t.clock++
+		l.lastUse = t.clock
+		return Victim{}
+	}
+	v, ok := t.ReserveVictim(addr)
+	if !ok {
+		// No way available; the caller should have reserved first.
+		// Install nothing rather than corrupt a reserved line.
+		return Victim{}
+	}
+	t.Fill(addr)
+	return v
+}
+
+// ReservedCount returns the number of reserved lines in the set for addr
+// (used by tests and congestion diagnostics).
+func (t *TagArray) ReservedCount(addr uint64) int {
+	set := t.sets[t.setIndex(t.LineAddr(addr))]
+	n := 0
+	for i := range set {
+		if set[i].state == Reserved {
+			n++
+		}
+	}
+	return n
+}

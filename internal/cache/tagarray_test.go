@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	ta := NewTagArray(4, 2, 128, 1)
+	if ta.Access(0x1000) {
+		t.Fatal("access to empty cache hit")
+	}
+	if _, ok := ta.ReserveVictim(0x1000); !ok {
+		t.Fatal("reserve failed on empty set")
+	}
+	if ta.Access(0x1000) {
+		t.Fatal("reserved line must not hit")
+	}
+	if ta.Probe(0x1000) != Reserved {
+		t.Fatalf("probe = %v, want reserved", ta.Probe(0x1000))
+	}
+	ta.Fill(0x1000)
+	if !ta.Access(0x1000) {
+		t.Fatal("filled line must hit")
+	}
+	if !ta.Access(0x1040) {
+		t.Fatal("same-line offset must hit")
+	}
+	if ta.Access(0x2000) {
+		t.Fatal("different set-aliasing line must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 1 set, 2 ways, 128 B lines: addresses 0, 128, 256 alias.
+	ta := NewTagArray(1, 2, 128, 1)
+	mustFill := func(addr uint64) {
+		if _, ok := ta.ReserveVictim(addr); !ok {
+			t.Fatalf("reserve 0x%x failed", addr)
+		}
+		ta.Fill(addr)
+	}
+	mustFill(0)
+	mustFill(128)
+	ta.Access(0) // 0 is now MRU; 128 is LRU
+	v, ok := ta.ReserveVictim(256)
+	if !ok {
+		t.Fatal("reserve failed")
+	}
+	if !v.Valid || v.Addr != 128 {
+		t.Fatalf("victim = %+v, want addr 128", v)
+	}
+	if ta.Probe(0) != Valid {
+		t.Fatal("MRU line was evicted")
+	}
+}
+
+func TestAllWaysReservedBlocks(t *testing.T) {
+	ta := NewTagArray(1, 2, 128, 1)
+	ta.ReserveVictim(0)
+	ta.ReserveVictim(128)
+	if ta.HasReplaceable(256) {
+		t.Fatal("set with all ways reserved must not be replaceable")
+	}
+	if _, ok := ta.ReserveVictim(256); ok {
+		t.Fatal("reserve must fail when all ways reserved")
+	}
+	ta.Fill(0)
+	if !ta.HasReplaceable(256) {
+		t.Fatal("filled line must be replaceable again")
+	}
+	if _, ok := ta.ReserveVictim(256); !ok {
+		t.Fatal("reserve must succeed after a fill")
+	}
+	// The valid-but-unreplaced line must survive.
+	if ta.Probe(128) != Reserved {
+		t.Fatal("pending reservation clobbered")
+	}
+}
+
+func TestDirtyVictimReported(t *testing.T) {
+	ta := NewTagArray(1, 1, 128, 1)
+	ta.ReserveVictim(0)
+	ta.Fill(0)
+	if !ta.MarkDirty(0) {
+		t.Fatal("mark dirty failed")
+	}
+	v, ok := ta.ReserveVictim(128)
+	if !ok || !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Fatalf("dirty victim = %+v", v)
+	}
+}
+
+func TestMarkDirtyMissesReturnFalse(t *testing.T) {
+	ta := NewTagArray(2, 2, 128, 1)
+	if ta.MarkDirty(0x40) {
+		t.Fatal("dirty on absent line")
+	}
+	ta.ReserveVictim(0x40)
+	if ta.MarkDirty(0x40) {
+		t.Fatal("dirty on reserved line")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	ta := NewTagArray(2, 2, 128, 1)
+	ta.ReserveVictim(0)
+	ta.Fill(0)
+	if !ta.Invalidate(0) {
+		t.Fatal("invalidate failed")
+	}
+	if ta.Probe(0) != Invalid {
+		t.Fatal("line still present")
+	}
+	if ta.Invalidate(0x9000) {
+		t.Fatal("invalidate of absent line reported true")
+	}
+}
+
+func TestIndexStrideSpreadsBankedLines(t *testing.T) {
+	// A 12-bank L2: bank 0 sees lines 0, 12, 24, ... With stride 12 they
+	// must land in consecutive sets, not all in set 0.
+	ta := NewTagArray(4, 1, 128, 12)
+	line := uint64(128)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		addr := uint64(i) * 12 * line
+		seen[ta.setIndex(addr)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("stride-12 lines used %d sets, want 4", len(seen))
+	}
+}
+
+func TestFillWithoutReservationInstallsLine(t *testing.T) {
+	ta := NewTagArray(1, 1, 128, 1)
+	ta.ReserveVictim(0)
+	ta.Fill(0)
+	ta.MarkDirty(0)
+	v := ta.Fill(128) // direct install (write-allocate full-line store)
+	if !v.Valid || v.Addr != 0 || !v.Dirty {
+		t.Fatalf("victim = %+v, want dirty line 0", v)
+	}
+	if ta.Probe(128) != Valid {
+		t.Fatal("direct fill did not install")
+	}
+}
+
+// TestTagArrayInvariants drives random operations and checks structural
+// invariants: no duplicate tags in a set, reserved lines never evicted,
+// occupancy never exceeds ways.
+func TestTagArrayInvariants(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Addr uint16
+	}
+	f := func(ops []op) bool {
+		ta := NewTagArray(4, 2, 128, 1)
+		reserved := map[uint64]bool{}
+		for _, o := range ops {
+			addr := uint64(o.Addr) * 64 // half-line granularity
+			switch o.Kind % 4 {
+			case 0:
+				ta.Access(addr)
+			case 1:
+				if _, ok := ta.ReserveVictim(addr); ok {
+					reserved[ta.LineAddr(addr)] = true
+				}
+			case 2:
+				la := ta.LineAddr(addr)
+				if reserved[la] {
+					ta.Fill(la)
+					delete(reserved, la)
+				}
+			case 3:
+				la := ta.LineAddr(addr)
+				if !reserved[la] {
+					ta.Invalidate(la)
+				}
+			}
+			// Reserved lines must still be present as Reserved.
+			for la := range reserved {
+				if ta.Probe(la) != Reserved {
+					return false
+				}
+			}
+			// No set may hold duplicate tags.
+			for _, set := range ta.sets {
+				tags := map[uint64]int{}
+				for _, l := range set {
+					if l.state != Invalid {
+						tags[l.addr]++
+					}
+				}
+				for _, n := range tags {
+					if n > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTagArrayPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTagArray(0, 2, 128, 1)
+}

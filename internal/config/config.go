@@ -1,0 +1,255 @@
+// Package config defines the architectural parameter space of the simulated
+// GPU memory hierarchy.
+//
+// The parameters mirror Table I (baseline GTX 480 / Fermi) and Table III
+// (design space) of Dublish, Nagarajan and Topham, "Evaluating and Mitigating
+// Bandwidth Bottlenecks Across the Memory Hierarchy in GPUs", ISPASS 2017.
+// Presets construct the exact configurations the paper evaluates: the 4×
+// scaled design points of Fig. 10, the cost-effective asymmetric-crossbar
+// configurations of Fig. 12, the ideal memory systems of Table II (P∞ and
+// P_DRAM), and the fixed-L1-miss-latency mode of Fig. 3.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects between the detailed memory hierarchy and the idealized
+// memory systems used by the paper's motivation studies.
+type Mode uint8
+
+const (
+	// ModeNormal simulates the full, bandwidth-limited memory hierarchy.
+	ModeNormal Mode = iota
+	// ModeInfiniteBW is the paper's P∞: L1 misses bypass all queues and
+	// return after the minimum access latency (120 core cycles for an L2
+	// hit, 220 for an L2 miss), with no structural limits anywhere.
+	ModeInfiniteBW
+	// ModeFixedL1MissLat returns every L1 miss after exactly
+	// FixedL1MissLatency core cycles (the Fig. 3 latency sweep).
+	ModeFixedL1MissLat
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeInfiniteBW:
+		return "infinite-bw"
+	case ModeFixedL1MissLat:
+		return "fixed-l1-miss-latency"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// CoreConfig holds per-SM (SIMT core) parameters.
+type CoreConfig struct {
+	NumCores     int     // SMs in the GPU (15 on GTX 480)
+	WarpsPerCore int     // resident warps per SM (1536 threads / 32 = 48)
+	ClockMHz     float64 // core clock (1400 MHz baseline)
+	IssueWidth   int     // instructions issued per cycle per SM
+
+	// MemPipelineWidth is the number of in-flight memory transactions the
+	// load-store unit can buffer ("Memory pipeline width" in Table III;
+	// 10 baseline, 40 scaled).
+	MemPipelineWidth int
+
+	// ALULatency is the execution latency of arithmetic instructions in
+	// core cycles. ALUs are fully pipelined.
+	ALULatency int
+}
+
+// L1Config holds private L1 data-cache parameters (one per SM) and the
+// instruction-cache parameters that share the L1 miss path.
+type L1Config struct {
+	SizeBytes        int // 16 KB baseline
+	LineBytes        int // 128 B
+	Ways             int // 4-way
+	MSHREntries      int // 32 baseline, 128 scaled, 48 cost-effective
+	MSHRMaxMerge     int // secondary misses merged per MSHR entry
+	MissQueueEntries int // 8 baseline, 32 scaled/cost-effective
+	HitLatency       int // core cycles for an L1 hit to write back
+	ResponseFIFO     int // reply-network ejection buffer, in packets
+
+	// Instruction cache (shares the core's miss path to L2).
+	ICacheSizeBytes int
+	ICacheWays      int
+}
+
+// IcntConfig holds the crossbar interconnect parameters. The request network
+// carries core→L2 traffic; the reply network carries L2→core traffic. The
+// baseline is symmetric 32+32 B flits; the paper's cost-effective
+// configurations make it asymmetric (16+48, 16+68, 32+52).
+type IcntConfig struct {
+	ReqFlitBytes   int // request-network flit size (32 B baseline)
+	ReplyFlitBytes int // reply-network flit size (32 B baseline)
+	InputBufFlits  int // per-source injection buffer, in flits
+	OutputBufPackets int // per-destination ejection buffer, in packets
+	LatencyCycles  int // fixed traversal pipeline depth, in icnt cycles
+	ClockMHz       float64
+}
+
+// L2Config holds shared L2 cache parameters. The L2 is banked; every queue
+// and MSHR figure below is per bank, matching GPGPU-Sim's per-sub-partition
+// organization.
+type L2Config struct {
+	SizeBytes            int // 768 KB total baseline
+	LineBytes            int // 128 B
+	Ways                 int // 8-way
+	NumBanks             int // 12 baseline, 48 scaled
+	MSHREntries          int // 32 baseline, 128 scaled
+	MSHRMaxMerge         int
+	MissQueueEntries     int // 8 baseline, 32 scaled/cost-effective
+	AccessQueueEntries   int // 8 baseline, 32 scaled/cost-effective
+	ResponseQueueEntries int // 8 baseline, 32 scaled/cost-effective
+	DataPortBytes        int // 32 B baseline, 128 B scaled
+	TagLatency           int // pipeline depth of an L2 access, in L2 cycles
+	ClockMHz             float64
+}
+
+// DRAMTiming holds GDDR5 timing constraints in DRAM command-clock cycles
+// (Table I, "DRAM Timing Constraints").
+type DRAMTiming struct {
+	CCD  int // column-to-column delay
+	RRD  int // row-to-row activate delay (different banks)
+	RCD  int // row-to-column (activate-to-read/write) delay
+	RAS  int // row active time (activate-to-precharge)
+	RP   int // row precharge time
+	RC   int // row cycle time (activate-to-activate, same bank)
+	CL   int // CAS (read) latency
+	WL   int // write latency
+	CDLR int // last-write-data to read command delay
+	WR   int // write recovery time (last write data to precharge)
+}
+
+// DRAMConfig holds off-chip memory parameters. One channel per memory
+// partition; the two 32-bit chips of a partition operate in lockstep, so the
+// per-partition bus is BusWidthBits/NumPartitions wide.
+type DRAMConfig struct {
+	NumPartitions      int     // 6 on GTX 480
+	BusWidthBits       int     // 384 baseline, 1536 scaled/HBM (total)
+	DataRate           int     // transfers per command clock (4 for GDDR5)
+	BanksPerChip       int     // 16 baseline, 64 scaled
+	RowBytes           int     // per-partition row-buffer size
+	SchedQueueEntries  int     // FR-FCFS scheduler queue (16 baseline, 64 scaled)
+	ReturnQueueEntries int     // DRAM→L2 response queue
+	CtrlLatency        int     // fixed controller pipeline, in DRAM cycles
+	ClockMHz           float64 // command clock (924 MHz)
+	Timing             DRAMTiming
+
+	// Infinite replaces the DRAM with a fixed-latency, infinite-bandwidth
+	// pipe (the paper's P_DRAM). InfiniteLatency is in core cycles.
+	Infinite        bool
+	InfiniteLatency int
+}
+
+// Config is the complete architectural description of one simulated GPU.
+type Config struct {
+	Name string // human-readable configuration name
+
+	Core CoreConfig
+	L1   L1Config
+	Icnt IcntConfig
+	L2   L2Config
+	DRAM DRAMConfig
+
+	Mode Mode
+	// FixedL1MissLatency is the constant L1 miss latency, in core cycles,
+	// used when Mode == ModeFixedL1MissLat.
+	FixedL1MissLatency int
+
+	// IdealL2HitLatency and IdealMemLatency are the minimum access
+	// latencies used by ModeInfiniteBW (120 and 220 core cycles in the
+	// paper).
+	IdealL2HitLatency int
+	IdealMemLatency   int
+
+	// MaxCycles aborts the simulation after this many core cycles
+	// (safety net against livelock; 0 means no limit).
+	MaxCycles int64
+}
+
+// LinesPerL2Bank returns the number of cache lines per L2 bank.
+func (c *Config) LinesPerL2Bank() int {
+	return c.L2.SizeBytes / c.L2.LineBytes / c.L2.NumBanks
+}
+
+// SetsPerL2Bank returns the number of sets per L2 bank.
+func (c *Config) SetsPerL2Bank() int {
+	return c.LinesPerL2Bank() / c.L2.Ways
+}
+
+// L1Sets returns the number of sets in one L1 data cache.
+func (c *Config) L1Sets() int {
+	return c.L1.SizeBytes / c.L1.LineBytes / c.L1.Ways
+}
+
+// BanksPerPartition returns the number of L2 banks attached to one memory
+// partition (one crossbar node).
+func (c *Config) BanksPerPartition() int {
+	return c.L2.NumBanks / c.DRAM.NumPartitions
+}
+
+// PartitionBusBytes returns the per-partition DRAM data-bus width in bytes.
+func (c *Config) PartitionBusBytes() int {
+	return c.DRAM.BusWidthBits / c.DRAM.NumPartitions / 8
+}
+
+// DRAMBurstCycles returns the number of DRAM command-clock cycles the data
+// bus is occupied transferring one cache line.
+func (c *Config) DRAMBurstCycles() int {
+	bytesPerCycle := c.PartitionBusBytes() * c.DRAM.DataRate
+	n := (c.L2.LineBytes + bytesPerCycle - 1) / bytesPerCycle
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports an error if the configuration is internally inconsistent.
+func (c *Config) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(c.Core.NumCores > 0, "NumCores must be positive, got %d", c.Core.NumCores)
+	check(c.Core.WarpsPerCore > 0, "WarpsPerCore must be positive, got %d", c.Core.WarpsPerCore)
+	check(c.Core.ClockMHz > 0, "core clock must be positive, got %g", c.Core.ClockMHz)
+	check(c.Core.IssueWidth > 0, "IssueWidth must be positive, got %d", c.Core.IssueWidth)
+	check(c.Core.MemPipelineWidth > 0, "MemPipelineWidth must be positive, got %d", c.Core.MemPipelineWidth)
+	check(c.L1.LineBytes > 0 && isPow2(c.L1.LineBytes), "L1 line size must be a power of two, got %d", c.L1.LineBytes)
+	check(c.L1.LineBytes == c.L2.LineBytes, "L1 and L2 line sizes must match (%d vs %d)", c.L1.LineBytes, c.L2.LineBytes)
+	check(c.Mode == ModeInfiniteBW || c.L1.MSHREntries > 0, "L1 MSHR entries must be positive, got %d", c.L1.MSHREntries)
+	if c.L1.SizeBytes > 0 && c.L1.Ways > 0 && c.L1.LineBytes > 0 {
+		check(c.L1.SizeBytes%(c.L1.LineBytes*c.L1.Ways) == 0,
+			"L1 size %d not divisible by line*ways %d", c.L1.SizeBytes, c.L1.LineBytes*c.L1.Ways)
+	}
+	check(c.L2.NumBanks > 0, "L2 banks must be positive, got %d", c.L2.NumBanks)
+	check(c.DRAM.NumPartitions > 0, "DRAM partitions must be positive, got %d", c.DRAM.NumPartitions)
+	if c.L2.NumBanks > 0 && c.DRAM.NumPartitions > 0 {
+		check(c.L2.NumBanks%c.DRAM.NumPartitions == 0,
+			"L2 banks (%d) must be a multiple of DRAM partitions (%d)", c.L2.NumBanks, c.DRAM.NumPartitions)
+	}
+	if c.L2.SizeBytes > 0 && c.L2.NumBanks > 0 && c.L2.Ways > 0 && c.L2.LineBytes > 0 {
+		check(c.L2.SizeBytes%(c.L2.NumBanks*c.L2.Ways*c.L2.LineBytes) == 0,
+			"L2 size %d not divisible across %d banks × %d ways", c.L2.SizeBytes, c.L2.NumBanks, c.L2.Ways)
+	}
+	check(c.Icnt.ReqFlitBytes > 0, "request flit size must be positive, got %d", c.Icnt.ReqFlitBytes)
+	check(c.Icnt.ReplyFlitBytes > 0, "reply flit size must be positive, got %d", c.Icnt.ReplyFlitBytes)
+	check(c.DRAM.BusWidthBits%(c.DRAM.NumPartitions*8) == 0,
+		"DRAM bus width %d bits must divide evenly across %d partitions", c.DRAM.BusWidthBits, c.DRAM.NumPartitions)
+	if c.Mode == ModeFixedL1MissLat {
+		check(c.FixedL1MissLatency >= 0, "FixedL1MissLatency must be non-negative, got %d", c.FixedL1MissLatency)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("config %q: %w", c.Name, errors.Join(errs...))
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

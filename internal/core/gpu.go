@@ -1,0 +1,222 @@
+// Package core assembles the complete simulated GPU of Fig. 2 and implements
+// the paper's measurement methodology: SIMT cores behind private L1s, two
+// crossbar networks, a banked shared L2 organized into memory partitions,
+// and GDDR5 channels — each in its own clock domain (core 1.4 GHz,
+// crossbar/L2 700 MHz, DRAM command clock 924 MHz).
+//
+// This package is the reproduction's primary contribution: it runs a
+// workload against an arbitrary config.Config and emits Metrics containing
+// every quantity the paper plots — issue-stall taxonomy (Fig. 7), L1/L2
+// stall attribution (Figs. 8–9), queue-occupancy histograms (Figs. 4–5),
+// average memory and L2-hit latencies (Fig. 1), DRAM bandwidth efficiency
+// (§IV-B1) and IPC for the design-space studies (Figs. 10–12).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gpumembw/internal/cache"
+	"gpumembw/internal/config"
+	"gpumembw/internal/dram"
+	"gpumembw/internal/icnt"
+	"gpumembw/internal/l2"
+	"gpumembw/internal/mem"
+	"gpumembw/internal/smcore"
+)
+
+// ErrLivelock reports that the simulator stopped making forward progress,
+// which always indicates a modelling bug rather than a valid stall.
+var ErrLivelock = errors.New("core: no forward progress")
+
+// GPU is one fully assembled simulated GPU.
+type GPU struct {
+	cfg config.Config
+	wl  *smcore.Workload
+
+	cores []*smcore.Core
+	req   *icnt.Network
+	reply *icnt.Network
+	parts []*l2.Partition
+	amap  dram.AddrMap
+
+	idealL2 *cache.TagArray // functional L2 for ModeInfiniteBW
+
+	cycle    int64
+	icntAcc  float64
+	dramAcc  float64
+	fetchID  uint64
+	truncated bool
+}
+
+// New assembles a GPU for the given configuration and workload.
+func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil || len(wl.Program.Body) == 0 || wl.Program.Iters <= 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	if wl.Addr == nil {
+		return nil, fmt.Errorf("core: workload %q has no address generator", wl.Name)
+	}
+	g := &GPU{cfg: cfg, wl: wl, amap: dram.NewAddrMap(&cfg)}
+
+	newFetch := func(addr uint64, typ mem.AccessType, size, coreID, warpID int, issueCycle int64) *mem.Fetch {
+		g.fetchID++
+		f := &mem.Fetch{
+			ID: g.fetchID, Addr: addr, Type: typ, SizeBytes: size,
+			CoreID: coreID, WarpID: warpID, IssueCycle: issueCycle,
+		}
+		f.BankID = g.bankOf(addr)
+		f.PartitionID = f.BankID % cfg.DRAM.NumPartitions
+		return f
+	}
+
+	for i := 0; i < cfg.Core.NumCores; i++ {
+		g.cores = append(g.cores, smcore.NewCore(i, &g.cfg, wl, newFetch))
+	}
+
+	switch cfg.Mode {
+	case config.ModeNormal:
+		// Every L2 bank owns its own crossbar port (§VII-A: "each L2 bank
+		// has an independent port to the crossbar"), so scaling the bank
+		// count also scales interconnect ports.
+		g.req = icnt.NewNetwork("request", cfg.Core.NumCores, cfg.L2.NumBanks,
+			cfg.Icnt.ReqFlitBytes, cfg.Icnt.InputBufFlits, cfg.Icnt.OutputBufPackets, cfg.Icnt.LatencyCycles)
+		g.reply = icnt.NewNetwork("reply", cfg.L2.NumBanks, cfg.Core.NumCores,
+			cfg.Icnt.ReplyFlitBytes, cfg.Icnt.InputBufFlits, cfg.Icnt.OutputBufPackets, cfg.Icnt.LatencyCycles)
+		for p := 0; p < cfg.DRAM.NumPartitions; p++ {
+			g.parts = append(g.parts, l2.NewPartition(p, &g.cfg))
+		}
+		for _, c := range g.cores {
+			c.SetInject(func(f *mem.Fetch) bool {
+				return g.req.Inject(f, f.CoreID, f.BankID, f.RequestBytes())
+			})
+		}
+	case config.ModeInfiniteBW:
+		g.idealL2 = cache.NewTagArray(
+			cfg.L2.SizeBytes/cfg.L2.LineBytes/cfg.L2.Ways, cfg.L2.Ways, cfg.L2.LineBytes, 1)
+		for _, c := range g.cores {
+			c.SetIdealLatency(g.idealLatency)
+		}
+	case config.ModeFixedL1MissLat:
+		// Latency is a constant; the cores handle it internally.
+	}
+	return g, nil
+}
+
+// bankOf maps a line address to its global L2 bank: lines interleave across
+// banks, and bank→partition assignment keeps consecutive lines on distinct
+// partitions (matching dram.AddrMap).
+func (g *GPU) bankOf(addr uint64) int {
+	lineIdx := addr / uint64(g.cfg.L2.LineBytes)
+	return int(lineIdx % uint64(g.cfg.L2.NumBanks))
+}
+
+// idealLatency is the P∞ oracle: a functional L2 decides between the
+// minimum L2 (120-cycle) and DRAM (220-cycle) latencies.
+func (g *GPU) idealLatency(addr uint64) int64 {
+	if g.idealL2.Access(addr) {
+		return int64(g.cfg.IdealL2HitLatency)
+	}
+	g.idealL2.Fill(addr)
+	return int64(g.cfg.IdealMemLatency)
+}
+
+// Cycle returns the current core-clock cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// Run simulates until every core drains, MaxCycles elapses, or progress
+// stops. It returns the collected metrics.
+func (g *GPU) Run() (Metrics, error) {
+	icntRatio := g.cfg.Icnt.ClockMHz / g.cfg.Core.ClockMHz
+	dramRatio := g.cfg.DRAM.ClockMHz / g.cfg.Core.ClockMHz
+	normal := g.cfg.Mode == config.ModeNormal
+
+	var lastProgress int64 // last cycle the instruction count moved
+	var lastIssued int64
+
+	for {
+		g.cycle++
+
+		if normal {
+			g.icntAcc += icntRatio
+			for g.icntAcc >= 1 {
+				g.icntAcc--
+				g.tickIcntDomain()
+			}
+			g.dramAcc += dramRatio
+			for g.dramAcc >= 1 {
+				g.dramAcc--
+				for _, p := range g.parts {
+					p.DRAM.Tick()
+				}
+			}
+		}
+
+		done := true
+		var issued int64
+		for _, c := range g.cores {
+			if normal && c.CanAcceptResponse() {
+				if pkt, ok := g.reply.Pop(c.ID); ok {
+					c.AcceptResponse(pkt.Fetch)
+				}
+			}
+			c.Tick()
+			if !c.Done() {
+				done = false
+			}
+			issued += c.Stats.Issued
+		}
+
+		if issued != lastIssued {
+			lastIssued = issued
+			lastProgress = g.cycle
+		}
+		if done {
+			break
+		}
+		if g.cfg.MaxCycles > 0 && g.cycle >= g.cfg.MaxCycles {
+			g.truncated = true
+			break
+		}
+		if g.cycle-lastProgress > 200_000 {
+			return g.collect(), fmt.Errorf("%w after cycle %d: %s",
+				ErrLivelock, lastProgress, g.cores[0].OutstandingWork())
+		}
+	}
+	return g.collect(), nil
+}
+
+// tickIcntDomain advances the 700 MHz domain one cycle: both crossbars and
+// every memory partition, including the partition↔network hand-offs.
+func (g *GPU) tickIcntDomain() {
+	g.req.Tick()
+	g.reply.Tick()
+	for _, p := range g.parts {
+		for _, bank := range p.Banks {
+			// Request ejection → L2 bank access queue.
+			if pkt, ok := g.req.Peek(bank.ID); ok && bank.CanAccept() {
+				g.req.Pop(bank.ID)
+				bank.Accept(pkt.Fetch)
+			}
+		}
+		p.TickL2()
+		for _, bank := range p.Banks {
+			// L2 response queue → reply-network injection.
+			if f, ok := bank.PeekResponse(); ok {
+				if g.reply.CanInject(bank.ID, f.ReplyBytes()) {
+					g.reply.Inject(f, bank.ID, f.CoreID, f.ReplyBytes())
+					bank.PopResponse()
+				}
+			}
+		}
+	}
+}
+
+// Cores exposes the simulated cores (read-only use by experiments).
+func (g *GPU) Cores() []*smcore.Core { return g.cores }
+
+// Partitions exposes the memory partitions (read-only use by experiments).
+func (g *GPU) Partitions() []*l2.Partition { return g.parts }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/trace"
+)
+
+// tinyWorkload is a scaled-down mixed workload that finishes fast but
+// exercises L1, crossbar, L2 and DRAM.
+func tinyWorkload(t *testing.T) *smcore.Workload {
+	t.Helper()
+	wl, err := trace.Spec{
+		Name: "tiny", Iters: 8,
+		LoadsPerIter: 4, StoresPerIter: 1, ALUPerIter: 4,
+		DepDist: 2, Pattern: trace.PatRandomWS, WorkingSetKB: 256,
+		WarpsPerCore: 8, Seed: 7,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// smallCfg shrinks the GPU to 4 cores for test speed; the memory system
+// keeps its full Table I shape.
+func smallCfg(base config.Config) config.Config {
+	base.Core.NumCores = 4
+	base.MaxCycles = 2_000_000
+	return base
+}
+
+func mustRun(t *testing.T, cfg config.Config, wl *smcore.Workload) Metrics {
+	t.Helper()
+	m, err := RunWorkload(cfg, wl)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", wl.Name, cfg.Name, err)
+	}
+	if m.Truncated {
+		t.Fatalf("%s on %s truncated after %d cycles", wl.Name, cfg.Name, m.Cycles)
+	}
+	return m
+}
+
+func TestBaselineRunCompletes(t *testing.T) {
+	cfg := smallCfg(config.Baseline())
+	wl := tinyWorkload(t)
+	m := mustRun(t, cfg, wl)
+
+	wantInsts := int64(cfg.Core.NumCores) * int64(wl.WarpsPerCore) * wl.Program.TotalInsts()
+	if m.Instructions != wantInsts {
+		t.Fatalf("instructions = %d, want %d", m.Instructions, wantInsts)
+	}
+	if m.IPC <= 0 || m.IPC > float64(cfg.Core.NumCores) {
+		t.Fatalf("IPC = %g out of range", m.IPC)
+	}
+	if m.AML < 100 {
+		t.Fatalf("AML = %g, implausibly below the uncongested L2 latency", m.AML)
+	}
+	if m.L1MissRate <= 0 || m.L1MissRate > 1 {
+		t.Fatalf("L1 miss rate = %g", m.L1MissRate)
+	}
+	if m.L2AccessOcc.Lifetime == 0 {
+		t.Fatal("L2 access-queue histogram never sampled")
+	}
+}
+
+func TestDeterministicMetrics(t *testing.T) {
+	cfg := smallCfg(config.Baseline())
+	m1 := mustRun(t, cfg, tinyWorkload(t))
+	m2 := mustRun(t, cfg, tinyWorkload(t))
+	if m1.Cycles != m2.Cycles || m1.Instructions != m2.Instructions ||
+		m1.AML != m2.AML || m1.IssueStalls.Total() != m2.IssueStalls.Total() {
+		t.Fatalf("non-deterministic: %+v vs %+v", m1.Cycles, m2.Cycles)
+	}
+}
+
+func TestIdealHierarchyOrdering(t *testing.T) {
+	// P∞ ≥ P_DRAM ≥ baseline (in performance) must hold for a
+	// memory-intensive workload.
+	wl := tinyWorkload(t)
+	base := mustRun(t, smallCfg(config.Baseline()), wl)
+	pdram := mustRun(t, smallCfg(config.InfiniteDRAM()), wl)
+	pinf := mustRun(t, smallCfg(config.InfiniteBW()), wl)
+
+	if pinf.PerfIPS < pdram.PerfIPS {
+		t.Errorf("P∞ (%.0f) slower than P_DRAM (%.0f)", pinf.PerfIPS, pdram.PerfIPS)
+	}
+	if pdram.PerfIPS < base.PerfIPS*0.96 {
+		t.Errorf("P_DRAM (%.0f) slower than baseline (%.0f)", pdram.PerfIPS, base.PerfIPS)
+	}
+	if pinf.Speedup(base) < 1.05 {
+		t.Errorf("P∞ speedup = %.2f, want > 1.05 for a memory-bound kernel", pinf.Speedup(base))
+	}
+}
+
+func TestFixedLatencyMonotonicity(t *testing.T) {
+	wl := tinyWorkload(t)
+	var last float64
+	for i, lat := range []int{0, 200, 700} {
+		cfg := smallCfg(config.FixedL1MissLatency(lat))
+		m := mustRun(t, cfg, wl)
+		if i > 0 && m.PerfIPS > last*1.02 {
+			t.Fatalf("latency %d faster (%.0f) than smaller latency (%.0f)", lat, m.PerfIPS, last)
+		}
+		last = m.PerfIPS
+	}
+}
+
+func TestScaledAllBeatsBaseline(t *testing.T) {
+	wl := tinyWorkload(t)
+	base := mustRun(t, smallCfg(config.Baseline()), wl)
+	all := mustRun(t, smallCfg(config.ScaledAll()), wl)
+	if all.Speedup(base) < 1.0 {
+		t.Fatalf("scaling every level slowed things down: %.3f", all.Speedup(base))
+	}
+}
+
+func TestStallBreakdownsPopulated(t *testing.T) {
+	// A heavily congested run must show stalls at every level.
+	wl, err := trace.Spec{
+		Name: "flood", Iters: 10,
+		LoadsPerIter: 10, ALUPerIter: 2,
+		DepDist: 0, Pattern: trace.PatRandomWS, WorkingSetKB: 2048,
+		WarpsPerCore: 16, Seed: 9,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(config.Baseline())
+	m := mustRun(t, cfg, wl)
+	if m.IssueStalls.Total() == 0 {
+		t.Error("no issue stalls recorded")
+	}
+	if m.L1Stalls.Total() == 0 {
+		t.Error("no L1 stalls recorded")
+	}
+	if m.L2Stalls.Total() == 0 {
+		t.Error("no L2 stalls recorded")
+	}
+	if m.DRAMSchedOcc.Lifetime == 0 {
+		t.Error("DRAM scheduler occupancy never sampled")
+	}
+	if m.DRAMBandwidthEff <= 0 || m.DRAMBandwidthEff > 1 {
+		t.Errorf("bandwidth efficiency = %g", m.DRAMBandwidthEff)
+	}
+	if m.IssueStallFrac <= 0 || m.IssueStallFrac >= 1 {
+		t.Errorf("issue stall fraction = %g", m.IssueStallFrac)
+	}
+}
+
+func TestMaxCyclesTruncates(t *testing.T) {
+	cfg := smallCfg(config.Baseline())
+	cfg.MaxCycles = 500
+	m, err := RunWorkload(cfg, tinyWorkload(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated {
+		t.Fatal("500-cycle budget must truncate")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.L2.NumBanks = 7
+	if _, err := New(cfg, tinyWorkload(t)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New(config.Baseline(), nil); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestCoreClockScalingChangesWallPerf(t *testing.T) {
+	// Raising the core clock with fixed memory clocks must change wall-
+	// clock performance by less than the clock ratio for a memory-bound
+	// kernel (the Fig. 11 effect).
+	wl := tinyWorkload(t)
+	base := mustRun(t, smallCfg(config.Baseline()), wl)
+	fast := mustRun(t, smallCfg(config.WithCoreClock(config.Baseline(), 1680)), wl)
+	ratio := fast.PerfIPS / base.PerfIPS
+	if ratio > 1.2 {
+		t.Fatalf("perf scaled by %.2f with a 1.2× clock on a memory-bound kernel", ratio)
+	}
+}
+
+func TestAsymmetricCrossbarRuns(t *testing.T) {
+	wl := tinyWorkload(t)
+	for _, cfg := range []config.Config{
+		config.CostEffective16x48(),
+		config.CostEffective16x68(),
+		config.CostEffective32x52(),
+		config.AsymmetricOnly(),
+		config.HBM(),
+	} {
+		m := mustRun(t, smallCfg(cfg), wl)
+		if m.Instructions == 0 {
+			t.Fatalf("%s issued nothing", cfg.Name)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/trace"
+)
+
+// TestUncongestedLatencyCalibration checks the minimum access latencies the
+// paper quotes: ~120 core cycles to the L2 and ~100 more to DRAM (§II-A).
+func TestUncongestedLatencyCalibration(t *testing.T) {
+	// One warp on one core issuing one dependent load at a time: no
+	// congestion anywhere.
+	// A 24 KB working set exceeds the 16 KB L1 (so loads keep reaching
+	// the L2) but revisits lines often enough to produce L2 hits.
+	wl, err := trace.Spec{
+		Name: "ping", Iters: 400,
+		LoadsPerIter: 1, ALUPerIter: 1, DepDist: 0,
+		Pattern: trace.PatRandomWS, WorkingSetKB: 24,
+		WarpsPerCore: 1, Seed: 3,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Baseline()
+	cfg.Core.NumCores = 1
+	m, err := RunWorkload(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uncongested: AML=%.0f L2AHL=%.0f", m.AML, m.L2AHL)
+	if m.L2AHL < 100 || m.L2AHL > 145 {
+		t.Errorf("uncongested L2 hit latency = %.0f core cycles, want ≈120", m.L2AHL)
+	}
+	// AML mixes L2 hits and misses; with ~50%% hits it should sit between
+	// 120 and 220.
+	if m.AML < m.L2AHL || m.AML > 235 {
+		t.Errorf("uncongested AML = %.0f, want in (L2AHL, 235]", m.AML)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"gpumembw/internal/config"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/stats"
+)
+
+// Metrics aggregates every quantity the paper reports for one simulation.
+type Metrics struct {
+	Benchmark string
+	Config    string
+
+	Cycles       int64   // core-clock cycles until the last core drained
+	Instructions int64   // warp instructions issued, summed over cores
+	IPC          float64 // Instructions / Cycles (whole GPU)
+	WallSeconds  float64 // Cycles at the configured core clock
+	PerfIPS      float64 // Instructions per second — comparable across clocks
+
+	// Fig. 1: fraction of active core cycles with no instruction issued,
+	// and the two latency series (in core cycles).
+	IssueStallFrac float64
+	AML            float64 // average memory (L1-miss round-trip) latency
+	L2AHL          float64 // average latency of misses served by the L2
+
+	// Fig. 7: issue-stall distribution.
+	IssueStalls *stats.Breakdown
+	// Fig. 9: L1 stall distribution.
+	L1Stalls *stats.Breakdown
+	// Fig. 8: L2 stall distribution.
+	L2Stalls *stats.Breakdown
+
+	// Figs. 4 and 5: occupancy histograms over usage lifetime.
+	L2AccessOcc  stats.OccupancyHist
+	DRAMSchedOcc stats.OccupancyHist
+
+	L1MissRate float64
+	L2MissRate float64
+
+	// §IV-B1 and §VI-A3.
+	DRAMBandwidthEff float64
+	DRAMRowHitRate   float64
+
+	ReqNetUtil   float64
+	ReplyNetUtil float64
+
+	Truncated bool // MaxCycles elapsed before the workload drained
+}
+
+// Speedup returns m's performance relative to base, using wall-clock
+// throughput so configurations with different core clocks (Fig. 11)
+// compare correctly.
+func (m Metrics) Speedup(base Metrics) float64 {
+	if base.PerfIPS == 0 {
+		return 0
+	}
+	return m.PerfIPS / base.PerfIPS
+}
+
+func (g *GPU) collect() Metrics {
+	m := Metrics{
+		Benchmark:   g.wl.Name,
+		Config:      g.cfg.Name,
+		Cycles:      g.cycle,
+		IssueStalls: stats.NewBreakdown(smcore.IssueStallLabels...),
+		L1Stalls:    stats.NewBreakdown(smcore.L1StallLabels...),
+		L2Stalls:    stats.NewBreakdown("bp-ICNT", "port", "cache", "mshr", "bp-DRAM"),
+		Truncated:   g.truncated,
+	}
+
+	var activeCycles, stallCycles int64
+	var aml, ahl stats.LatencySampler
+	var l1Acc, l1Miss int64
+	for _, c := range g.cores {
+		s := &c.Stats
+		m.Instructions += s.Issued
+		activeCycles += s.Cycles
+		stallCycles += s.IssueStallCycles()
+		for i, v := range s.IssueStalls {
+			m.IssueStalls.Add(i, v)
+		}
+		for i, v := range s.L1Stalls {
+			m.L1Stalls.Add(i, v)
+		}
+		aml.Merge(&s.AML)
+		ahl.Merge(&s.L2AHL)
+		l1Acc += s.L1Accesses
+		l1Miss += s.L1Misses + s.L1Merged
+	}
+	if m.Cycles > 0 {
+		m.IPC = float64(m.Instructions) / float64(m.Cycles)
+	}
+	m.WallSeconds = float64(m.Cycles) / (g.cfg.Core.ClockMHz * 1e6)
+	if m.WallSeconds > 0 {
+		m.PerfIPS = float64(m.Instructions) / m.WallSeconds
+	}
+	m.IssueStallFrac = stats.Ratio(stallCycles, activeCycles)
+	m.AML = aml.Mean()
+	m.L2AHL = ahl.Mean()
+	m.L1MissRate = stats.Ratio(l1Miss, l1Acc)
+
+	// Memory-side statistics exist only for the detailed hierarchy.
+	var l2Acc, l2Miss int64
+	var busBusy, pending int64
+	var reads, writes, acts int64
+	for _, p := range g.parts {
+		for _, b := range p.Banks {
+			bs := &b.Stats
+			l2Acc += bs.Accesses
+			l2Miss += bs.Misses + bs.Merged
+			// StallCycles[0] is StallNone; causes start at 1.
+			for cause := 1; cause < len(bs.StallCycles); cause++ {
+				m.L2Stalls.Add(cause-1, bs.StallCycles[cause])
+			}
+			m.L2AccessOcc.Merge(&bs.AccessOccupancy)
+		}
+		ds := &p.DRAM.Stats
+		m.DRAMSchedOcc.Merge(&ds.SchedOccupancy)
+		busBusy += ds.BusBusyCycles
+		pending += ds.PendingCycles
+		reads += ds.Reads
+		writes += ds.Writes
+		acts += ds.Activates
+	}
+	m.L2MissRate = stats.Ratio(l2Miss, l2Acc)
+	m.DRAMBandwidthEff = stats.Ratio(busBusy, pending)
+	if total := reads + writes; total > 0 {
+		hits := total - acts
+		if hits < 0 {
+			hits = 0
+		}
+		m.DRAMRowHitRate = stats.Ratio(hits, total)
+	}
+	if g.req != nil {
+		m.ReqNetUtil = g.req.Stats.Utilization(g.cfg.L2.NumBanks)
+		m.ReplyNetUtil = g.reply.Stats.Utilization(g.cfg.Core.NumCores)
+	}
+	return m
+}
+
+// RunWorkload is the package's one-call entry point: build a GPU for cfg
+// and wl, run it, and return the metrics.
+func RunWorkload(cfg config.Config, wl *smcore.Workload) (Metrics, error) {
+	g, err := New(cfg, wl)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return g.Run()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/trace"
+)
+
+// TestNoDeadlockWithTinyQueues shrinks every queue in the hierarchy to its
+// minimum and checks the system still drains — the classic failure mode of
+// backpressure protocols is a reservation cycle that deadlocks.
+func TestNoDeadlockWithTinyQueues(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Core.NumCores = 3
+	cfg.Core.MemPipelineWidth = 2
+	cfg.L1.MissQueueEntries = 1
+	cfg.L1.MSHREntries = 2
+	cfg.L1.MSHRMaxMerge = 2
+	cfg.L1.ResponseFIFO = 1
+	cfg.Icnt.InputBufFlits = 5 // one reply packet
+	cfg.Icnt.OutputBufPackets = 1
+	cfg.L2.AccessQueueEntries = 1
+	cfg.L2.MissQueueEntries = 2 // a miss may need a write-back slot too
+	cfg.L2.MSHREntries = 2
+	cfg.L2.ResponseQueueEntries = 1
+	cfg.DRAM.SchedQueueEntries = 1
+	cfg.DRAM.ReturnQueueEntries = 1
+	cfg.MaxCycles = 3_000_000
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	wl, err := trace.Spec{
+		Name: "tiny-queues", Iters: 4,
+		LoadsPerIter: 3, StoresPerIter: 1, ALUPerIter: 2,
+		DepDist: 1, Pattern: trace.PatRandomWS, WorkingSetKB: 512,
+		WarpsPerCore: 6, Seed: 42,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunWorkload(cfg, wl)
+	if err != nil {
+		t.Fatalf("deadlock or livelock with minimal queues: %v", err)
+	}
+	if m.Truncated {
+		t.Fatal("run truncated — throughput collapse with minimal queues")
+	}
+}
+
+// TestRandomConfigurationsDrain fuzzes queue sizes and workload shapes,
+// checking every combination completes with conserved instruction counts.
+func TestRandomConfigurationsDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing skipped in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lines := 1 + rng.Intn(4)
+		cfg := config.Baseline()
+		cfg.Core.NumCores = 1 + rng.Intn(3)
+		cfg.Core.WarpsPerCore = 1 + rng.Intn(8)
+		// The LSU must hold at least one whole coalesced instruction,
+		// or that instruction can never issue.
+		cfg.Core.MemPipelineWidth = lines + rng.Intn(12)
+		cfg.L1.MissQueueEntries = 1 + rng.Intn(8)
+		cfg.L1.MSHREntries = 2 + rng.Intn(30)
+		cfg.L2.AccessQueueEntries = 1 + rng.Intn(8)
+		cfg.L2.MissQueueEntries = 2 + rng.Intn(8)
+		cfg.L2.ResponseQueueEntries = 1 + rng.Intn(8)
+		cfg.L2.MSHREntries = 2 + rng.Intn(30)
+		cfg.DRAM.SchedQueueEntries = 1 + rng.Intn(16)
+		cfg.DRAM.ReturnQueueEntries = 1 + rng.Intn(8)
+		cfg.MaxCycles = 3_000_000
+		if err := cfg.Validate(); err != nil {
+			return false
+		}
+		patterns := []trace.Pattern{trace.PatStream, trace.PatStrided, trace.PatRandomWS, trace.PatHotShared, trace.PatTiled}
+		spec := trace.Spec{
+			Name:  "fuzz",
+			Iters: 1 + rng.Intn(4),
+			LoadsPerIter:  1 + rng.Intn(4),
+			StoresPerIter: rng.Intn(3),
+			ALUPerIter:    1 + rng.Intn(6),
+			DepDist:       rng.Intn(4),
+			Pattern:       patterns[rng.Intn(len(patterns))],
+			LinesPerAccess: lines,
+			WorkingSetKB:  64 + rng.Intn(512),
+			SharedKB:      8 + rng.Intn(64),
+			SharedFrac:    float64(rng.Intn(80)) / 100,
+			WarpsPerCore:  1 + rng.Intn(6),
+			Seed:          uint64(seed),
+		}
+		wl, err := spec.Build()
+		if err != nil {
+			return false
+		}
+		m, err := RunWorkload(cfg, wl)
+		if err != nil || m.Truncated {
+			t.Logf("seed %d: err=%v truncated=%v", seed, err, m.Truncated)
+			return false
+		}
+		warps := cfg.Core.WarpsPerCore
+		if spec.WarpsPerCore < warps {
+			warps = spec.WarpsPerCore
+		}
+		want := int64(cfg.Core.NumCores) * int64(warps) * wl.Program.TotalInsts()
+		if m.Instructions != want {
+			t.Logf("seed %d: instructions %d want %d", seed, m.Instructions, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackpressureMonotonicity: growing the L2 access queue must not
+// degrade performance for a congested workload (sanity of queue modelling).
+func TestBackpressureMonotonicity(t *testing.T) {
+	wl, err := trace.Spec{
+		Name: "mono", Iters: 8,
+		LoadsPerIter: 6, ALUPerIter: 4, DepDist: 2,
+		Pattern: trace.PatRandomWS, WorkingSetKB: 512,
+		WarpsPerCore: 12, Seed: 5,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(entries int) float64 {
+		cfg := config.Baseline()
+		cfg.Core.NumCores = 4
+		cfg.L2.AccessQueueEntries = entries
+		m, err := RunWorkload(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.PerfIPS
+	}
+	small, big := run(2), run(64)
+	if big < small*0.95 {
+		t.Fatalf("bigger access queues slowed the system: %.0f vs %.0f", big, small)
+	}
+}

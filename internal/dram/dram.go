@@ -1,0 +1,339 @@
+// Package dram models one GDDR5 channel per memory partition: an FR-FCFS
+// scheduler queue, per-bank row-buffer state machines governed by the Table I
+// timing constraints, a shared command bus (one command per command-clock
+// cycle) and a shared data bus whose occupancy yields the paper's
+// "bandwidth efficiency" metric (§IV-B1).
+//
+// The package also implements the paper's idealized DRAM (P_DRAM): a fixed
+// latency, infinite-bandwidth pipe with no scheduler-queue limit.
+package dram
+
+import (
+	"gpumembw/internal/config"
+	"gpumembw/internal/mem"
+	"gpumembw/internal/stats"
+)
+
+// AddrMap translates line addresses to DRAM coordinates. Lines interleave
+// across partitions first (maximizing channel parallelism), then across
+// columns within a row (so streams get row-buffer hits), then banks.
+type AddrMap struct {
+	lineBytes     uint64
+	numPartitions uint64
+	linesPerRow   uint64
+	numBanks      uint64
+}
+
+// NewAddrMap builds the address map used by every channel of a configuration.
+func NewAddrMap(cfg *config.Config) AddrMap {
+	lpr := uint64(cfg.DRAM.RowBytes / cfg.L2.LineBytes)
+	if lpr == 0 {
+		lpr = 1
+	}
+	return AddrMap{
+		lineBytes:     uint64(cfg.L2.LineBytes),
+		numPartitions: uint64(cfg.DRAM.NumPartitions),
+		linesPerRow:   lpr,
+		numBanks:      uint64(cfg.DRAM.BanksPerChip),
+	}
+}
+
+// Partition returns the memory partition owning addr.
+func (m AddrMap) Partition(addr uint64) int {
+	return int(addr / m.lineBytes % m.numPartitions)
+}
+
+// BankRow returns the bank and row of addr within its partition.
+func (m AddrMap) BankRow(addr uint64) (bank int, row int64) {
+	idx := addr / m.lineBytes / m.numPartitions
+	bank = int(idx / m.linesPerRow % m.numBanks)
+	row = int64(idx / (m.linesPerRow * m.numBanks))
+	return bank, row
+}
+
+type bankState struct {
+	openRow  int64 // -1 when precharged
+	actReady int64 // earliest cycle an ACTIVATE may issue
+	casReady int64 // earliest cycle a column command may issue
+	preReady int64 // earliest cycle a PRECHARGE may issue
+}
+
+type inflight struct {
+	fetch *mem.Fetch
+	done  int64 // command-clock cycle when the data burst completes
+}
+
+// Stats aggregates per-channel DRAM statistics.
+type Stats struct {
+	Reads           int64
+	Writes          int64
+	Activates       int64
+	Precharges      int64
+	BusBusyCycles   int64 // command-clock cycles the data bus carried data
+	PendingCycles   int64 // cycles with work queued or in flight
+	SchedOccupancy  stats.OccupancyHist
+	ReturnOccupancy stats.OccupancyHist
+}
+
+// BandwidthEfficiency is the ratio of data-transfer time to the time the
+// channel had pending requests — 100% means the DRAM always ran at peak
+// throughput (the paper measures 41% average, 65% max).
+func (s *Stats) BandwidthEfficiency() float64 {
+	return stats.Ratio(s.BusBusyCycles, s.PendingCycles)
+}
+
+// RowHitRate is the fraction of column accesses served without a row
+// activation (an access needing an ACTIVATE is a row miss).
+func (s *Stats) RowHitRate() float64 {
+	total := s.Reads + s.Writes
+	hits := total - s.Activates
+	if hits < 0 {
+		hits = 0
+	}
+	return stats.Ratio(hits, total)
+}
+
+// Channel is one memory partition's DRAM channel.
+type Channel struct {
+	id    int
+	cfg   *config.Config
+	amap  AddrMap
+	sched *mem.Queue[*mem.Fetch]
+	ret   *mem.Queue[*mem.Fetch]
+	banks []bankState
+
+	now          int64 // command-clock cycle count
+	busBusyUntil int64 // data bus reserved through this cycle (exclusive)
+	nextCAS      int64 // earliest next column command (tCCD)
+	nextAct      int64 // earliest next ACTIVATE on any bank (tRRD)
+	readAfter    int64 // earliest read CAS after a write burst (tCDLR)
+	burst        int64 // data-bus cycles per line
+	retReserved  int   // return-queue slots promised to in-flight reads
+
+	inflight []inflight
+
+	// Infinite mode (P_DRAM) state: responses release after a fixed delay.
+	infinite    bool
+	infiniteLat int64 // in command-clock cycles
+
+	Stats Stats
+}
+
+// NewChannel builds the DRAM channel for partition id.
+func NewChannel(id int, cfg *config.Config) *Channel {
+	ch := &Channel{
+		id:    id,
+		cfg:   cfg,
+		amap:  NewAddrMap(cfg),
+		burst: int64(cfg.DRAMBurstCycles()),
+	}
+	if cfg.DRAM.Infinite {
+		ch.infinite = true
+		// InfiniteLatency is expressed in core cycles; convert.
+		ch.infiniteLat = int64(float64(cfg.DRAM.InfiniteLatency) * cfg.DRAM.ClockMHz / cfg.Core.ClockMHz)
+		ch.sched = mem.NewQueue[*mem.Fetch](0)
+		ch.ret = mem.NewQueue[*mem.Fetch](0)
+		return ch
+	}
+	ch.sched = mem.NewQueue[*mem.Fetch](cfg.DRAM.SchedQueueEntries)
+	ch.ret = mem.NewQueue[*mem.Fetch](cfg.DRAM.ReturnQueueEntries)
+	ch.banks = make([]bankState, cfg.DRAM.BanksPerChip)
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+// Full reports whether the scheduler queue cannot accept another request.
+// A full scheduler queue is what backs up the L2 miss queue (bp-DRAM).
+func (c *Channel) Full() bool { return c.sched.Full() }
+
+// QueueLen returns the current scheduler-queue occupancy.
+func (c *Channel) QueueLen() int { return c.sched.Len() }
+
+// Idle reports whether the channel holds no queued, in-flight or
+// unconsumed work.
+func (c *Channel) Idle() bool {
+	return c.sched.Empty() && len(c.inflight) == 0 && c.ret.Empty()
+}
+
+// Push enqueues a request. It returns false when the scheduler queue is
+// full. In infinite mode the request completes after the fixed latency.
+func (c *Channel) Push(f *mem.Fetch) bool {
+	if c.infinite {
+		if f.Type == mem.DataRead || f.Type == mem.InstRead {
+			c.inflight = append(c.inflight, inflight{fetch: f, done: c.now + c.infiniteLat})
+			c.Stats.Reads++
+		} else {
+			c.Stats.Writes++
+		}
+		return true
+	}
+	return c.sched.Push(f)
+}
+
+// PopResponse removes the oldest completed read, if any.
+func (c *Channel) PopResponse() (*mem.Fetch, bool) {
+	return c.ret.Pop()
+}
+
+// PeekResponse returns the oldest completed read without removing it.
+func (c *Channel) PeekResponse() (*mem.Fetch, bool) { return c.ret.Peek() }
+
+// Tick advances the channel by one command-clock cycle.
+func (c *Channel) Tick() {
+	c.now++
+	if c.infinite {
+		c.completeInfinite()
+		return
+	}
+
+	// Retire finished bursts into the return queue (slots were reserved
+	// at CAS issue, so the pushes cannot fail).
+	c.completeBursts()
+
+	busy := !c.sched.Empty() || len(c.inflight) > 0
+	if busy {
+		c.Stats.PendingCycles++
+		if c.busBusyUntil > c.now {
+			c.Stats.BusBusyCycles++
+		}
+	}
+	c.Stats.SchedOccupancy.Observe(c.sched.Len(), c.sched.Cap())
+	c.Stats.ReturnOccupancy.Observe(c.ret.Len(), c.ret.Cap())
+
+	if c.sched.Empty() {
+		return
+	}
+	// FR-FCFS: first ready column access (row hit), else oldest request
+	// drives a row activation/precharge. One command per cycle.
+	if c.issueReadyCAS() {
+		return
+	}
+	c.issueRowCommand()
+}
+
+func (c *Channel) completeInfinite() {
+	n := 0
+	for _, fl := range c.inflight {
+		if fl.done <= c.now {
+			c.ret.Push(fl.fetch)
+		} else {
+			c.inflight[n] = fl
+			n++
+		}
+	}
+	c.inflight = c.inflight[:n]
+}
+
+func (c *Channel) completeBursts() {
+	n := 0
+	for _, fl := range c.inflight {
+		if fl.done <= c.now {
+			if !c.ret.Push(fl.fetch) {
+				// Cannot happen: the slot was reserved at CAS issue.
+				panic("dram: return queue overflow despite reservation")
+			}
+			c.retReserved-- // reservation converts into a real slot
+		} else {
+			c.inflight[n] = fl
+			n++
+		}
+	}
+	c.inflight = c.inflight[:n]
+}
+
+// issueReadyCAS scans the scheduler queue oldest-first for a request whose
+// row is open and whose column command can issue now. Returns true if a
+// command was issued.
+func (c *Channel) issueReadyCAS() bool {
+	if c.nextCAS > c.now {
+		return false
+	}
+	for i := 0; i < c.sched.Len(); i++ {
+		f := c.sched.At(i)
+		bank, row := c.amap.BankRow(f.Addr)
+		b := &c.banks[bank]
+		if b.openRow != row || b.casReady > c.now {
+			continue
+		}
+		isRead := f.Type.NeedsReply()
+		if isRead {
+			if c.readAfter > c.now {
+				continue
+			}
+			// Reserve a return-queue slot so the completed burst
+			// can always retire.
+			if c.ret.Cap() > 0 && c.ret.Len()+c.retReserved >= c.ret.Cap() {
+				continue
+			}
+		}
+		// Data bus must be free when this burst starts.
+		t := c.cfg.DRAM.Timing
+		var dataStart int64
+		if isRead {
+			dataStart = c.now + int64(t.CL)
+		} else {
+			dataStart = c.now + int64(t.WL)
+		}
+		if c.busBusyUntil > dataStart {
+			continue
+		}
+		c.sched.RemoveAt(i)
+		dataEnd := dataStart + c.burst
+		c.busBusyUntil = dataEnd
+		c.nextCAS = c.now + int64(t.CCD)
+		if isRead {
+			c.Stats.Reads++
+			c.retReserved++
+			// CtrlLatency models the controller/PHY pipeline between the
+			// burst completing and the fill reaching the L2.
+			c.inflight = append(c.inflight, inflight{fetch: f, done: dataEnd + int64(c.cfg.DRAM.CtrlLatency)})
+		} else {
+			c.Stats.Writes++
+			c.readAfter = dataEnd + int64(t.CDLR)
+			b.preReady = maxI64(b.preReady, dataEnd+int64(t.WR))
+		}
+		return true
+	}
+	return false
+}
+
+// issueRowCommand advances the oldest request that needs its row opened:
+// precharge a conflicting open row, or activate the needed row.
+func (c *Channel) issueRowCommand() {
+	t := c.cfg.DRAM.Timing
+	for i := 0; i < c.sched.Len(); i++ {
+		f := c.sched.At(i)
+		bank, row := c.amap.BankRow(f.Addr)
+		b := &c.banks[bank]
+		if b.openRow == row {
+			continue // waiting on CAS timing only
+		}
+		if b.openRow >= 0 {
+			if b.preReady <= c.now {
+				b.openRow = -1
+				b.actReady = maxI64(b.actReady, c.now+int64(t.RP))
+				c.Stats.Precharges++
+				return
+			}
+			continue
+		}
+		if b.actReady <= c.now && c.nextAct <= c.now {
+			b.openRow = row
+			b.casReady = c.now + int64(t.RCD)
+			b.preReady = c.now + int64(t.RAS)
+			b.actReady = c.now + int64(t.RC)
+			c.nextAct = c.now + int64(t.RRD)
+			c.Stats.Activates++
+			return
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+// Package exp reproduces every table and figure of the paper's evaluation:
+// Fig. 1 (stalls and latencies), Table II (P∞, P_DRAM), Fig. 3 (latency
+// sweep), Figs. 4–5 (queue occupancy), Figs. 7–9 (stall taxonomies),
+// Fig. 10 (4× design-space exploration), Fig. 11 (core-frequency scaling),
+// Fig. 12 (cost-effective configurations) and the §VII-C area analysis.
+//
+// Each experiment returns structured rows and can render itself as an
+// aligned text table; cmd/paperfigs composes them into EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/trace"
+)
+
+// Runner executes simulations with memoization, so the 19 baseline runs
+// shared by Figs. 1, 4, 5, 7, 8, 9 (and the denominators of Figs. 10–12)
+// happen once.
+type Runner struct {
+	verbose   io.Writer // progress log, may be nil
+	cache     map[string]core.Metrics
+	workloads map[string]*smcore.Workload
+}
+
+// NewRunner builds a Runner. If progress is non-nil, one line is written
+// per simulation.
+func NewRunner(progress io.Writer) *Runner {
+	return &Runner{
+		verbose:   progress,
+		cache:     make(map[string]core.Metrics),
+		workloads: trace.Workloads(),
+	}
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(cfg config.Config, bench string) (core.Metrics, error) {
+	key := cfg.Name + "\x00" + bench + "\x00" + fmt.Sprint(cfg.Core.ClockMHz)
+	if m, ok := r.cache[key]; ok {
+		return m, nil
+	}
+	wl, ok := r.workloads[bench]
+	if !ok {
+		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q", bench)
+	}
+	if r.verbose != nil {
+		fmt.Fprintf(r.verbose, "running %s on %s...\n", bench, cfg.Name)
+	}
+	m, err := core.RunWorkload(cfg, wl)
+	if err != nil {
+		return m, fmt.Errorf("exp: %s on %s: %w", bench, cfg.Name, err)
+	}
+	if m.Truncated {
+		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", bench, cfg.Name, m.Cycles)
+	}
+	r.cache[key] = m
+	return m, nil
+}
+
+// Speedup runs bench on cfg and returns performance relative to baseline.
+func (r *Runner) Speedup(cfg config.Config, bench string) (float64, error) {
+	base, err := r.Run(config.Baseline(), bench)
+	if err != nil {
+		return 0, err
+	}
+	m, err := r.Run(cfg, bench)
+	if err != nil {
+		return 0, err
+	}
+	return m.Speedup(base), nil
+}
+
+// Benches returns the benchmark names in the Fig. 1 x-axis order.
+func Benches() []string { return trace.Fig1Names() }
+
+// Fig3Benches are the representative benchmarks of the latency sweep.
+func Fig3Benches() []string {
+	return []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
+}
+
+// Fig11Benches are the benchmarks of the frequency-scaling experiment.
+func Fig11Benches() []string {
+	return []string{"nn", "hybridsort", "sradv2", "bfs", "cfd", "leukocyte"}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// table writes an aligned text table.
+func table(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f0(x float64) string  { return fmt.Sprintf("%.0f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

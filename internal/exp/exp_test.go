@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"gpumembw/internal/config"
+)
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(nil)
+	m1, err := r.Run(config.InfiniteBW(), "leukocyte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Run(config.InfiniteBW(), "leukocyte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Cycles != m2.Cycles {
+		t.Fatal("memoized run differs")
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache size = %d, want 1", len(r.cache))
+	}
+}
+
+func TestRunnerUnknownBenchmark(t *testing.T) {
+	r := NewRunner(nil)
+	if _, err := r.Run(config.Baseline(), "nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSpeedupAgainstBaseline(t *testing.T) {
+	r := NewRunner(nil)
+	s, err := r.Speedup(config.InfiniteBW(), "sad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.5 || s > 5 {
+		t.Fatalf("sad P∞ speedup = %g, implausible", s)
+	}
+}
+
+func TestFig3SubsetShape(t *testing.T) {
+	// The latency sweep must be monotonically non-increasing (within
+	// noise) for a latency-sensitive benchmark.
+	r := NewRunner(nil)
+	pts, err := r.Fig3([]string{"dwt2d"}, []int{0, 400, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].NormIPC < pts[2].NormIPC {
+		t.Errorf("IPC at latency 0 (%.2f) below IPC at 800 (%.2f)", pts[0].NormIPC, pts[2].NormIPC)
+	}
+	if pts[0].NormIPC < 1 {
+		t.Errorf("zero-latency IPC %.2f below baseline", pts[0].NormIPC)
+	}
+}
+
+func TestBenchListsConsistent(t *testing.T) {
+	all := map[string]bool{}
+	for _, b := range Benches() {
+		all[b] = true
+	}
+	for _, b := range Fig3Benches() {
+		if !all[b] {
+			t.Errorf("Fig3 bench %q unknown", b)
+		}
+	}
+	for _, b := range Fig11Benches() {
+		if !all[b] {
+			t.Errorf("Fig11 bench %q unknown", b)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	table(&sb, []string{"a", "bb"}, [][]string{{"1", "2"}, {"3", "4"}})
+	out := sb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "4") {
+		t.Fatalf("table output wrong: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("want header+separator+2 rows, got %q", out)
+	}
+}
+
+func TestWriteTableIIIAndArea(t *testing.T) {
+	var sb strings.Builder
+	WriteTableIII(&sb)
+	if !strings.Contains(sb.String(), "16+48") {
+		t.Error("Table III missing cost-effective crossbar")
+	}
+	sb.Reset()
+	WriteArea(&sb, AreaAnalysis())
+	out := sb.String()
+	if !strings.Contains(out, "cost-effective-16+68") {
+		t.Error("area analysis missing 16+68")
+	}
+}
+
+func TestReportSectionsSelectable(t *testing.T) {
+	r := NewRunner(nil)
+	var sb strings.Builder
+	// tableI, tableIII and area need no simulation.
+	if err := r.Report(&sb, []string{"tableI", "tableIII", "area"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "Table III", "area overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Fig. 1") {
+		t.Error("unselected section rendered")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean of empty must be 0")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if maxOf([]float64{1, 5, 3}) != 5 {
+		t.Error("max wrong")
+	}
+}

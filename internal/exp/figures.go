@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/stats"
+	"gpumembw/internal/trace"
+)
+
+// Fig1Row is one bar group of Fig. 1: issue-stall percentage, average L2
+// hit latency and average memory latency on the baseline.
+type Fig1Row struct {
+	Bench     string
+	StallFrac float64
+	L2AHL     float64
+	AML       float64
+	DRAMEff   float64 // §IV-B1 companion series
+}
+
+// Fig1 measures stalls and latencies for every benchmark on the baseline.
+// Paper averages: 62% stall, 303-cycle L2-AHL, 452-cycle AML; DRAM
+// bandwidth efficiency 41% average, 65% max (stencil).
+func (r *Runner) Fig1() ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, b := range Benches() {
+		m, err := r.Run(config.Baseline(), b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1Row{
+			Bench: b, StallFrac: m.IssueStallFrac,
+			L2AHL: m.L2AHL, AML: m.AML, DRAMEff: m.DRAMBandwidthEff,
+		})
+	}
+	return rows, nil
+}
+
+// WriteFig1 renders Fig. 1 with an AVG row.
+func WriteFig1(w io.Writer, rows []Fig1Row) {
+	var out [][]string
+	var st, ahl, aml, eff []float64
+	for _, r := range rows {
+		out = append(out, []string{r.Bench, pct(r.StallFrac), f0(r.L2AHL), f0(r.AML), pct(r.DRAMEff)})
+		st = append(st, r.StallFrac)
+		ahl = append(ahl, r.L2AHL)
+		aml = append(aml, r.AML)
+		eff = append(eff, r.DRAMEff)
+	}
+	out = append(out, []string{"AVG", pct(mean(st)), f0(mean(ahl)), f0(mean(aml)), pct(mean(eff))})
+	fmt.Fprintln(w, "Fig. 1 — issue stalls, L2 average hit latency, average memory latency (baseline)")
+	fmt.Fprintln(w, "paper AVG: stall 62%, L2-AHL 303, AML 452; DRAM bandwidth efficiency avg 41%, max 65%")
+	table(w, []string{"bench", "stall", "L2-AHL", "AML", "dram-eff"}, out)
+}
+
+// TableIIRow compares measured P∞ / P_DRAM speedups with the paper's.
+type TableIIRow struct {
+	Bench       string
+	PInf        float64
+	PDRAM       float64
+	PaperPInf   float64
+	PaperPDRAM  float64
+}
+
+// TableII runs every benchmark under the two ideal memory systems.
+// Paper averages: P∞ 2.37×, P_DRAM 1.15×.
+func (r *Runner) TableII() ([]TableIIRow, error) {
+	paperInf := map[string]float64{}
+	paperDram := map[string]float64{}
+	var order []string
+	for _, b := range trace.Table() {
+		paperInf[b.Spec.Name] = b.PaperPInf
+		paperDram[b.Spec.Name] = b.PaperPDRAM
+		order = append(order, b.Spec.Name)
+	}
+	var rows []TableIIRow
+	for _, b := range order {
+		pinf, err := r.Speedup(config.InfiniteBW(), b)
+		if err != nil {
+			return nil, err
+		}
+		pdram, err := r.Speedup(config.InfiniteDRAM(), b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{
+			Bench: b, PInf: pinf, PDRAM: pdram,
+			PaperPInf: paperInf[b], PaperPDRAM: paperDram[b],
+		})
+	}
+	return rows, nil
+}
+
+// WriteTableII renders Table II with measured-vs-paper columns.
+func WriteTableII(w io.Writer, rows []TableIIRow) {
+	var out [][]string
+	var pi, pd, ppi, ppd []float64
+	for _, r := range rows {
+		out = append(out, []string{r.Bench, f2(r.PInf), f2(r.PaperPInf), f2(r.PDRAM), f2(r.PaperPDRAM)})
+		pi = append(pi, r.PInf)
+		pd = append(pd, r.PDRAM)
+		ppi = append(ppi, r.PaperPInf)
+		ppd = append(ppd, r.PaperPDRAM)
+	}
+	out = append(out, []string{"AVG", f2(mean(pi)), f2(mean(ppi)), f2(mean(pd)), f2(mean(ppd))})
+	fmt.Fprintln(w, "Table II — speedup with infinite-bandwidth memory (P∞) and infinite-bandwidth DRAM (P_DRAM)")
+	table(w, []string{"bench", "P∞", "paper", "P_DRAM", "paper"}, out)
+}
+
+// Fig3Point is one (benchmark, latency) → normalized-IPC sample.
+type Fig3Point struct {
+	Bench   string
+	Latency int
+	NormIPC float64
+}
+
+// Fig3Latencies is the default sweep of the fixed L1-miss-latency study.
+var Fig3Latencies = []int{0, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600, 650, 700, 750, 800}
+
+// Fig3 sweeps the fixed L1 miss latency for the representative benchmarks,
+// reporting IPC normalized to each benchmark's baseline.
+func (r *Runner) Fig3(benches []string, lats []int) ([]Fig3Point, error) {
+	if benches == nil {
+		benches = Fig3Benches()
+	}
+	if lats == nil {
+		lats = Fig3Latencies
+	}
+	var pts []Fig3Point
+	for _, b := range benches {
+		base, err := r.Run(config.Baseline(), b)
+		if err != nil {
+			return nil, err
+		}
+		for _, lat := range lats {
+			cfg := config.FixedL1MissLatency(lat)
+			cfg.Name = fmt.Sprintf("fixed-lat-%d", lat)
+			m, err := r.Run(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Fig3Point{Bench: b, Latency: lat, NormIPC: m.Speedup(base)})
+		}
+	}
+	return pts, nil
+}
+
+// WriteFig3 renders the sweep as one row per benchmark.
+func WriteFig3(w io.Writer, pts []Fig3Point, lats []int) {
+	if lats == nil {
+		lats = Fig3Latencies
+	}
+	header := []string{"bench"}
+	for _, l := range lats {
+		header = append(header, fmt.Sprint(l))
+	}
+	byBench := map[string]map[int]float64{}
+	var order []string
+	for _, p := range pts {
+		if byBench[p.Bench] == nil {
+			byBench[p.Bench] = map[int]float64{}
+			order = append(order, p.Bench)
+		}
+		byBench[p.Bench][p.Latency] = p.NormIPC
+	}
+	var out [][]string
+	for _, b := range order {
+		row := []string{b}
+		for _, l := range lats {
+			row = append(row, f2(byBench[b][l]))
+		}
+		out = append(out, row)
+	}
+	fmt.Fprintln(w, "Fig. 3 — IPC (normalized to baseline) vs fixed L1 miss latency")
+	fmt.Fprintln(w, "paper: plateau at small latencies, steep decline beyond; baseline crosses 1.0 well past the plateau")
+	table(w, header, out)
+}
+
+// OccupancyRow is one stacked bar of Fig. 4 or Fig. 5.
+type OccupancyRow struct {
+	Bench     string
+	Fractions [stats.OccupancyBuckets]float64
+}
+
+// Fig4 returns the L2 access-queue occupancy histograms (paper: queues
+// completely full for 46% of their usage lifetime on average).
+func (r *Runner) Fig4() ([]OccupancyRow, error) {
+	return r.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.L2AccessOcc })
+}
+
+// Fig5 returns the DRAM scheduler-queue occupancy histograms (paper: full
+// for 39% of usage lifetime on average).
+func (r *Runner) Fig5() ([]OccupancyRow, error) {
+	return r.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.DRAMSchedOcc })
+}
+
+func (r *Runner) occupancy(pick func(core.Metrics) stats.OccupancyHist) ([]OccupancyRow, error) {
+	var rows []OccupancyRow
+	for _, b := range Benches() {
+		m, err := r.Run(config.Baseline(), b)
+		if err != nil {
+			return nil, err
+		}
+		h := pick(m)
+		rows = append(rows, OccupancyRow{Bench: b, Fractions: h.Fractions()})
+	}
+	return rows, nil
+}
+
+// WriteOccupancy renders Fig. 4 or Fig. 5.
+func WriteOccupancy(w io.Writer, title, paperNote string, rows []OccupancyRow) {
+	var out [][]string
+	var full []float64
+	for _, r := range rows {
+		row := []string{r.Bench}
+		for _, f := range r.Fractions {
+			row = append(row, pct(f))
+		}
+		out = append(out, row)
+		full = append(full, r.Fractions[stats.OccupancyBuckets-1])
+	}
+	avg := []string{"AVG", "", "", "", "", pct(mean(full))}
+	out = append(out, avg)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, paperNote)
+	table(w, append([]string{"bench"}, stats.BucketLabels[:]...), out)
+}
+
+// BreakdownRow is one stacked bar of Figs. 7, 8 or 9.
+type BreakdownRow struct {
+	Bench     string
+	Labels    []string
+	Fractions []float64
+}
+
+// Fig7 returns the issue-stall distributions (paper AVG: str-MEM 71%,
+// data-MEM 15%, fetch 8%, data-ALU 5.5%, str-ALU 0.5%).
+func (r *Runner) Fig7() ([]BreakdownRow, error) {
+	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.IssueStalls })
+}
+
+// Fig8 returns the L2 stall distributions (paper AVG: bp-ICNT 42%,
+// bp-DRAM 35%, port 12%, cache 8%, mshr 3%).
+func (r *Runner) Fig8() ([]BreakdownRow, error) {
+	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L2Stalls })
+}
+
+// Fig9 returns the L1 stall distributions (paper AVG: bp-L2 48%,
+// mshr 41%, cache 11%).
+func (r *Runner) Fig9() ([]BreakdownRow, error) {
+	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L1Stalls })
+}
+
+func (r *Runner) breakdown(pick func(core.Metrics) *stats.Breakdown) ([]BreakdownRow, error) {
+	var rows []BreakdownRow
+	for _, b := range Benches() {
+		m, err := r.Run(config.Baseline(), b)
+		if err != nil {
+			return nil, err
+		}
+		bd := pick(m)
+		rows = append(rows, BreakdownRow{Bench: b, Labels: bd.Labels, Fractions: bd.Fractions()})
+	}
+	return rows, nil
+}
+
+// WriteBreakdown renders a stall-distribution figure with an AVG row.
+func WriteBreakdown(w io.Writer, title, paperNote string, rows []BreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	header := append([]string{"bench"}, rows[0].Labels...)
+	var out [][]string
+	sums := make([]float64, len(rows[0].Fractions))
+	for _, r := range rows {
+		row := []string{r.Bench}
+		for i, f := range r.Fractions {
+			row = append(row, pct(f))
+			sums[i] += f
+		}
+		out = append(out, row)
+	}
+	avg := []string{"AVG"}
+	for _, s := range sums {
+		avg = append(avg, pct(s/float64(len(rows))))
+	}
+	out = append(out, avg)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, paperNote)
+	table(w, header, out)
+}

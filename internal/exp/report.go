@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Section names accepted by Report.
+var Sections = []string{
+	"tableI", "fig1", "tableII", "fig3", "fig4", "fig5",
+	"fig7", "fig8", "fig9", "tableIII", "fig10", "fig11", "fig12", "area",
+}
+
+// Report runs the requested experiment sections (nil = all) and writes the
+// rendered tables to w. It is the engine behind cmd/paperfigs and
+// EXPERIMENTS.md.
+func (r *Runner) Report(w io.Writer, sections []string) error {
+	want := map[string]bool{}
+	if len(sections) == 0 {
+		for _, s := range Sections {
+			want[s] = true
+		}
+	} else {
+		for _, s := range sections {
+			want[s] = true
+		}
+	}
+	nl := func() { fmt.Fprintln(w) }
+
+	if want["tableI"] {
+		WriteTableI(w)
+		nl()
+	}
+	if want["fig1"] {
+		rows, err := r.Fig1()
+		if err != nil {
+			return err
+		}
+		WriteFig1(w, rows)
+		nl()
+	}
+	if want["tableII"] {
+		rows, err := r.TableII()
+		if err != nil {
+			return err
+		}
+		WriteTableII(w, rows)
+		nl()
+	}
+	if want["fig3"] {
+		pts, err := r.Fig3(nil, nil)
+		if err != nil {
+			return err
+		}
+		WriteFig3(w, pts, nil)
+		nl()
+	}
+	if want["fig4"] {
+		rows, err := r.Fig4()
+		if err != nil {
+			return err
+		}
+		WriteOccupancy(w, "Fig. 4 — L2 access-queue occupancy over usage lifetime",
+			"paper AVG: queues completely full 46% of usage lifetime", rows)
+		nl()
+	}
+	if want["fig5"] {
+		rows, err := r.Fig5()
+		if err != nil {
+			return err
+		}
+		WriteOccupancy(w, "Fig. 5 — DRAM scheduler-queue occupancy over usage lifetime",
+			"paper AVG: queues completely full 39% of usage lifetime", rows)
+		nl()
+	}
+	if want["fig7"] {
+		rows, err := r.Fig7()
+		if err != nil {
+			return err
+		}
+		WriteBreakdown(w, "Fig. 7 — issue-stall distribution",
+			"paper AVG: data-MEM 15%, data-ALU 5.5%, str-MEM 71%, str-ALU 0.5%, fetch 8%", rows)
+		nl()
+	}
+	if want["fig8"] {
+		rows, err := r.Fig8()
+		if err != nil {
+			return err
+		}
+		WriteBreakdown(w, "Fig. 8 — L2 stall distribution",
+			"paper AVG: bp-ICNT 42%, port 12%, cache 8%, mshr 3%, bp-DRAM 35%", rows)
+		nl()
+	}
+	if want["fig9"] {
+		rows, err := r.Fig9()
+		if err != nil {
+			return err
+		}
+		WriteBreakdown(w, "Fig. 9 — L1 stall distribution",
+			"paper AVG: cache 11%, mshr 41%, bp-L2 48%", rows)
+		nl()
+	}
+	if want["tableIII"] {
+		WriteTableIII(w)
+		nl()
+	}
+	if want["fig10"] {
+		rows, names, err := r.Fig10()
+		if err != nil {
+			return err
+		}
+		WriteSpeedups(w, "Fig. 10 — IPC with 4× bandwidth scaling (normalized to baseline)",
+			"paper AVG: L1 1.04, L2 1.59, DRAM 1.11, L1+L2 1.69, L2+DRAM 1.76, All 1.90", rows, names)
+		nl()
+	}
+	if want["fig11"] {
+		pts, err := r.Fig11()
+		if err != nil {
+			return err
+		}
+		WriteFig11(w, pts)
+		nl()
+	}
+	if want["fig12"] {
+		rows, names, err := r.Fig12()
+		if err != nil {
+			return err
+		}
+		WriteSpeedups(w, "Fig. 12 — IPC with cost-effective configurations (normalized to baseline)",
+			"paper AVG: 16+48 1.234, 16+68 1.29, 32+52 1.257, HBM 1.11; lavaMD drops 37% on 16+48", rows, names)
+		asym, err := r.AsymmetricOnlySpeedup()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "standalone 16+48 crossbar without queue scaling: %.3f (paper: 1.155)\n", asym)
+		nl()
+	}
+	if want["area"] {
+		WriteArea(w, AreaAnalysis())
+		nl()
+	}
+	return nil
+}
+
+// WriteTableI renders the baseline architecture parameters.
+func WriteTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I — baseline architecture (GTX 480 / Fermi class)")
+	rows := [][]string{
+		{"Cores", "15 SMs, GTO scheduler, 48 warps/SM"},
+		{"Clocks", "core 1.4 GHz; crossbar/L2 700 MHz; DRAM cmd 924 MHz"},
+		{"L1D", "16 KB, 128 B lines, 4-way, LRU, write-evict, 32 MSHRs, 8-entry miss queue"},
+		{"Interconnect", "crossbar, 32 B flits each direction"},
+		{"L2", "768 KB, 128 B lines, 8-way, write-back, 12 banks, 32 MSHRs, 8-entry miss queue, 32 B port, 8-entry access queue"},
+		{"DRAM", "GDDR5 924 MHz, FR-FCFS, 384-bit bus, 6 partitions, 16 banks/chip"},
+		{"DRAM timing", "CCD=2 RRD=6 RCD=12 RAS=28 RP=12 RC=40 CL=12 WL=4 CDLR=5 WR=12"},
+	}
+	table(w, []string{"component", "configuration"}, rows)
+}

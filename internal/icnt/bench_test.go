@@ -1,0 +1,45 @@
+package icnt
+
+import (
+	"testing"
+
+	"gpumembw/internal/mem"
+)
+
+// BenchmarkCrossbarSaturated measures flit throughput with all 15 cores
+// sending to 12 banks (the baseline request network under full load).
+func BenchmarkCrossbarSaturated(b *testing.B) {
+	n := NewNetwork("bench", 15, 12, 32, 8, 8, 8)
+	var id uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 15; s++ {
+			id++
+			n.Inject(&mem.Fetch{ID: id}, s, int(id)%12, 8)
+		}
+		n.Tick()
+		for d := 0; d < 12; d++ {
+			n.Pop(d)
+		}
+	}
+	b.ReportMetric(float64(n.Stats.FlitsTransferred)/float64(b.N), "flits/cycle")
+}
+
+// BenchmarkCrossbarReply measures the reply direction with 5-flit packets
+// (the 136 B load responses that congest the baseline).
+func BenchmarkCrossbarReply(b *testing.B) {
+	n := NewNetwork("bench-reply", 12, 15, 32, 16, 8, 8)
+	var id uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 12; s++ {
+			id++
+			n.Inject(&mem.Fetch{ID: id, SizeBytes: 128}, s, int(id)%15, 136)
+		}
+		n.Tick()
+		for d := 0; d < 15; d++ {
+			n.Pop(d)
+		}
+	}
+	b.ReportMetric(float64(n.Stats.PacketsDelivered)/float64(b.N), "packets/cycle")
+}

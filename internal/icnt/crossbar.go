@@ -1,0 +1,211 @@
+// Package icnt models the two crossbar networks of Fig. 2: a request
+// network carrying core→L2 packets and a reply network carrying L2→core
+// packets, both switching at flit granularity. The flit sizes are
+// independent, which is what enables the paper's asymmetric crossbars
+// (16+48, 16+68, 32+52 in §VII-B).
+//
+// The model is an input-queued wormhole crossbar: each source owns a bounded
+// injection FIFO; each destination owns a bounded ejection FIFO; every cycle
+// each output port accepts one flit, locking onto a packet until its tail
+// flit has crossed, with round-robin arbitration among competing sources.
+// Ejection-FIFO slots are reserved when a packet wins arbitration, so a full
+// sink propagates backpressure into the network and from there into the
+// senders' queues — the bp-ICNT and bp-L2 effects of Figs. 8 and 9.
+package icnt
+
+import (
+	"fmt"
+
+	"gpumembw/internal/mem"
+)
+
+// Packet is one network packet wrapping a memory fetch.
+type Packet struct {
+	Fetch *mem.Fetch
+	Src   int
+	Dst   int
+	Flits int   // total flits at this network's flit size
+	sent  int   // flits already transferred
+	ready int64 // earliest cycle the sink may consume it (pipeline latency)
+}
+
+// Stats aggregates per-network statistics.
+type Stats struct {
+	PacketsInjected  int64
+	PacketsDelivered int64
+	FlitsTransferred int64
+	BusyOutputCycles int64 // output-port cycles spent moving flits
+	Cycles           int64
+}
+
+// Utilization is the fraction of output-port bandwidth carrying flits.
+func (s *Stats) Utilization(outputs int) float64 {
+	if s.Cycles == 0 || outputs == 0 {
+		return 0
+	}
+	return float64(s.BusyOutputCycles) / float64(s.Cycles*int64(outputs))
+}
+
+// Network is one direction of the crossbar.
+type Network struct {
+	name      string
+	flitBytes int
+	latency   int64 // fixed traversal pipeline, in interconnect cycles
+
+	in  []*mem.Queue[*Packet] // per-source injection FIFOs
+	out []*mem.Queue[*Packet] // per-destination ejection FIFOs
+
+	inFlits  []int // flits resident in each injection FIFO
+	outResvd []int // ejection slots reserved by in-transfer packets
+	lockSrc  []int // output → source it is locked to (-1 if free)
+	rr       []int // output → round-robin arbitration pointer
+
+	inCap  int // injection capacity in flits
+	now    int64
+	unbounded bool
+
+	Stats Stats
+}
+
+// NewNetwork builds a crossbar direction with the given port counts,
+// flit size, per-source injection capacity (in flits), per-destination
+// ejection capacity (in packets) and fixed traversal latency (in
+// interconnect cycles). outCap ≤ 0 makes the ejection FIFOs unbounded.
+func NewNetwork(name string, sources, dests, flitBytes, inCapFlits, outCapPackets int, latency int) *Network {
+	n := &Network{
+		name:      name,
+		flitBytes: flitBytes,
+		latency:   int64(latency),
+		in:        make([]*mem.Queue[*Packet], sources),
+		out:       make([]*mem.Queue[*Packet], dests),
+		inFlits:   make([]int, sources),
+		outResvd:  make([]int, dests),
+		lockSrc:   make([]int, dests),
+		rr:        make([]int, dests),
+		inCap:     inCapFlits,
+		unbounded: outCapPackets <= 0,
+	}
+	for i := range n.in {
+		n.in[i] = mem.NewQueue[*Packet](0) // flit budget enforced separately
+	}
+	for i := range n.out {
+		n.out[i] = mem.NewQueue[*Packet](outCapPackets)
+		n.lockSrc[i] = -1
+	}
+	return n
+}
+
+// FlitBytes returns the network's flit size.
+func (n *Network) FlitBytes() int { return n.flitBytes }
+
+// CanInject reports whether a packet of the given byte size fits in
+// source src's injection FIFO. An empty FIFO always accepts one packet,
+// so oversized packets cannot deadlock narrow-flit networks.
+func (n *Network) CanInject(src, bytes int) bool {
+	if n.inCap <= 0 || n.in[src].Empty() {
+		return true
+	}
+	return n.inFlits[src]+mem.Flits(bytes, n.flitBytes) <= n.inCap
+}
+
+// Inject queues fetch for transfer from src to dst and reports whether it
+// was accepted. Callers should check CanInject first; Inject returns false
+// under the same conditions.
+func (n *Network) Inject(f *mem.Fetch, src, dst, bytes int) bool {
+	if !n.CanInject(src, bytes) {
+		return false
+	}
+	p := &Packet{Fetch: f, Src: src, Dst: dst, Flits: mem.Flits(bytes, n.flitBytes)}
+	n.in[src].Push(p)
+	n.inFlits[src] += p.Flits
+	n.Stats.PacketsInjected++
+	return true
+}
+
+// Peek returns the packet waiting at destination dst, if consumable this
+// cycle (its pipeline latency has elapsed).
+func (n *Network) Peek(dst int) (*Packet, bool) {
+	p, ok := n.out[dst].Peek()
+	if !ok || p.ready > n.now {
+		return nil, false
+	}
+	return p, true
+}
+
+// Pop consumes the packet waiting at destination dst.
+func (n *Network) Pop(dst int) (*Packet, bool) {
+	p, ok := n.Peek(dst)
+	if !ok {
+		return nil, false
+	}
+	n.out[dst].Pop()
+	n.Stats.PacketsDelivered++
+	return p, true
+}
+
+// Tick advances the crossbar one interconnect cycle: every output port
+// moves at most one flit from its locked (or newly arbitrated) source.
+func (n *Network) Tick() {
+	n.now++
+	n.Stats.Cycles++
+	for d := range n.out {
+		n.tickOutput(d)
+	}
+}
+
+func (n *Network) tickOutput(d int) {
+	src := n.lockSrc[d]
+	if src == -1 {
+		src = n.arbitrate(d)
+		if src == -1 {
+			return
+		}
+		// Reserve the ejection slot for the whole packet up front so the
+		// tail flit can always land.
+		n.lockSrc[d] = src
+		n.outResvd[d]++
+	}
+	p, ok := n.in[src].Peek()
+	if !ok || p.Dst != d {
+		// Cannot happen: a locked source keeps its head packet until the
+		// tail flit crosses.
+		panic(fmt.Sprintf("icnt %s: output %d locked to source %d with no matching head packet", n.name, d, src))
+	}
+	p.sent++
+	n.inFlits[src]--
+	n.Stats.FlitsTransferred++
+	n.Stats.BusyOutputCycles++
+	if p.sent >= p.Flits {
+		n.in[src].Pop()
+		n.lockSrc[d] = -1
+		n.outResvd[d]--
+		p.ready = n.now + n.latency
+		if !n.out[d].Push(p) {
+			panic(fmt.Sprintf("icnt %s: ejection overflow at output %d despite reservation", n.name, d))
+		}
+	}
+}
+
+// arbitrate picks the next source whose head packet targets output d,
+// round-robin from the last winner. It returns -1 when none is eligible or
+// the ejection FIFO has no unreserved slot.
+func (n *Network) arbitrate(d int) int {
+	if !n.unbounded && n.out[d].Len()+n.outResvd[d] >= n.out[d].Cap() {
+		return -1
+	}
+	numSrc := len(n.in)
+	for i := 0; i < numSrc; i++ {
+		s := (n.rr[d] + 1 + i) % numSrc
+		if p, ok := n.in[s].Peek(); ok && p.Dst == d && p.sent == 0 {
+			n.rr[d] = s
+			return s
+		}
+	}
+	return -1
+}
+
+// InFlight returns the number of packets currently inside the network
+// (injected but not yet consumed), used by drain checks in tests.
+func (n *Network) InFlight() int64 {
+	return n.Stats.PacketsInjected - n.Stats.PacketsDelivered
+}

@@ -1,0 +1,386 @@
+// Package l2 models the shared, banked L2 cache and the memory partitions
+// that tie L2 banks to their DRAM channel (Fig. 2 of the paper).
+//
+// Each bank owns the five structures whose contention the paper measures in
+// Fig. 8: the access queue fed by the request crossbar, the tag array with
+// allocate-on-miss reservations, the MSHR file, the miss queue draining into
+// the DRAM scheduler, the data port that serializes line transfers, and the
+// response queue feeding the reply crossbar. Every cycle the head of the
+// access queue cannot make progress is attributed to exactly one cause:
+// bp-ICNT (response queue full), port, mshr, cache (no replaceable line) or
+// bp-DRAM (miss queue backed up by the DRAM scheduler queue).
+package l2
+
+import (
+	"gpumembw/internal/cache"
+	"gpumembw/internal/config"
+	"gpumembw/internal/mem"
+	"gpumembw/internal/stats"
+)
+
+// StallCause labels why the L2 bank pipeline is blocked this cycle
+// (the categories of Fig. 8).
+type StallCause int
+
+const (
+	// StallNone means the bank made progress.
+	StallNone StallCause = iota
+	// StallBpICNT: the response queue is full because the reply crossbar
+	// cannot drain it fast enough.
+	StallBpICNT
+	// StallPort: the data port is busy with a line read or fill.
+	StallPort
+	// StallCache: no replaceable line — every way in the set is reserved
+	// by outstanding misses.
+	StallCache
+	// StallMSHR: no free MSHR entry (or merge capacity).
+	StallMSHR
+	// StallBpDRAM: the miss queue is full because the DRAM scheduler
+	// queue is full.
+	StallBpDRAM
+
+	numStallCauses
+)
+
+// StallLabels are the Fig. 8 legend names, indexed by StallCause-1.
+var StallLabels = []string{"bp-ICNT", "port", "cache", "mshr", "bp-DRAM"}
+
+// timedFetch pairs a fetch with the L2 cycle it becomes visible at the exit
+// of the bank pipeline (modelling tag/pipeline latency).
+type timedFetch struct {
+	fetch *mem.Fetch
+	ready int64
+}
+
+// BankStats aggregates per-bank statistics.
+type BankStats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64 // true misses sent toward DRAM
+	Merged    int64 // secondary misses merged into an MSHR entry
+	Writes    int64
+	Fills     int64
+	WriteBack int64
+
+	StallCycles     [numStallCauses]int64 // indexed by StallCause
+	AccessOccupancy stats.OccupancyHist   // the Fig. 4 histogram
+}
+
+// MissRate returns misses (including merges) over accesses.
+func (s *BankStats) MissRate() float64 {
+	return stats.Ratio(s.Misses+s.Merged, s.Accesses)
+}
+
+// Bank is one L2 cache bank.
+type Bank struct {
+	ID  int // global bank index
+	cfg *config.Config
+
+	tags *cache.TagArray
+	mshr *cache.MSHR[*mem.Fetch]
+
+	accessQ *mem.Queue[*mem.Fetch] // from the request crossbar
+	missQ   *mem.Queue[timedFetch] // toward the DRAM scheduler
+	respQ   *mem.Queue[timedFetch] // toward the reply crossbar
+
+	// fillPending holds the replies of the fill in flight: a fill with
+	// many merged requesters drains into the response queue one entry
+	// per cycle as slots free up, rather than demanding them all at once
+	// (which could never be satisfied on small response queues).
+	fillPending []*mem.Fetch
+	fillReady   int64
+
+	portBusyUntil int64
+	now           int64
+
+	portCycles int64 // port occupancy per line transfer
+	tagLat     int64
+
+	Stats BankStats
+}
+
+// NewBank builds L2 bank id for the given configuration.
+func NewBank(id int, cfg *config.Config) *Bank {
+	return &Bank{
+		ID:         id,
+		cfg:        cfg,
+		tags:       cache.NewTagArray(cfg.SetsPerL2Bank(), cfg.L2.Ways, cfg.L2.LineBytes, cfg.L2.NumBanks),
+		mshr:       cache.NewMSHR[*mem.Fetch](cfg.L2.MSHREntries, cfg.L2.MSHRMaxMerge),
+		accessQ:    mem.NewQueue[*mem.Fetch](cfg.L2.AccessQueueEntries),
+		missQ:      mem.NewQueue[timedFetch](cfg.L2.MissQueueEntries),
+		respQ:      mem.NewQueue[timedFetch](cfg.L2.ResponseQueueEntries),
+		portCycles: int64((cfg.L2.LineBytes + cfg.L2.DataPortBytes - 1) / cfg.L2.DataPortBytes),
+		tagLat:     int64(cfg.L2.TagLatency),
+	}
+}
+
+// CanAccept reports whether the access queue has room for a new request.
+func (b *Bank) CanAccept() bool { return !b.accessQ.Full() }
+
+// Accept enqueues a request arriving from the request crossbar.
+func (b *Bank) Accept(f *mem.Fetch) bool {
+	f.L2ArriveCycle = b.now
+	return b.accessQ.Push(f)
+}
+
+// AccessQueueLen returns the current access-queue occupancy (Fig. 4 data).
+func (b *Bank) AccessQueueLen() int { return b.accessQ.Len() }
+
+// CanFill reports whether a DRAM fill for f can be applied this cycle:
+// the data port must be free and the previous fill's replies fully drained.
+func (b *Bank) CanFill(f *mem.Fetch) bool {
+	return b.portBusyUntil <= b.now && len(b.fillPending) == 0
+}
+
+// Fill applies a DRAM fill: install the reserved line, release the MSHR
+// entry, and queue one reply per merged requester. The replies drain into
+// the response queue one per cycle as space allows.
+func (b *Bank) Fill(f *mem.Fetch) {
+	b.Stats.Fills++
+	b.tags.Fill(f.Addr)
+	b.portBusyUntil = b.now + b.portCycles
+	b.fillReady = b.now + b.portCycles
+	for _, w := range b.mshr.Release(f.Addr) {
+		if !w.Type.NeedsReply() {
+			continue
+		}
+		w.IsReply = true
+		w.L2Hit = false
+		w.SizeBytes = b.cfg.L2.LineBytes
+		b.fillPending = append(b.fillPending, w)
+	}
+}
+
+// drainFill moves one pending fill reply into the response queue.
+func (b *Bank) drainFill() {
+	if len(b.fillPending) == 0 || b.respQ.Full() {
+		return
+	}
+	if !b.respQ.Push(timedFetch{fetch: b.fillPending[0], ready: b.fillReady}) {
+		return
+	}
+	copy(b.fillPending, b.fillPending[1:])
+	b.fillPending = b.fillPending[:len(b.fillPending)-1]
+}
+
+// PopResponse returns the next reply packet ready for the reply crossbar.
+func (b *Bank) PopResponse() (*mem.Fetch, bool) {
+	tf, ok := b.respQ.Peek()
+	if !ok || tf.ready > b.now {
+		return nil, false
+	}
+	b.respQ.Pop()
+	return tf.fetch, true
+}
+
+// PeekResponse reports whether a reply packet is ready.
+func (b *Bank) PeekResponse() (*mem.Fetch, bool) {
+	tf, ok := b.respQ.Peek()
+	if !ok || tf.ready > b.now {
+		return nil, false
+	}
+	return tf.fetch, true
+}
+
+// PopMiss returns the next request ready for the DRAM scheduler queue.
+func (b *Bank) PopMiss() (*mem.Fetch, bool) {
+	tf, ok := b.missQ.Peek()
+	if !ok || tf.ready > b.now {
+		return nil, false
+	}
+	b.missQ.Pop()
+	return tf.fetch, true
+}
+
+// PeekMiss reports whether a miss request is ready for DRAM.
+func (b *Bank) PeekMiss() (*mem.Fetch, bool) {
+	tf, ok := b.missQ.Peek()
+	if !ok || tf.ready > b.now {
+		return nil, false
+	}
+	return tf.fetch, true
+}
+
+// Tick advances the bank one L2 cycle, processing at most the head of the
+// access queue and recording stall attribution when it is blocked.
+func (b *Bank) Tick() {
+	b.now++
+	b.drainFill()
+	b.Stats.AccessOccupancy.Observe(b.accessQ.Len(), b.accessQ.Cap())
+	f, ok := b.accessQ.Peek()
+	if !ok {
+		return
+	}
+	cause := b.process(f)
+	if cause == StallNone {
+		b.accessQ.Pop()
+		return
+	}
+	b.Stats.StallCycles[cause]++
+}
+
+// process attempts to service f, returning StallNone on success or the
+// blocking cause. It must only mutate state when it succeeds.
+func (b *Bank) process(f *mem.Fetch) StallCause {
+	switch f.Type {
+	case mem.DataRead, mem.InstRead:
+		return b.processRead(f)
+	case mem.DataWrite:
+		return b.processWrite(f)
+	default:
+		// Write-backs never travel core→L2.
+		return b.processWrite(f)
+	}
+}
+
+func (b *Bank) processRead(f *mem.Fetch) StallCause {
+	addr := b.tags.LineAddr(f.Addr)
+	switch b.tags.Probe(addr) {
+	case cache.Valid:
+		// Hit: occupy the port for one line time and emit the reply.
+		if b.portBusyUntil > b.now {
+			return StallPort
+		}
+		if b.respQ.Full() {
+			return StallBpICNT
+		}
+		b.tags.Access(addr)
+		b.portBusyUntil = b.now + b.portCycles
+		f.IsReply = true
+		f.L2Hit = true
+		f.SizeBytes = b.cfg.L2.LineBytes
+		b.respQ.Push(timedFetch{fetch: f, ready: b.now + b.tagLat + b.portCycles})
+		b.Stats.Accesses++
+		b.Stats.Hits++
+		return StallNone
+
+	case cache.Reserved:
+		// Secondary miss: merge with the outstanding fill.
+		if !b.mshr.CanAccept(addr) {
+			return StallMSHR
+		}
+		b.mshr.Allocate(addr, f)
+		b.Stats.Accesses++
+		b.Stats.Merged++
+		return StallNone
+
+	default: // miss
+		if !b.mshr.CanAccept(addr) {
+			return StallMSHR
+		}
+		if !b.tags.HasReplaceable(addr) {
+			return StallCache
+		}
+		// A dirty victim needs a second miss-queue slot for its
+		// write-back.
+		if b.missQ.Free() < 2 {
+			if b.missQ.Free() < 1 {
+				return StallBpDRAM
+			}
+			// Exactly one slot: only safe if the victim is clean; be
+			// conservative and wait (counts as DRAM backpressure).
+			return StallBpDRAM
+		}
+		res := b.mshr.Allocate(addr, f)
+		if res != cache.AllocNew {
+			panic("l2: unexpected MSHR state on primary miss: " + res.String())
+		}
+		victim, ok := b.tags.ReserveVictim(addr)
+		if !ok {
+			panic("l2: no victim despite HasReplaceable")
+		}
+		miss := &mem.Fetch{
+			ID:          f.ID,
+			Type:        mem.DataRead,
+			Addr:        addr,
+			CoreID:      f.CoreID,
+			PartitionID: f.PartitionID,
+			BankID:      b.ID,
+		}
+		b.missQ.Push(timedFetch{fetch: miss, ready: b.now + b.tagLat})
+		if victim.Valid && victim.Dirty {
+			b.pushWriteBack(victim.Addr)
+		}
+		b.Stats.Accesses++
+		b.Stats.Misses++
+		return StallNone
+	}
+}
+
+// processWrite implements the L2's write-back, write-allocate policy for
+// the (coalesced, full-line) stores the cores emit. Stores produce no
+// reply packets.
+func (b *Bank) processWrite(f *mem.Fetch) StallCause {
+	addr := b.tags.LineAddr(f.Addr)
+	switch b.tags.Probe(addr) {
+	case cache.Valid:
+		if b.portBusyUntil > b.now {
+			return StallPort
+		}
+		b.tags.MarkDirty(addr)
+		b.portBusyUntil = b.now + b.portCycles
+		b.Stats.Accesses++
+		b.Stats.Writes++
+		return StallNone
+
+	case cache.Reserved:
+		// The line is being filled for someone else; write through to
+		// DRAM to avoid ordering complexity (a rare case with the
+		// full-line stores the workloads generate).
+		if b.missQ.Full() {
+			return StallBpDRAM
+		}
+		b.missQ.Push(timedFetch{fetch: b.dramWrite(addr, f), ready: b.now + b.tagLat})
+		b.Stats.Accesses++
+		b.Stats.Writes++
+		return StallNone
+
+	default: // write miss: allocate without fetch (full-line store)
+		if b.portBusyUntil > b.now {
+			return StallPort
+		}
+		if !b.tags.HasReplaceable(addr) {
+			return StallCache
+		}
+		if b.missQ.Full() {
+			// The victim may be dirty and need a write-back slot.
+			return StallBpDRAM
+		}
+		victim, _ := b.tags.ReserveVictim(addr)
+		b.tags.Fill(addr)
+		b.tags.MarkDirty(addr)
+		b.portBusyUntil = b.now + b.portCycles
+		if victim.Valid && victim.Dirty {
+			b.pushWriteBack(victim.Addr)
+		}
+		b.Stats.Accesses++
+		b.Stats.Writes++
+		return StallNone
+	}
+}
+
+func (b *Bank) pushWriteBack(addr uint64) {
+	wb := &mem.Fetch{
+		Type:      mem.WriteBack,
+		Addr:      addr,
+		SizeBytes: b.cfg.L2.LineBytes,
+		CoreID:    -1,
+		BankID:    b.ID,
+	}
+	if !b.missQ.Push(timedFetch{fetch: wb, ready: b.now + b.tagLat}) {
+		panic("l2: miss queue overflow pushing write-back")
+	}
+	b.Stats.WriteBack++
+}
+
+func (b *Bank) dramWrite(addr uint64, orig *mem.Fetch) *mem.Fetch {
+	return &mem.Fetch{
+		ID:          orig.ID,
+		Type:        mem.WriteBack,
+		Addr:        addr,
+		SizeBytes:   b.cfg.L2.LineBytes,
+		CoreID:      orig.CoreID,
+		PartitionID: orig.PartitionID,
+		BankID:      b.ID,
+	}
+}

@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 4 || q.Free() != 0 {
+		t.Fatalf("full queue state wrong: len=%d free=%d", q.Len(), q.Free())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue[int](3)
+	next := 0
+	for round := 0; round < 10; round++ {
+		for q.Push(next) {
+			next++
+		}
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		want := next - q.Len() - 1
+		if v != want {
+			t.Fatalf("round %d: pop = %d, want %d", round, v, want)
+		}
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 1000; i++ {
+		if !q.Push(i) {
+			t.Fatalf("unbounded push %d rejected", i)
+		}
+	}
+	if q.Full() {
+		t.Fatal("unbounded queue reports full")
+	}
+	for i := 0; i < 1000; i++ {
+		if v, _ := q.Pop(); v != i {
+			t.Fatalf("pop = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestQueuePeekAndAt(t *testing.T) {
+	q := NewQueue[string](4)
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %q", v)
+	}
+	if q.At(0) != "a" || q.At(1) != "b" || q.At(2) != "c" {
+		t.Fatal("At returned wrong elements")
+	}
+	if q.Len() != 3 {
+		t.Fatal("peek/At must not consume")
+	}
+}
+
+func TestQueueRemoveAt(t *testing.T) {
+	q := NewQueue[int](8)
+	// Force a wrapped layout.
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	q.Push(6)
+	q.Push(7) // queue: 2 3 4 5 6 7
+	if v := q.RemoveAt(2); v != 4 {
+		t.Fatalf("RemoveAt(2) = %d, want 4", v)
+	}
+	want := []int{2, 3, 5, 6, 7}
+	for i, w := range want {
+		if got := q.At(i); got != w {
+			t.Fatalf("after RemoveAt, At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Remove head and tail.
+	if v := q.RemoveAt(0); v != 2 {
+		t.Fatalf("RemoveAt(0) = %d", v)
+	}
+	if v := q.RemoveAt(q.Len() - 1); v != 7 {
+		t.Fatalf("RemoveAt(last) = %d", v)
+	}
+}
+
+func TestQueueRemoveAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q := NewQueue[int](2)
+	q.Push(1)
+	q.RemoveAt(1)
+}
+
+// TestQueueAgainstReference drives a bounded queue with a random operation
+// sequence and checks it against a plain-slice reference model.
+func TestQueueAgainstReference(t *testing.T) {
+	f := func(capacity8 uint8, ops []uint8) bool {
+		capacity := int(capacity8%15) + 1
+		q := NewQueue[int](capacity)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				got := q.Push(next)
+				want := len(ref) < capacity
+				if got != want {
+					return false
+				}
+				if want {
+					ref = append(ref, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := q.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 2: // removeAt random
+				if len(ref) == 0 {
+					continue
+				}
+				i := int(op) % len(ref)
+				if q.RemoveAt(i) != ref[i] {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		for i, w := range ref {
+			if q.At(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package smcore
+
+import (
+	"testing"
+
+	"gpumembw/internal/config"
+)
+
+// BenchmarkCoreTick measures per-cycle core cost with 48 warps under a
+// fixed-latency memory (the scheduler/LSU fast paths).
+func BenchmarkCoreTick(b *testing.B) {
+	cfg := config.Baseline()
+	cfg.Mode = config.ModeFixedL1MissLat
+	cfg.FixedL1MissLatency = 200
+	wl := streamWorkload(4, 8, 1<<30) // effectively endless
+	c := NewCore(0, &cfg, wl, testFetchFn())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+	b.ReportMetric(float64(c.Stats.Issued)/float64(b.N), "insts/cycle")
+}
+
+// BenchmarkIssueScanStalled measures the worst-case scheduler scan: every
+// warp blocked on a data hazard (the dirty-flag fast path).
+func BenchmarkIssueScanStalled(b *testing.B) {
+	cfg := config.Baseline()
+	cfg.Mode = config.ModeFixedL1MissLat
+	cfg.FixedL1MissLatency = 1500 // park all warps for the whole benchmark
+	wl := &Workload{
+		Name: "stall",
+		Program: Program{Body: []Inst{
+			{Kind: OpLoad, Dest: 1, Src1: -1, Src2: -1},
+			{Kind: OpALU, Dest: 2, Src1: 1, Src2: -1},
+		}, Iters: 1 << 30, CodeBase: 1 << 40},
+		Addr: func(buf []uint64, coreID, warpID, iter, instIdx int) []uint64 {
+			return append(buf, uint64(warpID)<<20|uint64(iter)<<7)
+		},
+	}
+	c := NewCore(0, &cfg, wl, testFetchFn())
+	for i := 0; i < 500; i++ {
+		c.Tick() // park the warps
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick()
+	}
+}

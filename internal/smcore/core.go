@@ -1,0 +1,689 @@
+package smcore
+
+import (
+	"fmt"
+
+	"gpumembw/internal/cache"
+	"gpumembw/internal/config"
+	"gpumembw/internal/mem"
+	"gpumembw/internal/stats"
+)
+
+// Issue-stall categories, in the order of Fig. 7's legend.
+const (
+	StallDataMem = iota // data hazard on a pending load
+	StallDataALU        // data hazard on a pending arithmetic op
+	StallStrMem         // structural hazard in the memory pipeline
+	StallStrALU         // structural hazard in the arithmetic pipeline
+	StallFetch          // instruction buffers empty behind L1I misses
+	NumIssueStalls
+)
+
+// IssueStallLabels are the Fig. 7 legend names.
+var IssueStallLabels = []string{"data-MEM", "data-ALU", "str-MEM", "str-ALU", "fetch"}
+
+// L1 stall categories, in the order of Fig. 9's legend.
+const (
+	L1StallCache = iota // no replaceable line (all ways reserved)
+	L1StallMSHR         // MSHR entries or merge capacity exhausted
+	L1StallBpL2         // miss queue full: back pressure from L2
+	NumL1Stalls
+)
+
+// L1StallLabels are the Fig. 9 legend names.
+var L1StallLabels = []string{"cache", "mshr", "bp-L2"}
+
+// heavyALUInterval and latencies of the two arithmetic classes.
+const (
+	heavyALUInterval = 8
+	heavyALULatency  = 16
+)
+
+// ringSize bounds the completion ring; it must exceed every schedulable
+// in-core latency, including the largest Fig. 3 fixed miss latency (800).
+const ringSize = 2048
+
+const ibufCap = 2
+
+type warp struct {
+	id      int
+	fetched int64 // instructions brought into the i-buffer so far
+	issued  int64 // instructions issued so far
+	total   int64
+
+	// bodyIdx and iter track the issue position incrementally
+	// (bodyIdx == issued % len(body), iter == issued / len(body)).
+	bodyIdx int
+	iter    int
+	fetchIdx int // fetch position: fetched % len(body)
+
+	ibuf    [ibufCap]Inst
+	ibufLen int
+
+	pendingLoad uint64 // scoreboard: registers awaiting a load
+	pendingALU  uint64 // scoreboard: registers awaiting an ALU op
+	loadCount   [NumRegs]uint8
+
+	// addrCache memoizes the coalesced addresses of the instruction at
+	// issue position addrCacheFor, so a memory instruction blocked for
+	// hundreds of cycles does not regenerate them every scheduler scan.
+	addrCache    []uint64
+	addrCacheFor int64
+}
+
+func (w *warp) aliveForIssue() bool { return w.issued < w.total }
+
+// tx is one coalesced memory transaction in the LSU pipeline.
+type tx struct {
+	warpID int32
+	reg    int8 // destination register; -1 for stores
+	store  bool
+	line   uint64
+}
+
+const (
+	evtRegClear = iota
+	evtICacheFill
+)
+
+type ringEvt struct {
+	kind   uint8
+	isLoad bool
+	reg    int8
+	warpID int32
+	line   uint64
+}
+
+// NewFetchFn mints a routed memory fetch; the GPU provides it so the core
+// stays decoupled from the interconnect and address mapping.
+type NewFetchFn func(addr uint64, typ mem.AccessType, sizeBytes, coreID, warpID int, issueCycle int64) *mem.Fetch
+
+// InjectFn pushes a request packet into the request crossbar, returning
+// false when the injection port is full.
+type InjectFn func(f *mem.Fetch) bool
+
+// IdealLatencyFn returns the P∞ latency of a miss on addr (120 core cycles
+// for a functional-L2 hit, 220 for a miss).
+type IdealLatencyFn func(addr uint64) int64
+
+// CoreStats aggregates everything the paper measures at the core.
+type CoreStats struct {
+	Cycles int64 // active cycles, until the core drained
+	Issued int64
+
+	IssueStalls [NumIssueStalls]int64
+	L1Stalls    [NumL1Stalls]int64
+
+	L1Accesses int64
+	L1Hits     int64
+	L1Misses   int64
+	L1Merged   int64
+
+	IFetches   int64
+	IMisses    int64
+	StoresSent int64
+
+	AML   stats.LatencySampler // round-trip latency of every L1 miss
+	L2AHL stats.LatencySampler // round trip of misses served by the L2
+
+	MemQOcc stats.OccupancyHist
+}
+
+// IssueStallCycles returns the total stalled issue cycles.
+func (s *CoreStats) IssueStallCycles() int64 {
+	var t int64
+	for _, v := range s.IssueStalls {
+		t += v
+	}
+	return t
+}
+
+// L1MissRate returns misses (including merged) over L1 accesses.
+func (s *CoreStats) L1MissRate() float64 {
+	return stats.Ratio(s.L1Misses+s.L1Merged, s.L1Accesses)
+}
+
+// Core is one simulated SM.
+type Core struct {
+	ID  int
+	cfg *config.Config
+	wl  *Workload
+
+	warps   []warp
+	greedy  int32
+	fetchRR int
+
+	icache   *cache.TagArray
+	iPending map[uint64]bool
+	iMissQ   *mem.Queue[*mem.Fetch]
+
+	l1    *cache.TagArray
+	mshr  *cache.MSHR[tx]
+	missQ *mem.Queue[*mem.Fetch]
+	memQ  *mem.Queue[tx]
+
+	respFIFO *mem.Queue[*mem.Fetch]
+
+	ring     [ringSize][]ringEvt
+	now      int64
+	heavyBusyUntil int64
+	injectToggle   bool // alternate data/instruction miss injection
+
+	addrBuf []uint64
+
+	// regMasks[i] is the scoreboard mask of body instruction i,
+	// precomputed so the scheduler scan does no per-cycle bit assembly.
+	regMasks []uint64
+	// fetchable counts warps with i-buffer space and instructions left,
+	// letting fetchTick skip its scan when every buffer is full.
+	fetchable int
+	// issueDirty marks that core state changed since the last scheduler
+	// scan; while clear, a stalled scan would classify identically, so
+	// issueTick replays lastStall instead of rescanning every warp.
+	issueDirty bool
+	lastStall  int // cached classification; -1 when no stall was recorded
+
+	newFetch NewFetchFn
+	inject   InjectFn
+	idealLat IdealLatencyFn
+
+	done bool
+
+	Stats CoreStats
+}
+
+// NewCore builds SM id running the given workload. For ModeNormal the GPU
+// must wire Inject; for ModeInfiniteBW it must wire IdealLatency.
+func NewCore(id int, cfg *config.Config, wl *Workload, newFetch NewFetchFn) *Core {
+	nWarps := cfg.Core.WarpsPerCore
+	if wl.WarpsPerCore > 0 && wl.WarpsPerCore < nWarps {
+		nWarps = wl.WarpsPerCore
+	}
+	c := &Core{
+		ID:       id,
+		cfg:      cfg,
+		wl:       wl,
+		warps:    make([]warp, nWarps),
+		icache:   cache.NewTagArray(cfg.L1.ICacheSizeBytes/cfg.L1.LineBytes/cfg.L1.ICacheWays, cfg.L1.ICacheWays, cfg.L1.LineBytes, 1),
+		iPending: make(map[uint64]bool),
+		iMissQ:   mem.NewQueue[*mem.Fetch](cfg.L1.MissQueueEntries),
+		l1:       cache.NewTagArray(cfg.L1Sets(), cfg.L1.Ways, cfg.L1.LineBytes, 1),
+		mshr:     cache.NewMSHR[tx](cfg.L1.MSHREntries, cfg.L1.MSHRMaxMerge),
+		missQ:    mem.NewQueue[*mem.Fetch](cfg.L1.MissQueueEntries),
+		memQ:     mem.NewQueue[tx](cfg.Core.MemPipelineWidth),
+		respFIFO: mem.NewQueue[*mem.Fetch](cfg.L1.ResponseFIFO),
+		newFetch: newFetch,
+	}
+	total := wl.Program.TotalInsts()
+	for i := range c.warps {
+		c.warps[i] = warp{id: i, total: total, addrCacheFor: -1}
+	}
+	c.fetchable = len(c.warps)
+	c.issueDirty = true
+	c.lastStall = -1
+	c.regMasks = make([]uint64, len(wl.Program.Body))
+	for i, in := range wl.Program.Body {
+		var mask uint64
+		for _, r := range [3]int8{in.Dest, in.Src1, in.Src2} {
+			if r >= 0 {
+				mask |= uint64(1) << uint(r)
+			}
+		}
+		c.regMasks[i] = mask
+	}
+	if cfg.Mode != config.ModeNormal {
+		// Ideal modes remove all structural limits in the memory system.
+		c.mshr = cache.NewMSHR[tx](0, 0)
+		c.missQ = mem.NewQueue[*mem.Fetch](0)
+		c.iMissQ = mem.NewQueue[*mem.Fetch](0)
+	}
+	return c
+}
+
+// SetInject wires the request-network injection callback (ModeNormal).
+func (c *Core) SetInject(fn InjectFn) { c.inject = fn }
+
+// SetIdealLatency wires the P∞ latency oracle (ModeInfiniteBW).
+func (c *Core) SetIdealLatency(fn IdealLatencyFn) { c.idealLat = fn }
+
+// Done reports whether every warp has retired all instructions and every
+// outstanding memory operation has drained.
+func (c *Core) Done() bool { return c.done }
+
+// Now returns the core-local cycle counter (in lockstep with the GPU's).
+func (c *Core) Now() int64 { return c.now }
+
+// CanAcceptResponse reports whether the reply-ejection FIFO has room.
+func (c *Core) CanAcceptResponse() bool { return !c.respFIFO.Full() }
+
+// AcceptResponse hands the core a reply packet from the reply crossbar.
+func (c *Core) AcceptResponse(f *mem.Fetch) bool {
+	return c.respFIFO.Push(f)
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick() {
+	if c.done {
+		return
+	}
+	c.now++
+	c.Stats.Cycles++
+	c.applyCompletions()
+	c.consumeResponse()
+	memQBefore := c.memQ.Len()
+	c.lsuTick()
+	if c.memQ.Len() != memQBefore {
+		c.issueDirty = true // LSU freed memory-pipeline slots
+	}
+	c.issueTick()
+	c.fetchTick()
+	c.drainMissQueues()
+	c.checkDone()
+}
+
+func (c *Core) schedule(delta int64, e ringEvt) {
+	if delta < 1 {
+		delta = 1
+	}
+	if delta >= ringSize {
+		panic(fmt.Sprintf("smcore: completion delta %d exceeds ring size", delta))
+	}
+	slot := (c.now + delta) % ringSize
+	c.ring[slot] = append(c.ring[slot], e)
+}
+
+func (c *Core) applyCompletions() {
+	slot := c.now % ringSize
+	evts := c.ring[slot]
+	if len(evts) == 0 {
+		return
+	}
+	c.issueDirty = true
+	for _, e := range evts {
+		switch e.kind {
+		case evtRegClear:
+			w := &c.warps[e.warpID]
+			bit := uint64(1) << uint(e.reg)
+			if e.isLoad {
+				if w.loadCount[e.reg] > 0 {
+					w.loadCount[e.reg]--
+				}
+				if w.loadCount[e.reg] == 0 {
+					w.pendingLoad &^= bit
+				}
+			} else {
+				w.pendingALU &^= bit
+			}
+		case evtICacheFill:
+			c.icache.Fill(e.line)
+			delete(c.iPending, e.line)
+		}
+	}
+	c.ring[slot] = evts[:0]
+}
+
+// consumeResponse retires one reply packet per cycle: L1I fills and L1D
+// fills with MSHR release and scoreboard wake-up.
+func (c *Core) consumeResponse() {
+	f, ok := c.respFIFO.Pop()
+	if !ok {
+		return
+	}
+	f.ReplyCycle = c.now
+	lat := c.now - f.IssueCycle
+	switch f.Type {
+	case mem.InstRead:
+		c.icache.Fill(f.Addr)
+		delete(c.iPending, f.Addr)
+	case mem.DataRead:
+		c.Stats.AML.Add(lat)
+		if f.L2Hit {
+			c.Stats.L2AHL.Add(lat)
+		}
+		c.l1.Fill(f.Addr)
+		for _, t := range c.mshr.Release(f.Addr) {
+			c.schedule(int64(c.cfg.L1.HitLatency), ringEvt{
+				kind: evtRegClear, isLoad: true, reg: t.reg, warpID: t.warpID,
+			})
+		}
+	default:
+		panic("smcore: unexpected reply type " + f.Type.String())
+	}
+}
+
+// lsuTick processes the head of the memory pipeline against the L1D,
+// attributing blocked cycles per Fig. 9.
+func (c *Core) lsuTick() {
+	c.Stats.MemQOcc.Observe(c.memQ.Len(), c.memQ.Cap())
+	head, ok := c.memQ.Peek()
+	if !ok {
+		return
+	}
+	if c.cfg.Mode != config.ModeNormal {
+		c.lsuIdeal(head)
+		return
+	}
+	if head.store {
+		if c.missQ.Full() {
+			c.Stats.L1Stalls[L1StallBpL2]++
+			return
+		}
+		// Write-evict: drop the line if present and forward the store.
+		if c.l1.Probe(head.line) == cache.Valid {
+			c.l1.Invalidate(head.line)
+		}
+		f := c.newFetch(head.line, mem.DataWrite, c.cfg.L1.LineBytes, c.ID, int(head.warpID), c.now)
+		c.missQ.Push(f)
+		c.memQ.Pop()
+		c.Stats.L1Accesses++
+		c.Stats.StoresSent++
+		return
+	}
+	// Load.
+	if c.l1.Access(head.line) {
+		c.schedule(int64(c.cfg.L1.HitLatency), ringEvt{kind: evtRegClear, isLoad: true, reg: head.reg, warpID: head.warpID})
+		c.memQ.Pop()
+		c.Stats.L1Accesses++
+		c.Stats.L1Hits++
+		return
+	}
+	if c.mshr.Pending(head.line) {
+		// Secondary miss: merge.
+		if c.mshr.Allocate(head.line, head) != cache.AllocMerged {
+			c.Stats.L1Stalls[L1StallMSHR]++
+			return
+		}
+		c.memQ.Pop()
+		c.Stats.L1Accesses++
+		c.Stats.L1Merged++
+		return
+	}
+	// Primary miss: needs an MSHR entry, a replaceable line and a miss-
+	// queue slot; the first missing resource names the stall (Fig. 9).
+	if c.mshr.Full() {
+		c.Stats.L1Stalls[L1StallMSHR]++
+		return
+	}
+	if !c.l1.HasReplaceable(head.line) {
+		c.Stats.L1Stalls[L1StallCache]++
+		return
+	}
+	if c.missQ.Full() {
+		c.Stats.L1Stalls[L1StallBpL2]++
+		return
+	}
+	if r := c.mshr.Allocate(head.line, head); r != cache.AllocNew {
+		panic("smcore: unexpected MSHR result on primary miss: " + r.String())
+	}
+	// L1 victims are never dirty under write-evict, so eviction is silent.
+	c.l1.ReserveVictim(head.line)
+	f := c.newFetch(head.line, mem.DataRead, 0, c.ID, int(head.warpID), c.now)
+	c.missQ.Push(f)
+	c.memQ.Pop()
+	c.Stats.L1Accesses++
+	c.Stats.L1Misses++
+}
+
+// lsuIdeal services the LSU head under the P∞ / fixed-latency memory
+// systems: no queues, no MSHR limits, minimum latencies only.
+func (c *Core) lsuIdeal(head tx) {
+	c.memQ.Pop()
+	c.Stats.L1Accesses++
+	if head.store {
+		if c.l1.Probe(head.line) == cache.Valid {
+			c.l1.Invalidate(head.line)
+		}
+		c.Stats.StoresSent++
+		return
+	}
+	if c.l1.Access(head.line) {
+		c.schedule(int64(c.cfg.L1.HitLatency), ringEvt{kind: evtRegClear, isLoad: true, reg: head.reg, warpID: head.warpID})
+		c.Stats.L1Hits++
+		return
+	}
+	var lat int64
+	if c.cfg.Mode == config.ModeFixedL1MissLat {
+		lat = int64(c.cfg.FixedL1MissLatency)
+	} else {
+		lat = c.idealLat(head.line)
+		if lat == int64(c.cfg.IdealL2HitLatency) {
+			c.Stats.L2AHL.Add(lat)
+		}
+	}
+	c.Stats.AML.Add(lat)
+	c.l1.Fill(head.line) // functional install
+	c.schedule(lat+int64(c.cfg.L1.HitLatency), ringEvt{kind: evtRegClear, isLoad: true, reg: head.reg, warpID: head.warpID})
+	c.Stats.L1Misses++
+}
+
+// issueTick implements the greedy-then-oldest scheduler and the Fig. 7
+// stall taxonomy.
+func (c *Core) issueTick() {
+	if !c.issueDirty {
+		// Nothing changed since the last failed scan — unless a str-ALU
+		// block just expired with time, the outcome is identical.
+		if c.lastStall == StallStrALU && c.heavyBusyUntil <= c.now {
+			c.issueDirty = true
+		} else {
+			if c.lastStall >= 0 {
+				c.Stats.IssueStalls[c.lastStall]++
+			}
+			return
+		}
+	}
+	c.issueDirty = false
+	var sawStrMem, sawStrALU, sawDataMem, sawDataALU, anyInst, anyAlive bool
+
+	try := func(w *warp) bool {
+		if !w.aliveForIssue() {
+			return false
+		}
+		anyAlive = true
+		if w.ibufLen == 0 {
+			return false
+		}
+		anyInst = true
+		in := w.ibuf[0]
+		mask := c.regMasks[w.bodyIdx]
+		if w.pendingLoad&mask != 0 {
+			sawDataMem = true
+			return false
+		}
+		if w.pendingALU&mask != 0 {
+			sawDataALU = true
+			return false
+		}
+		switch in.Kind {
+		case OpLoad, OpStore:
+			if w.addrCacheFor != w.issued {
+				w.addrCache = c.wl.Addr(w.addrCache[:0], c.ID, w.id, w.iter, w.bodyIdx)
+				w.addrCacheFor = w.issued
+			}
+			if len(w.addrCache) == 0 {
+				panic("smcore: memory instruction generated no addresses")
+			}
+			if c.memQ.Free() < len(w.addrCache) {
+				sawStrMem = true
+				return false
+			}
+			isStore := in.Kind == OpStore
+			for _, line := range w.addrCache {
+				c.memQ.Push(tx{warpID: int32(w.id), reg: in.Dest, store: isStore, line: c.l1.LineAddr(line)})
+			}
+			if !isStore && in.Dest >= 0 {
+				w.pendingLoad |= uint64(1) << uint(in.Dest)
+				w.loadCount[in.Dest] = uint8(len(w.addrCache))
+			}
+		case OpHeavyALU:
+			if c.heavyBusyUntil > c.now {
+				sawStrALU = true
+				return false
+			}
+			c.heavyBusyUntil = c.now + heavyALUInterval
+			if in.Dest >= 0 {
+				w.pendingALU |= uint64(1) << uint(in.Dest)
+				c.schedule(heavyALULatency, ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
+			}
+		case OpALU:
+			if in.Dest >= 0 {
+				w.pendingALU |= uint64(1) << uint(in.Dest)
+				c.schedule(int64(c.cfg.Core.ALULatency), ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
+			}
+		}
+		// Retire from the i-buffer.
+		copy(w.ibuf[:], w.ibuf[1:w.ibufLen])
+		if w.ibufLen == ibufCap && w.fetched < w.total {
+			c.fetchable++
+		}
+		w.ibufLen--
+		w.issued++
+		w.bodyIdx++
+		if w.bodyIdx == len(c.wl.Program.Body) {
+			w.bodyIdx = 0
+			w.iter++
+		}
+		c.Stats.Issued++
+		return true
+	}
+
+	if try(&c.warps[c.greedy]) {
+		c.issueDirty = true
+		c.lastStall = -1
+		return
+	}
+	for i := range c.warps {
+		if int32(i) == c.greedy {
+			continue
+		}
+		if try(&c.warps[i]) {
+			c.greedy = int32(i)
+			c.issueDirty = true
+			c.lastStall = -1
+			return
+		}
+	}
+	c.lastStall = -1
+	if !anyAlive {
+		return
+	}
+	// Nothing issued: classify per §IV-A5 — structural beats data beats
+	// fetch.
+	switch {
+	case sawStrMem:
+		c.lastStall = StallStrMem
+	case sawStrALU:
+		c.lastStall = StallStrALU
+	case sawDataMem:
+		c.lastStall = StallDataMem
+	case sawDataALU:
+		c.lastStall = StallDataALU
+	case !anyInst:
+		c.lastStall = StallFetch
+	}
+	if c.lastStall >= 0 {
+		c.Stats.IssueStalls[c.lastStall]++
+	}
+}
+
+// fetchTick decodes one instruction per cycle into a warp's i-buffer,
+// going through the L1I; misses travel the shared memory path.
+func (c *Core) fetchTick() {
+	if c.fetchable == 0 {
+		return
+	}
+	n := len(c.warps)
+	for i := 0; i < n; i++ {
+		idx := (c.fetchRR + 1 + i) % n
+		w := &c.warps[idx]
+		if w.fetched >= w.total || w.ibufLen == ibufCap {
+			continue
+		}
+		c.fetchRR = idx
+		pcIdx := w.fetchIdx
+		addr := c.wl.Program.PCAddr(pcIdx)
+		line := c.icache.LineAddr(addr)
+		if c.icache.Access(addr) {
+			w.ibuf[w.ibufLen] = c.wl.Program.Body[pcIdx]
+			w.ibufLen++
+			w.fetched++
+			w.fetchIdx++
+			if w.fetchIdx == len(c.wl.Program.Body) {
+				w.fetchIdx = 0
+			}
+			if w.ibufLen == ibufCap || w.fetched >= w.total {
+				c.fetchable--
+			}
+			c.Stats.IFetches++
+			c.issueDirty = true // a fresh instruction may be issuable
+			return
+		}
+		if c.iPending[line] {
+			return // fill in flight; the warp retries
+		}
+		c.Stats.IMisses++
+		if c.cfg.Mode != config.ModeNormal {
+			lat := int64(c.cfg.FixedL1MissLatency)
+			if c.cfg.Mode == config.ModeInfiniteBW {
+				lat = c.idealLat(line)
+			}
+			c.iPending[line] = true
+			c.schedule(lat, ringEvt{kind: evtICacheFill, line: line})
+			return
+		}
+		if c.iMissQ.Full() {
+			return
+		}
+		c.iPending[line] = true
+		c.iMissQ.Push(c.newFetch(line, mem.InstRead, 0, c.ID, w.id, c.now))
+		return
+	}
+}
+
+// drainMissQueues injects one request packet per cycle into the request
+// crossbar, alternating between data and instruction misses.
+func (c *Core) drainMissQueues() {
+	if c.inject == nil {
+		return
+	}
+	first, second := c.missQ, c.iMissQ
+	if c.injectToggle {
+		first, second = second, first
+	}
+	for _, q := range []*mem.Queue[*mem.Fetch]{first, second} {
+		f, ok := q.Peek()
+		if !ok {
+			continue
+		}
+		if c.inject(f) {
+			q.Pop()
+			c.injectToggle = !c.injectToggle
+		}
+		return
+	}
+}
+
+func (c *Core) checkDone() {
+	// Cheap rejection: completion is impossible before the last issue.
+	if c.Stats.Issued < int64(len(c.warps))*c.wl.Program.TotalInsts() {
+		return
+	}
+	for i := range c.warps {
+		w := &c.warps[i]
+		if w.pendingLoad != 0 || w.pendingALU != 0 {
+			return
+		}
+	}
+	if !c.memQ.Empty() || !c.missQ.Empty() || !c.iMissQ.Empty() || !c.respFIFO.Empty() {
+		return
+	}
+	if c.mshr.Len() != 0 || len(c.iPending) != 0 {
+		return
+	}
+	c.done = true
+}
+
+// OutstandingWork reports queue/MSHR occupancy for deadlock diagnostics.
+func (c *Core) OutstandingWork() string {
+	return fmt.Sprintf("core %d: memQ=%d missQ=%d iMissQ=%d mshr=%d resp=%d",
+		c.ID, c.memQ.Len(), c.missQ.Len(), c.iMissQ.Len(), c.mshr.Len(), c.respFIFO.Len())
+}
