@@ -20,11 +20,11 @@ import (
 
 var (
 	runnerOnce sync.Once
-	runner     *exp.Runner
+	runner     *exp.Scheduler
 )
 
-func sharedRunner() *exp.Runner {
-	runnerOnce.Do(func() { runner = exp.NewRunner(nil) })
+func sharedRunner() *exp.Scheduler {
+	runnerOnce.Do(func() { runner = exp.NewScheduler() })
 	return runner
 }
 
@@ -105,16 +105,16 @@ func BenchmarkFig3_LatencySweep(b *testing.B) {
 // BenchmarkFig4_L2QueueOccupancy measures how often L2 access queues are
 // completely full (paper AVG: 46% of usage lifetime).
 func BenchmarkFig4_L2QueueOccupancy(b *testing.B) {
-	benchOccupancy(b, (*exp.Runner).Fig4)
+	benchOccupancy(b, (*exp.Scheduler).Fig4)
 }
 
 // BenchmarkFig5_DRAMQueueOccupancy measures how often DRAM scheduler queues
 // are completely full (paper AVG: 39%).
 func BenchmarkFig5_DRAMQueueOccupancy(b *testing.B) {
-	benchOccupancy(b, (*exp.Runner).Fig5)
+	benchOccupancy(b, (*exp.Scheduler).Fig5)
 }
 
-func benchOccupancy(b *testing.B, fig func(*exp.Runner) ([]exp.OccupancyRow, error)) {
+func benchOccupancy(b *testing.B, fig func(*exp.Scheduler) ([]exp.OccupancyRow, error)) {
 	b.Helper()
 	r := sharedRunner()
 	for i := 0; i < b.N; i++ {

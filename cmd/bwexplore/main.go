@@ -1,11 +1,12 @@
 // Command bwexplore runs custom design-space explorations: pick the memory
 // levels to scale and a scaling factor, and it reports per-benchmark
-// speedups over the baseline plus the estimated area cost.
+// speedups over the baseline plus the estimated area cost. The benchmark
+// sweep runs on the experiment engine's worker pool.
 //
 // Usage:
 //
 //	bwexplore -levels l2 -factor 4
-//	bwexplore -levels l1,l2 -factor 2 -bench mm,sc,lbm
+//	bwexplore -levels l1,l2 -factor 2 -bench mm,sc,lbm -j 8
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	levels := flag.String("levels", "l2", "comma-separated levels to scale: l1,l2,dram")
 	factor := flag.Int("factor", 4, "scaling factor for the selected levels")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all 19)")
+	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := gpumembw.Baseline()
@@ -60,19 +62,35 @@ func main() {
 	names := gpumembw.BenchmarkNames()
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
+		for i, b := range names {
+			names[i] = strings.TrimSpace(b)
+		}
 	}
 
-	r := exp.NewRunner(os.Stderr)
+	// Pre-run every (config, benchmark) cell in parallel; the serial
+	// reporting loop below then assembles from the memo cache.
+	s := exp.NewScheduler(exp.WithWorkers(*workers), exp.WithProgress(os.Stderr))
+	var jobs []exp.Job
+	for _, b := range names {
+		jobs = append(jobs,
+			exp.Job{Config: gpumembw.Baseline(), Bench: b},
+			exp.Job{Config: cfg, Bench: b})
+	}
+	if err := s.RunJobs(jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("%-12s %10s\n", "bench", "speedup")
 	sum := 0.0
 	for _, b := range names {
-		s, err := r.Speedup(cfg, strings.TrimSpace(b))
+		sp, err := s.Speedup(cfg, b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-12s %9.2fx\n", b, s)
-		sum += s
+		fmt.Printf("%-12s %9.2fx\n", b, sp)
+		sum += sp
 	}
 	fmt.Printf("%-12s %9.2fx\n", "AVG", sum/float64(len(names)))
 

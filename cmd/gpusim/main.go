@@ -1,13 +1,15 @@
 // Command gpusim runs one benchmark on one memory-hierarchy configuration
-// and prints the full metric set the paper measures.
+// and prints the full metric set the paper measures, as text or JSON.
 //
 // Usage:
 //
 //	gpusim -bench mm -config baseline
+//	gpusim -bench mm -config L2-4x -json
 //	gpusim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 func main() {
 	bench := flag.String("bench", "mm", "benchmark name (see -list)")
 	cfgName := flag.String("config", "baseline", "configuration preset (see -list)")
+	asJSON := flag.Bool("json", false, "emit the metrics as JSON")
 	list := flag.Bool("list", false, "list benchmarks and configurations")
 	flag.Parse()
 
@@ -41,24 +44,32 @@ func main() {
 		return
 	}
 
-	wl, err := gpumembw.WorkloadByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	cfg, err := gpumembw.ConfigByName(*cfgName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
+	// A single cell still goes through the engine so benchmark names are
+	// validated in one place.
+	s := gpumembw.NewScheduler()
 	start := time.Now()
-	m, err := gpumembw.Run(cfg, wl)
+	m, err := s.Run(cfg, *bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("benchmark      %s on %s\n", m.Benchmark, m.Config)
 	fmt.Printf("cycles         %d (%.1f ms wall, simulated in %v)\n", m.Cycles, m.WallSeconds*1e3, elapsed.Round(time.Millisecond))

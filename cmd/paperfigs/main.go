@@ -1,10 +1,15 @@
 // Command paperfigs regenerates every table and figure of the paper's
 // evaluation section and writes the rendered tables to stdout (or a file).
+// Simulations run on a worker pool and shared (config, benchmark) cells —
+// Baseline appears in every speedup denominator — simulate exactly once,
+// so the output is byte-identical for any -j.
 //
 // Usage:
 //
-//	paperfigs                    # everything (several minutes)
+//	paperfigs                    # everything (minutes; scales with -j)
 //	paperfigs -only fig1,fig8    # selected sections
+//	paperfigs -j 8               # worker-pool size (default GOMAXPROCS)
+//	paperfigs -json              # machine-readable results
 //	paperfigs -o EXPERIMENTS.out # write to a file
 package main
 
@@ -22,12 +27,16 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated sections ("+strings.Join(exp.Sections, ",")+")")
 	outPath := flag.String("o", "", "output file (default stdout)")
+	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
 	flag.Parse()
 
 	var sections []string
 	if *only != "" {
-		sections = strings.Split(*only, ",")
+		for _, s := range strings.Split(*only, ",") {
+			sections = append(sections, strings.TrimSpace(s))
+		}
 	}
 
 	var out io.Writer = os.Stdout
@@ -41,16 +50,24 @@ func main() {
 		out = f
 	}
 
-	var progress io.Writer
+	opts := []exp.Option{exp.WithWorkers(*workers)}
 	if !*quiet {
-		progress = os.Stderr
+		opts = append(opts, exp.WithProgress(os.Stderr))
 	}
 
 	start := time.Now()
-	r := exp.NewRunner(progress)
-	if err := r.Report(out, sections); err != nil {
+	s := exp.NewScheduler(opts...)
+	var err error
+	if *asJSON {
+		err = s.ReportJSON(out, sections)
+	} else {
+		err = s.Report(out, sections)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiment failed:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "done in %v (%d simulated, %d cache hits, %d workers)\n",
+		time.Since(start).Round(time.Second), st.Simulated, st.CacheHits, s.Workers())
 }

@@ -3,8 +3,10 @@
 // hurt — while scaling adjacent levels together is synergistic.
 //
 // It runs matrix multiply (the paper's most bandwidth-sensitive workload)
-// against the six 4×-scaled design points of Fig. 10 and prints the
-// speedups, highlighting the two headline effects:
+// against the six 4×-scaled design points of Fig. 10 on the experiment
+// engine — the seven simulation cells run concurrently on a worker pool
+// and the shared baseline cell simulates once — then prints the speedups,
+// highlighting the two headline effects:
 //
 //  1. L1-alone can slow the workload down (more requests pour into an
 //     already congested L2).
@@ -20,16 +22,6 @@ import (
 
 func main() {
 	const bench = "mm"
-	wl, err := gpumembw.WorkloadByName(bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	base, err := gpumembw.Run(gpumembw.Baseline(), wl)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	configs := []gpumembw.Config{
 		gpumembw.ScaledL1(),
 		gpumembw.ScaledL2(),
@@ -39,19 +31,29 @@ func main() {
 		gpumembw.ScaledAll(),
 	}
 
+	s := gpumembw.NewScheduler()
+	jobs := []gpumembw.Job{{Config: gpumembw.Baseline(), Bench: bench}}
+	for _, cfg := range configs {
+		jobs = append(jobs, gpumembw.Job{Config: cfg, Bench: bench})
+	}
+	if err := s.RunJobs(jobs); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("design-space exploration on %q (4x scaling per level)\n\n", bench)
 	fmt.Printf("  %-12s %8s\n", "config", "speedup")
 	fmt.Printf("  %-12s %8s\n", "------", "-------")
 	results := map[string]float64{}
 	for _, cfg := range configs {
-		m, err := gpumembw.Run(cfg, wl)
+		sp, err := s.Speedup(cfg, bench)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := m.Speedup(base)
-		results[cfg.Name] = s
-		fmt.Printf("  %-12s %7.2fx\n", cfg.Name, s)
+		results[cfg.Name] = sp
+		fmt.Printf("  %-12s %7.2fx\n", cfg.Name, sp)
 	}
+	st := s.Stats()
+	fmt.Printf("\n  (%d cells simulated, %d served from cache)\n", st.Simulated, st.CacheHits)
 
 	fmt.Println()
 	if results["L1-4x"] < 1.02 {

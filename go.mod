@@ -1,0 +1,3 @@
+module gpumembw
+
+go 1.24

@@ -23,16 +23,25 @@
 // the ideal memory systems of Table II (InfiniteBW, InfiniteDRAM), the
 // fixed-latency sweep of Fig. 3, and an HBM-class DRAM.
 //
-// The exp subcommands (cmd/paperfigs, cmd/gpusim, cmd/bwexplore) regenerate
+// Sweeps over many (configuration, benchmark) cells should go through the
+// Scheduler — a concurrent, memoized experiment engine that deduplicates
+// shared cells and runs the rest on a worker pool:
+//
+//	s := gpumembw.NewScheduler(gpumembw.WithWorkers(8))
+//	speedup, err := s.Speedup(gpumembw.ScaledL2(), "mm")
+//
+// The commands (cmd/paperfigs, cmd/gpusim, cmd/bwexplore) regenerate
 // every table and figure of the paper; see EXPERIMENTS.md for measured-vs-
-// paper results.
+// paper results and README.md for a tour.
 package gpumembw
 
 import (
 	"fmt"
+	"io"
 
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
+	"gpumembw/internal/exp"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
 )
@@ -79,6 +88,41 @@ var (
 func Run(cfg Config, wl *Workload) (Metrics, error) {
 	return core.RunWorkload(cfg, wl)
 }
+
+// Scheduler is the concurrent, memoized experiment engine: it expands
+// figure/table requests into deduplicated (config, benchmark) jobs, runs
+// them on a worker pool, and caches Metrics so cells shared between
+// experiments simulate exactly once. See NewScheduler.
+type Scheduler = exp.Scheduler
+
+// Job is one (configuration, benchmark) simulation cell for
+// Scheduler.RunJobs.
+type Job = exp.Job
+
+// SchedulerOption configures a Scheduler (WithWorkers, WithProgress).
+type SchedulerOption = exp.Option
+
+// SchedulerStats counts simulated cells and memo-cache hits.
+type SchedulerStats = exp.Stats
+
+// Results is the machine-readable form of the paper's evaluation,
+// returned by Scheduler.Collect.
+type Results = exp.Results
+
+// NewScheduler builds an experiment engine. With no options it uses
+// runtime.GOMAXPROCS(0) workers and stays silent.
+func NewScheduler(opts ...SchedulerOption) *Scheduler { return exp.NewScheduler(opts...) }
+
+// WithWorkers sets the engine's worker-pool size (n <= 0 keeps the
+// GOMAXPROCS default).
+func WithWorkers(n int) SchedulerOption { return exp.WithWorkers(n) }
+
+// WithProgress directs one serialized line per completed simulation to w.
+func WithProgress(w io.Writer) SchedulerOption { return exp.WithProgress(w) }
+
+// Sections returns the report section names accepted by
+// Scheduler.Report/Collect, in the paper's presentation order.
+func Sections() []string { return append([]string(nil), exp.Sections...) }
 
 // Benchmarks returns the 19 synthetic benchmarks in Table II order.
 func Benchmarks() []Benchmark { return trace.Table() }

@@ -45,6 +45,31 @@ func TestBenchmarkRegistry(t *testing.T) {
 	}
 }
 
+func TestSchedulerFacade(t *testing.T) {
+	s := gpumembw.NewScheduler(gpumembw.WithWorkers(2))
+	jobs := []gpumembw.Job{
+		{Config: gpumembw.Baseline(), Bench: "leukocyte"},
+		{Config: gpumembw.InfiniteBW(), Bench: "leukocyte"},
+		{Config: gpumembw.InfiniteBW(), Bench: "leukocyte"}, // duplicate
+	}
+	if err := s.RunJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Speedup(gpumembw.InfiniteBW(), "leukocyte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 0.9 {
+		t.Errorf("P∞ speedup %.2f implausibly low", sp)
+	}
+	if st := s.Stats(); st.Simulated != 2 {
+		t.Errorf("simulated = %d, want 2 (duplicate cell must dedupe)", st.Simulated)
+	}
+	if n := len(gpumembw.Sections()); n != 14 {
+		t.Errorf("sections = %d, want 14", n)
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	// Small custom workload through the public API only.
 	wl, err := gpumembw.WorkloadSpec{

@@ -33,11 +33,11 @@ const (
 
 // Estimate is the area cost of a configuration relative to a baseline.
 type Estimate struct {
-	StorageKB      float64 // added buffer/MSHR storage
-	StorageMM2     float64
-	CrossbarMM2    float64 // added crossbar wire area
-	TotalMM2       float64
-	OverheadFrac   float64 // TotalMM2 / DieMM2
+	StorageKB    float64 // added buffer/MSHR storage
+	StorageMM2   float64
+	CrossbarMM2  float64 // added crossbar wire area
+	TotalMM2     float64
+	OverheadFrac float64 // TotalMM2 / DieMM2
 }
 
 // Compare estimates the area delta of cfg over base.

@@ -84,12 +84,12 @@ type L1Config struct {
 // baseline is symmetric 32+32 B flits; the paper's cost-effective
 // configurations make it asymmetric (16+48, 16+68, 32+52).
 type IcntConfig struct {
-	ReqFlitBytes   int // request-network flit size (32 B baseline)
-	ReplyFlitBytes int // reply-network flit size (32 B baseline)
-	InputBufFlits  int // per-source injection buffer, in flits
+	ReqFlitBytes     int // request-network flit size (32 B baseline)
+	ReplyFlitBytes   int // reply-network flit size (32 B baseline)
+	InputBufFlits    int // per-source injection buffer, in flits
 	OutputBufPackets int // per-destination ejection buffer, in packets
-	LatencyCycles  int // fixed traversal pipeline depth, in icnt cycles
-	ClockMHz       float64
+	LatencyCycles    int // fixed traversal pipeline depth, in icnt cycles
+	ClockMHz         float64
 }
 
 // L2Config holds shared L2 cache parameters. The L2 is banked; every queue

@@ -25,12 +25,12 @@ func Baseline() Config {
 			ICacheWays:       4,
 		},
 		Icnt: IcntConfig{
-			ReqFlitBytes:   32,
-			ReplyFlitBytes: 32,
-			InputBufFlits:  8,
+			ReqFlitBytes:     32,
+			ReplyFlitBytes:   32,
+			InputBufFlits:    8,
 			OutputBufPackets: 8,
-			LatencyCycles:  8,
-			ClockMHz:       700,
+			LatencyCycles:    8,
+			ClockMHz:         700,
 		},
 		L2: L2Config{
 			SizeBytes:            768 * 1024,

@@ -42,10 +42,10 @@ type GPU struct {
 
 	idealL2 *cache.TagArray // functional L2 for ModeInfiniteBW
 
-	cycle    int64
-	icntAcc  float64
-	dramAcc  float64
-	fetchID  uint64
+	cycle     int64
+	icntAcc   float64
+	dramAcc   float64
+	fetchID   uint64
 	truncated bool
 }
 

@@ -80,19 +80,19 @@ func TestRandomConfigurationsDrain(t *testing.T) {
 		}
 		patterns := []trace.Pattern{trace.PatStream, trace.PatStrided, trace.PatRandomWS, trace.PatHotShared, trace.PatTiled}
 		spec := trace.Spec{
-			Name:  "fuzz",
-			Iters: 1 + rng.Intn(4),
-			LoadsPerIter:  1 + rng.Intn(4),
-			StoresPerIter: rng.Intn(3),
-			ALUPerIter:    1 + rng.Intn(6),
-			DepDist:       rng.Intn(4),
-			Pattern:       patterns[rng.Intn(len(patterns))],
+			Name:           "fuzz",
+			Iters:          1 + rng.Intn(4),
+			LoadsPerIter:   1 + rng.Intn(4),
+			StoresPerIter:  rng.Intn(3),
+			ALUPerIter:     1 + rng.Intn(6),
+			DepDist:        rng.Intn(4),
+			Pattern:        patterns[rng.Intn(len(patterns))],
 			LinesPerAccess: lines,
-			WorkingSetKB:  64 + rng.Intn(512),
-			SharedKB:      8 + rng.Intn(64),
-			SharedFrac:    float64(rng.Intn(80)) / 100,
-			WarpsPerCore:  1 + rng.Intn(6),
-			Seed:          uint64(seed),
+			WorkingSetKB:   64 + rng.Intn(512),
+			SharedKB:       8 + rng.Intn(64),
+			SharedFrac:     float64(rng.Intn(80)) / 100,
+			WarpsPerCore:   1 + rng.Intn(6),
+			Seed:           uint64(seed),
 		}
 		wl, err := spec.Build()
 		if err != nil {

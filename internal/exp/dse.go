@@ -10,8 +10,8 @@ import (
 
 // SpeedupRow holds one benchmark's speedups across a set of configurations.
 type SpeedupRow struct {
-	Bench    string
-	Speedups []float64 // one per configuration, same order as the header
+	Bench    string    `json:"bench"`
+	Speedups []float64 `json:"speedups"` // one per configuration, same order as the header
 }
 
 // Fig10Configs are the 4×-scaled design points of the exploration, in the
@@ -26,8 +26,8 @@ func Fig10Configs() []config.Config {
 // Fig10 runs every benchmark against the six scaled memory systems.
 // Paper averages: L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%, L2+DRAM +76%,
 // All +90%; mm drops 33% with L1-alone but gains 266% with L2-alone.
-func (r *Runner) Fig10() ([]SpeedupRow, []string, error) {
-	return r.speedups(Fig10Configs())
+func (s *Scheduler) Fig10() ([]SpeedupRow, []string, error) {
+	return s.speedups(Fig10Configs())
 }
 
 // Fig12Configs are the cost-effective configurations plus the HBM
@@ -41,26 +41,26 @@ func Fig12Configs() []config.Config {
 
 // Fig12 runs the cost-effective design points. Paper averages: 16+48
 // +23.4%, 16+68 +29%, 32+52 +25.7%, HBM +11%; lavaMD loses 37% on 16+48.
-func (r *Runner) Fig12() ([]SpeedupRow, []string, error) {
-	return r.speedups(Fig12Configs())
+func (s *Scheduler) Fig12() ([]SpeedupRow, []string, error) {
+	return s.speedups(Fig12Configs())
 }
 
 // AsymmetricOnlySpeedup measures the standalone 16+48 crossbar without the
 // cost-effective queue scaling (paper: only +15.5%, demonstrating the need
 // for synergistic scaling).
-func (r *Runner) AsymmetricOnlySpeedup() (float64, error) {
+func (s *Scheduler) AsymmetricOnlySpeedup() (float64, error) {
 	var sp []float64
 	for _, b := range Benches() {
-		s, err := r.Speedup(config.AsymmetricOnly(), b)
+		v, err := s.Speedup(config.AsymmetricOnly(), b)
 		if err != nil {
 			return 0, err
 		}
-		sp = append(sp, s)
+		sp = append(sp, v)
 	}
 	return mean(sp), nil
 }
 
-func (r *Runner) speedups(cfgs []config.Config) ([]SpeedupRow, []string, error) {
+func (s *Scheduler) speedups(cfgs []config.Config) ([]SpeedupRow, []string, error) {
 	names := make([]string, len(cfgs))
 	for i, c := range cfgs {
 		names[i] = c.Name
@@ -69,11 +69,11 @@ func (r *Runner) speedups(cfgs []config.Config) ([]SpeedupRow, []string, error) 
 	for _, b := range Benches() {
 		row := SpeedupRow{Bench: b}
 		for _, cfg := range cfgs {
-			s, err := r.Speedup(cfg, b)
+			v, err := s.Speedup(cfg, b)
 			if err != nil {
 				return nil, nil, err
 			}
-			row.Speedups = append(row.Speedups, s)
+			row.Speedups = append(row.Speedups, v)
 		}
 		rows = append(rows, row)
 	}
@@ -106,9 +106,9 @@ func WriteSpeedups(w io.Writer, title, paperNote string, rows []SpeedupRow, conf
 // Fig11Point is one (benchmark, core clock) → normalized performance
 // sample of the frequency-scaling experiment.
 type Fig11Point struct {
-	Bench    string
-	CoreMHz  float64
-	NormPerf float64 // wall-clock performance relative to 1400 MHz
+	Bench    string  `json:"bench"`
+	CoreMHz  float64 `json:"coreMHz"`
+	NormPerf float64 `json:"normPerf"` // wall-clock performance relative to 1400 MHz
 }
 
 // Fig11Clocks is the sweep of the paper's real-GPU experiment, in MHz.
@@ -118,17 +118,15 @@ var Fig11Clocks = []float64{1200, 1300, 1400, 1500, 1600}
 // real-GTX 480 result: up to 10% slowdown at higher core frequency for
 // bandwidth-bound benchmarks (the L1 request rate outruns the L2), and
 // gains at lower frequency.
-func (r *Runner) Fig11() ([]Fig11Point, error) {
+func (s *Scheduler) Fig11() ([]Fig11Point, error) {
 	var pts []Fig11Point
 	for _, b := range Fig11Benches() {
-		base, err := r.Run(config.Baseline(), b)
+		base, err := s.Run(config.Baseline(), b)
 		if err != nil {
 			return nil, err
 		}
 		for _, mhz := range Fig11Clocks {
-			cfg := config.WithCoreClock(config.Baseline(), mhz)
-			cfg.Name = fmt.Sprintf("core-%gMHz", mhz)
-			m, err := r.Run(cfg, b)
+			m, err := s.Run(fig11Config(mhz), b)
 			if err != nil {
 				return nil, err
 			}
@@ -195,7 +193,7 @@ func WriteTableIII(w io.Writer) {
 
 // AreaRow is the §VII-C overhead estimate of one configuration.
 type AreaRow struct {
-	Config string
+	Config string `json:"config"`
 	area.Estimate
 }
 

@@ -1,0 +1,310 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/trace"
+)
+
+// Job is one deduplicatable unit of simulation work: a (configuration,
+// benchmark) cell of the paper's design space.
+type Job struct {
+	Config config.Config
+	Bench  string
+}
+
+// cellKey identifies a cell for memoization. config.Config is a plain
+// value type (comparable), so the key covers every architectural knob —
+// two configs that differ anywhere memoize separately, and callers may
+// mutate presets without renaming them. Name alone is excluded: configs
+// with identical silicon under different labels (HBM is a renamed
+// DRAM-4x; Fig. 11's 1400 MHz point is a renamed baseline) share one
+// cell, so the cached Metrics.Config may carry the label of whichever
+// job simulated first.
+type cellKey struct {
+	cfg   config.Config
+	bench string
+}
+
+func (j Job) key() cellKey {
+	cfg := j.Config
+	cfg.Name = ""
+	return cellKey{cfg: cfg, bench: j.Bench}
+}
+
+// dedupeJobs drops jobs whose cell already appeared earlier in the
+// slice, preserving first-occurrence order.
+func dedupeJobs(jobs []Job) []Job {
+	seen := make(map[cellKey]bool, len(jobs))
+	uniq := jobs[:0:0]
+	for _, j := range jobs {
+		if k := j.key(); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, j)
+		}
+	}
+	return uniq
+}
+
+// Stats counts the scheduler's work: how many cells were actually
+// simulated and how many requests were served from the memo cache
+// (including requests that joined a simulation already in flight).
+type Stats struct {
+	Simulated int64 `json:"simulated"`
+	CacheHits int64 `json:"cacheHits"`
+}
+
+// cell is one memoized simulation result. done is closed once m and err
+// are valid, so concurrent requesters of the same cell wait instead of
+// re-simulating.
+type cell struct {
+	done chan struct{}
+	m    core.Metrics
+	err  error
+}
+
+// Scheduler is the experiment engine: it expands figure/table requests
+// into deduplicated (config, benchmark) jobs, runs them on a worker pool,
+// and memoizes core.Metrics so cells shared between figures — Baseline
+// appears in every speedup denominator — simulate exactly once per
+// invocation. All methods are safe for concurrent use.
+type Scheduler struct {
+	workers   int
+	progress  io.Writer
+	progMu    sync.Mutex
+	mu        sync.Mutex
+	cells     map[cellKey]*cell
+	workloads map[string]*smcore.Workload
+	simulated atomic.Int64
+	hits      atomic.Int64
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithWorkers sets the worker-pool size used by RunJobs. n <= 0 selects
+// runtime.GOMAXPROCS(0), the default.
+func WithWorkers(n int) Option {
+	return func(s *Scheduler) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithProgress directs one line per completed simulation to w. Writes are
+// serialized, so w need not be thread-safe itself.
+func WithProgress(w io.Writer) Option {
+	return func(s *Scheduler) { s.progress = w }
+}
+
+// NewScheduler builds an experiment engine.
+func NewScheduler(opts ...Option) *Scheduler {
+	s := &Scheduler{
+		workers:   runtime.GOMAXPROCS(0),
+		cells:     make(map[cellKey]*cell),
+		workloads: trace.Workloads(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Workers reports the configured worker-pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Stats returns the cumulative simulate/hit counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{Simulated: s.simulated.Load(), CacheHits: s.hits.Load()}
+}
+
+// Run executes (or recalls) one simulation. If the cell is already being
+// simulated by another goroutine, Run waits for that result rather than
+// duplicating the work.
+func (s *Scheduler) Run(cfg config.Config, bench string) (core.Metrics, error) {
+	j := Job{Config: cfg, Bench: bench}
+	key := j.key()
+	s.mu.Lock()
+	c, ok := s.cells[key]
+	if ok {
+		s.mu.Unlock()
+		<-c.done
+		s.hits.Add(1)
+		return c.m, c.err
+	}
+	c = &cell{done: make(chan struct{})}
+	s.cells[key] = c
+	s.mu.Unlock()
+
+	c.m, c.err = s.simulate(j)
+	close(c.done)
+	return c.m, c.err
+}
+
+func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
+	wl, ok := s.workloads[j.Bench]
+	if !ok {
+		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q", j.Bench)
+	}
+	s.simulated.Add(1)
+	m, err := core.RunWorkload(j.Config, wl)
+	if err != nil {
+		return m, fmt.Errorf("exp: %s on %s: %w", j.Bench, j.Config.Name, err)
+	}
+	if m.Truncated {
+		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", j.Bench, j.Config.Name, m.Cycles)
+	}
+	s.logf("ran %s on %s (%d cycles)\n", j.Bench, j.Config.Name, m.Cycles)
+	return m, nil
+}
+
+// logf writes one serialized progress line, if a progress sink is set.
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.progress == nil {
+		return
+	}
+	s.progMu.Lock()
+	fmt.Fprintf(s.progress, format, args...)
+	s.progMu.Unlock()
+}
+
+// Speedup runs bench on cfg and returns performance relative to baseline.
+func (s *Scheduler) Speedup(cfg config.Config, bench string) (float64, error) {
+	base, err := s.Run(config.Baseline(), bench)
+	if err != nil {
+		return 0, err
+	}
+	m, err := s.Run(cfg, bench)
+	if err != nil {
+		return 0, err
+	}
+	return m.Speedup(base), nil
+}
+
+// RunJobs executes jobs on the worker pool. Duplicate cells — within the
+// slice or against the memo cache — simulate only once. The returned
+// error is the first failure in job order, independent of scheduling.
+func (s *Scheduler) RunJobs(jobs []Job) error {
+	uniq := dedupeJobs(jobs)
+	if len(uniq) == 0 {
+		return nil
+	}
+	workers := s.workers
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(uniq))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				_, errs[i] = s.Run(uniq[i].Config, uniq[i].Bench)
+			}
+		}()
+	}
+	for i := range uniq {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig3Config builds the Fig. 3 design point for one fixed L1-miss
+// latency. Both JobsFor and Fig3 go through it so their cache keys agree.
+func fig3Config(lat int) config.Config {
+	cfg := config.FixedL1MissLatency(lat)
+	cfg.Name = fmt.Sprintf("fixed-lat-%d", lat)
+	return cfg
+}
+
+// fig11Config builds the Fig. 11 design point for one core clock. Both
+// JobsFor and Fig11 go through it so their cache keys agree.
+func fig11Config(mhz float64) config.Config {
+	cfg := config.WithCoreClock(config.Baseline(), mhz)
+	cfg.Name = fmt.Sprintf("core-%gMHz", mhz)
+	return cfg
+}
+
+// JobsFor expands the requested report sections (nil or empty = all) into
+// the deduplicated list of simulation cells they need, in deterministic
+// paper order. Sections that need no simulation (tableI, tableIII, area)
+// contribute nothing.
+func JobsFor(sections []string) []Job {
+	want := sectionSet(sections)
+	var jobs []Job
+	addAll := func(cfg config.Config, benches []string) {
+		for _, b := range benches {
+			jobs = append(jobs, Job{Config: cfg, Bench: b})
+		}
+	}
+
+	// The baseline × all-benchmark row underlies Figs. 1, 4, 5, 7, 8, 9
+	// and every speedup denominator of Figs. 10 and 12.
+	if want["fig1"] || want["fig4"] || want["fig5"] || want["fig7"] ||
+		want["fig8"] || want["fig9"] || want["fig10"] || want["fig12"] {
+		addAll(config.Baseline(), Benches())
+	}
+	if want["tableII"] {
+		addAll(config.Baseline(), trace.Names())
+		addAll(config.InfiniteBW(), trace.Names())
+		addAll(config.InfiniteDRAM(), trace.Names())
+	}
+	if want["fig3"] {
+		addAll(config.Baseline(), Fig3Benches())
+		for _, lat := range Fig3Latencies {
+			addAll(fig3Config(lat), Fig3Benches())
+		}
+	}
+	if want["fig10"] {
+		for _, cfg := range Fig10Configs() {
+			addAll(cfg, Benches())
+		}
+	}
+	if want["fig11"] {
+		addAll(config.Baseline(), Fig11Benches())
+		for _, mhz := range Fig11Clocks {
+			addAll(fig11Config(mhz), Fig11Benches())
+		}
+	}
+	if want["fig12"] {
+		for _, cfg := range Fig12Configs() {
+			addAll(cfg, Benches())
+		}
+		addAll(config.AsymmetricOnly(), Benches())
+	}
+	// Deduplicate across sections (e.g. tableII and fig3 both want
+	// baseline cells) so callers can size progress reporting off len().
+	return dedupeJobs(jobs)
+}
+
+// sectionSet normalizes a section selection: nil or empty means all.
+func sectionSet(sections []string) map[string]bool {
+	want := make(map[string]bool, len(Sections))
+	if len(sections) == 0 {
+		sections = Sections
+	}
+	for _, s := range sections {
+		want[s] = true
+	}
+	return want
+}

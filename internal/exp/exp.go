@@ -4,8 +4,13 @@
 // Fig. 10 (4× design-space exploration), Fig. 11 (core-frequency scaling),
 // Fig. 12 (cost-effective configurations) and the §VII-C area analysis.
 //
-// Each experiment returns structured rows and can render itself as an
-// aligned text table; cmd/paperfigs composes them into EXPERIMENTS.md.
+// The Scheduler is the execution engine behind all of them: it expands
+// figure/table requests into deduplicated (config, benchmark) jobs, runs
+// them on a worker pool, and memoizes results so cells shared between
+// figures — the 19 baseline runs underlie Figs. 1, 4, 5, 7–9 and every
+// speedup denominator of Figs. 10–12 — simulate exactly once. Each
+// experiment returns structured rows and can render itself as an aligned
+// text table or as JSON; cmd/paperfigs composes them into EXPERIMENTS.md.
 package exp
 
 import (
@@ -14,67 +19,8 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"gpumembw/internal/config"
-	"gpumembw/internal/core"
-	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
 )
-
-// Runner executes simulations with memoization, so the 19 baseline runs
-// shared by Figs. 1, 4, 5, 7, 8, 9 (and the denominators of Figs. 10–12)
-// happen once.
-type Runner struct {
-	verbose   io.Writer // progress log, may be nil
-	cache     map[string]core.Metrics
-	workloads map[string]*smcore.Workload
-}
-
-// NewRunner builds a Runner. If progress is non-nil, one line is written
-// per simulation.
-func NewRunner(progress io.Writer) *Runner {
-	return &Runner{
-		verbose:   progress,
-		cache:     make(map[string]core.Metrics),
-		workloads: trace.Workloads(),
-	}
-}
-
-// Run executes (or recalls) one simulation.
-func (r *Runner) Run(cfg config.Config, bench string) (core.Metrics, error) {
-	key := cfg.Name + "\x00" + bench + "\x00" + fmt.Sprint(cfg.Core.ClockMHz)
-	if m, ok := r.cache[key]; ok {
-		return m, nil
-	}
-	wl, ok := r.workloads[bench]
-	if !ok {
-		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q", bench)
-	}
-	if r.verbose != nil {
-		fmt.Fprintf(r.verbose, "running %s on %s...\n", bench, cfg.Name)
-	}
-	m, err := core.RunWorkload(cfg, wl)
-	if err != nil {
-		return m, fmt.Errorf("exp: %s on %s: %w", bench, cfg.Name, err)
-	}
-	if m.Truncated {
-		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", bench, cfg.Name, m.Cycles)
-	}
-	r.cache[key] = m
-	return m, nil
-}
-
-// Speedup runs bench on cfg and returns performance relative to baseline.
-func (r *Runner) Speedup(cfg config.Config, bench string) (float64, error) {
-	base, err := r.Run(config.Baseline(), bench)
-	if err != nil {
-		return 0, err
-	}
-	m, err := r.Run(cfg, bench)
-	if err != nil {
-		return 0, err
-	}
-	return m.Speedup(base), nil
-}
 
 // Benches returns the benchmark names in the Fig. 1 x-axis order.
 func Benches() []string { return trace.Fig1Names() }

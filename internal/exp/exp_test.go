@@ -7,8 +7,8 @@ import (
 	"gpumembw/internal/config"
 )
 
-func TestRunnerMemoizes(t *testing.T) {
-	r := NewRunner(nil)
+func TestSchedulerMemoizes(t *testing.T) {
+	r := NewScheduler()
 	m1, err := r.Run(config.InfiniteBW(), "leukocyte")
 	if err != nil {
 		t.Fatal(err)
@@ -20,20 +20,20 @@ func TestRunnerMemoizes(t *testing.T) {
 	if m1.Cycles != m2.Cycles {
 		t.Fatal("memoized run differs")
 	}
-	if len(r.cache) != 1 {
-		t.Fatalf("cache size = %d, want 1", len(r.cache))
+	if st := r.Stats(); st.Simulated != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 simulated / 1 hit", st)
 	}
 }
 
-func TestRunnerUnknownBenchmark(t *testing.T) {
-	r := NewRunner(nil)
+func TestSchedulerUnknownBenchmark(t *testing.T) {
+	r := NewScheduler()
 	if _, err := r.Run(config.Baseline(), "nope"); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
 
 func TestSpeedupAgainstBaseline(t *testing.T) {
-	r := NewRunner(nil)
+	r := NewScheduler()
 	s, err := r.Speedup(config.InfiniteBW(), "sad")
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +46,7 @@ func TestSpeedupAgainstBaseline(t *testing.T) {
 func TestFig3SubsetShape(t *testing.T) {
 	// The latency sweep must be monotonically non-increasing (within
 	// noise) for a latency-sensitive benchmark.
-	r := NewRunner(nil)
+	r := NewScheduler()
 	pts, err := r.Fig3([]string{"dwt2d"}, []int{0, 400, 800})
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestWriteTableIIIAndArea(t *testing.T) {
 }
 
 func TestReportSectionsSelectable(t *testing.T) {
-	r := NewRunner(nil)
+	r := NewScheduler()
 	var sb strings.Builder
 	// tableI, tableIII and area need no simulation.
 	if err := r.Report(&sb, []string{"tableI", "tableIII", "area"}); err != nil {

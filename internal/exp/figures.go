@@ -13,20 +13,20 @@ import (
 // Fig1Row is one bar group of Fig. 1: issue-stall percentage, average L2
 // hit latency and average memory latency on the baseline.
 type Fig1Row struct {
-	Bench     string
-	StallFrac float64
-	L2AHL     float64
-	AML       float64
-	DRAMEff   float64 // §IV-B1 companion series
+	Bench     string  `json:"bench"`
+	StallFrac float64 `json:"stallFrac"`
+	L2AHL     float64 `json:"l2AHL"`
+	AML       float64 `json:"aml"`
+	DRAMEff   float64 `json:"dramEff"` // §IV-B1 companion series
 }
 
 // Fig1 measures stalls and latencies for every benchmark on the baseline.
 // Paper averages: 62% stall, 303-cycle L2-AHL, 452-cycle AML; DRAM
 // bandwidth efficiency 41% average, 65% max (stencil).
-func (r *Runner) Fig1() ([]Fig1Row, error) {
+func (s *Scheduler) Fig1() ([]Fig1Row, error) {
 	var rows []Fig1Row
 	for _, b := range Benches() {
-		m, err := r.Run(config.Baseline(), b)
+		m, err := s.Run(config.Baseline(), b)
 		if err != nil {
 			return nil, err
 		}
@@ -57,16 +57,16 @@ func WriteFig1(w io.Writer, rows []Fig1Row) {
 
 // TableIIRow compares measured P∞ / P_DRAM speedups with the paper's.
 type TableIIRow struct {
-	Bench       string
-	PInf        float64
-	PDRAM       float64
-	PaperPInf   float64
-	PaperPDRAM  float64
+	Bench      string  `json:"bench"`
+	PInf       float64 `json:"pInf"`
+	PDRAM      float64 `json:"pDRAM"`
+	PaperPInf  float64 `json:"paperPInf"`
+	PaperPDRAM float64 `json:"paperPDRAM"`
 }
 
 // TableII runs every benchmark under the two ideal memory systems.
 // Paper averages: P∞ 2.37×, P_DRAM 1.15×.
-func (r *Runner) TableII() ([]TableIIRow, error) {
+func (s *Scheduler) TableII() ([]TableIIRow, error) {
 	paperInf := map[string]float64{}
 	paperDram := map[string]float64{}
 	var order []string
@@ -77,11 +77,11 @@ func (r *Runner) TableII() ([]TableIIRow, error) {
 	}
 	var rows []TableIIRow
 	for _, b := range order {
-		pinf, err := r.Speedup(config.InfiniteBW(), b)
+		pinf, err := s.Speedup(config.InfiniteBW(), b)
 		if err != nil {
 			return nil, err
 		}
-		pdram, err := r.Speedup(config.InfiniteDRAM(), b)
+		pdram, err := s.Speedup(config.InfiniteDRAM(), b)
 		if err != nil {
 			return nil, err
 		}
@@ -111,9 +111,9 @@ func WriteTableII(w io.Writer, rows []TableIIRow) {
 
 // Fig3Point is one (benchmark, latency) → normalized-IPC sample.
 type Fig3Point struct {
-	Bench   string
-	Latency int
-	NormIPC float64
+	Bench   string  `json:"bench"`
+	Latency int     `json:"latency"`
+	NormIPC float64 `json:"normIPC"`
 }
 
 // Fig3Latencies is the default sweep of the fixed L1-miss-latency study.
@@ -121,7 +121,7 @@ var Fig3Latencies = []int{0, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 55
 
 // Fig3 sweeps the fixed L1 miss latency for the representative benchmarks,
 // reporting IPC normalized to each benchmark's baseline.
-func (r *Runner) Fig3(benches []string, lats []int) ([]Fig3Point, error) {
+func (s *Scheduler) Fig3(benches []string, lats []int) ([]Fig3Point, error) {
 	if benches == nil {
 		benches = Fig3Benches()
 	}
@@ -130,14 +130,12 @@ func (r *Runner) Fig3(benches []string, lats []int) ([]Fig3Point, error) {
 	}
 	var pts []Fig3Point
 	for _, b := range benches {
-		base, err := r.Run(config.Baseline(), b)
+		base, err := s.Run(config.Baseline(), b)
 		if err != nil {
 			return nil, err
 		}
 		for _, lat := range lats {
-			cfg := config.FixedL1MissLatency(lat)
-			cfg.Name = fmt.Sprintf("fixed-lat-%d", lat)
-			m, err := r.Run(cfg, b)
+			m, err := s.Run(fig3Config(lat), b)
 			if err != nil {
 				return nil, err
 			}
@@ -180,26 +178,26 @@ func WriteFig3(w io.Writer, pts []Fig3Point, lats []int) {
 
 // OccupancyRow is one stacked bar of Fig. 4 or Fig. 5.
 type OccupancyRow struct {
-	Bench     string
-	Fractions [stats.OccupancyBuckets]float64
+	Bench     string                          `json:"bench"`
+	Fractions [stats.OccupancyBuckets]float64 `json:"fractions"`
 }
 
 // Fig4 returns the L2 access-queue occupancy histograms (paper: queues
 // completely full for 46% of their usage lifetime on average).
-func (r *Runner) Fig4() ([]OccupancyRow, error) {
-	return r.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.L2AccessOcc })
+func (s *Scheduler) Fig4() ([]OccupancyRow, error) {
+	return s.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.L2AccessOcc })
 }
 
 // Fig5 returns the DRAM scheduler-queue occupancy histograms (paper: full
 // for 39% of usage lifetime on average).
-func (r *Runner) Fig5() ([]OccupancyRow, error) {
-	return r.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.DRAMSchedOcc })
+func (s *Scheduler) Fig5() ([]OccupancyRow, error) {
+	return s.occupancy(func(m core.Metrics) stats.OccupancyHist { return m.DRAMSchedOcc })
 }
 
-func (r *Runner) occupancy(pick func(core.Metrics) stats.OccupancyHist) ([]OccupancyRow, error) {
+func (s *Scheduler) occupancy(pick func(core.Metrics) stats.OccupancyHist) ([]OccupancyRow, error) {
 	var rows []OccupancyRow
 	for _, b := range Benches() {
-		m, err := r.Run(config.Baseline(), b)
+		m, err := s.Run(config.Baseline(), b)
 		if err != nil {
 			return nil, err
 		}
@@ -230,33 +228,33 @@ func WriteOccupancy(w io.Writer, title, paperNote string, rows []OccupancyRow) {
 
 // BreakdownRow is one stacked bar of Figs. 7, 8 or 9.
 type BreakdownRow struct {
-	Bench     string
-	Labels    []string
-	Fractions []float64
+	Bench     string    `json:"bench"`
+	Labels    []string  `json:"labels"`
+	Fractions []float64 `json:"fractions"`
 }
 
 // Fig7 returns the issue-stall distributions (paper AVG: str-MEM 71%,
 // data-MEM 15%, fetch 8%, data-ALU 5.5%, str-ALU 0.5%).
-func (r *Runner) Fig7() ([]BreakdownRow, error) {
-	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.IssueStalls })
+func (s *Scheduler) Fig7() ([]BreakdownRow, error) {
+	return s.breakdown(func(m core.Metrics) *stats.Breakdown { return m.IssueStalls })
 }
 
 // Fig8 returns the L2 stall distributions (paper AVG: bp-ICNT 42%,
 // bp-DRAM 35%, port 12%, cache 8%, mshr 3%).
-func (r *Runner) Fig8() ([]BreakdownRow, error) {
-	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L2Stalls })
+func (s *Scheduler) Fig8() ([]BreakdownRow, error) {
+	return s.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L2Stalls })
 }
 
 // Fig9 returns the L1 stall distributions (paper AVG: bp-L2 48%,
 // mshr 41%, cache 11%).
-func (r *Runner) Fig9() ([]BreakdownRow, error) {
-	return r.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L1Stalls })
+func (s *Scheduler) Fig9() ([]BreakdownRow, error) {
+	return s.breakdown(func(m core.Metrics) *stats.Breakdown { return m.L1Stalls })
 }
 
-func (r *Runner) breakdown(pick func(core.Metrics) *stats.Breakdown) ([]BreakdownRow, error) {
+func (s *Scheduler) breakdown(pick func(core.Metrics) *stats.Breakdown) ([]BreakdownRow, error) {
 	var rows []BreakdownRow
 	for _, b := range Benches() {
-		m, err := r.Run(config.Baseline(), b)
+		m, err := s.Run(config.Baseline(), b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,29 +1,188 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 )
 
-// Section names accepted by Report.
+// Sections are the report section names accepted by Collect, Report and
+// JobsFor, in the paper's presentation order.
 var Sections = []string{
 	"tableI", "fig1", "tableII", "fig3", "fig4", "fig5",
 	"fig7", "fig8", "fig9", "tableIII", "fig10", "fig11", "fig12", "area",
 }
 
+// SpeedupTable couples a Fig. 10/12-style speedup matrix with its
+// configuration (column) names.
+type SpeedupTable struct {
+	Configs []string     `json:"configs"`
+	Rows    []SpeedupRow `json:"rows"`
+}
+
+// Results holds the structured data of every requested report section —
+// the machine-readable form of the paper's evaluation. Sections that were
+// not requested stay zero and are omitted from JSON.
+type Results struct {
+	Sections       []string       `json:"sections"`
+	Fig1           []Fig1Row      `json:"fig1,omitempty"`
+	TableII        []TableIIRow   `json:"tableII,omitempty"`
+	Fig3           []Fig3Point    `json:"fig3,omitempty"`
+	Fig4           []OccupancyRow `json:"fig4,omitempty"`
+	Fig5           []OccupancyRow `json:"fig5,omitempty"`
+	Fig7           []BreakdownRow `json:"fig7,omitempty"`
+	Fig8           []BreakdownRow `json:"fig8,omitempty"`
+	Fig9           []BreakdownRow `json:"fig9,omitempty"`
+	Fig10          *SpeedupTable  `json:"fig10,omitempty"`
+	Fig11          []Fig11Point   `json:"fig11,omitempty"`
+	Fig12          *SpeedupTable  `json:"fig12,omitempty"`
+	AsymmetricOnly *float64       `json:"asymmetricOnly,omitempty"`
+	Area           []AreaRow      `json:"area,omitempty"`
+	Engine         Stats          `json:"engine"`
+}
+
+// validateSections rejects unknown section names early, before any
+// simulation runs.
+func validateSections(sections []string) error {
+	known := make(map[string]bool, len(Sections))
+	for _, s := range Sections {
+		known[s] = true
+	}
+	for _, s := range sections {
+		if !known[s] {
+			return fmt.Errorf("exp: unknown section %q (known: %v)", s, Sections)
+		}
+	}
+	return nil
+}
+
+// Collect runs the requested experiment sections (nil = all) and returns
+// their structured results. All simulation happens up front on the worker
+// pool via RunJobs; assembly afterwards is serial and hits only the memo
+// cache, so results are deterministic for any worker count.
+func (s *Scheduler) Collect(sections []string) (*Results, error) {
+	if err := validateSections(sections); err != nil {
+		return nil, err
+	}
+	if err := s.RunJobs(JobsFor(sections)); err != nil {
+		return nil, err
+	}
+	want := sectionSet(sections)
+	res := &Results{}
+	for _, sec := range Sections {
+		if want[sec] {
+			res.Sections = append(res.Sections, sec)
+		}
+	}
+	var err error
+	if want["fig1"] {
+		if res.Fig1, err = s.Fig1(); err != nil {
+			return nil, err
+		}
+	}
+	if want["tableII"] {
+		if res.TableII, err = s.TableII(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig3"] {
+		if res.Fig3, err = s.Fig3(nil, nil); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig4"] {
+		if res.Fig4, err = s.Fig4(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig5"] {
+		if res.Fig5, err = s.Fig5(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig7"] {
+		if res.Fig7, err = s.Fig7(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig8"] {
+		if res.Fig8, err = s.Fig8(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig9"] {
+		if res.Fig9, err = s.Fig9(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig10"] {
+		rows, names, err := s.Fig10()
+		if err != nil {
+			return nil, err
+		}
+		res.Fig10 = &SpeedupTable{Configs: names, Rows: rows}
+	}
+	if want["fig11"] {
+		if res.Fig11, err = s.Fig11(); err != nil {
+			return nil, err
+		}
+	}
+	if want["fig12"] {
+		rows, names, err := s.Fig12()
+		if err != nil {
+			return nil, err
+		}
+		res.Fig12 = &SpeedupTable{Configs: names, Rows: rows}
+		asym, err := s.AsymmetricOnlySpeedup()
+		if err != nil {
+			return nil, err
+		}
+		res.AsymmetricOnly = &asym
+	}
+	if want["area"] {
+		res.Area = AreaAnalysis()
+	}
+	res.Engine = s.Stats()
+	return res, nil
+}
+
 // Report runs the requested experiment sections (nil = all) and writes the
-// rendered tables to w. It is the engine behind cmd/paperfigs and
+// rendered text tables to w. It is the engine behind cmd/paperfigs and
 // EXPERIMENTS.md.
-func (r *Runner) Report(w io.Writer, sections []string) error {
-	want := map[string]bool{}
-	if len(sections) == 0 {
-		for _, s := range Sections {
-			want[s] = true
-		}
-	} else {
-		for _, s := range sections {
-			want[s] = true
-		}
+func (s *Scheduler) Report(w io.Writer, sections []string) error {
+	res, err := s.Collect(sections)
+	if err != nil {
+		return err
+	}
+	res.WriteText(w)
+	return nil
+}
+
+// ReportJSON runs the requested experiment sections (nil = all) and writes
+// them to w as indented JSON.
+func (s *Scheduler) ReportJSON(w io.Writer, sections []string) error {
+	res, err := s.Collect(sections)
+	if err != nil {
+		return err
+	}
+	return res.WriteJSON(w)
+}
+
+// WriteJSON marshals the results as indented JSON.
+func (res *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteText renders every collected section as aligned text tables, in
+// the paper's presentation order. Only sections listed in res.Sections
+// render (an empty Results renders nothing — unlike Collect's request
+// argument, an empty list here does not mean "all").
+func (res *Results) WriteText(w io.Writer) {
+	want := make(map[string]bool, len(res.Sections))
+	for _, sec := range res.Sections {
+		want[sec] = true
 	}
 	nl := func() { fmt.Fprintln(w) }
 
@@ -32,114 +191,69 @@ func (r *Runner) Report(w io.Writer, sections []string) error {
 		nl()
 	}
 	if want["fig1"] {
-		rows, err := r.Fig1()
-		if err != nil {
-			return err
-		}
-		WriteFig1(w, rows)
+		WriteFig1(w, res.Fig1)
 		nl()
 	}
 	if want["tableII"] {
-		rows, err := r.TableII()
-		if err != nil {
-			return err
-		}
-		WriteTableII(w, rows)
+		WriteTableII(w, res.TableII)
 		nl()
 	}
 	if want["fig3"] {
-		pts, err := r.Fig3(nil, nil)
-		if err != nil {
-			return err
-		}
-		WriteFig3(w, pts, nil)
+		WriteFig3(w, res.Fig3, nil)
 		nl()
 	}
 	if want["fig4"] {
-		rows, err := r.Fig4()
-		if err != nil {
-			return err
-		}
 		WriteOccupancy(w, "Fig. 4 — L2 access-queue occupancy over usage lifetime",
-			"paper AVG: queues completely full 46% of usage lifetime", rows)
+			"paper AVG: queues completely full 46% of usage lifetime", res.Fig4)
 		nl()
 	}
 	if want["fig5"] {
-		rows, err := r.Fig5()
-		if err != nil {
-			return err
-		}
 		WriteOccupancy(w, "Fig. 5 — DRAM scheduler-queue occupancy over usage lifetime",
-			"paper AVG: queues completely full 39% of usage lifetime", rows)
+			"paper AVG: queues completely full 39% of usage lifetime", res.Fig5)
 		nl()
 	}
 	if want["fig7"] {
-		rows, err := r.Fig7()
-		if err != nil {
-			return err
-		}
 		WriteBreakdown(w, "Fig. 7 — issue-stall distribution",
-			"paper AVG: data-MEM 15%, data-ALU 5.5%, str-MEM 71%, str-ALU 0.5%, fetch 8%", rows)
+			"paper AVG: data-MEM 15%, data-ALU 5.5%, str-MEM 71%, str-ALU 0.5%, fetch 8%", res.Fig7)
 		nl()
 	}
 	if want["fig8"] {
-		rows, err := r.Fig8()
-		if err != nil {
-			return err
-		}
 		WriteBreakdown(w, "Fig. 8 — L2 stall distribution",
-			"paper AVG: bp-ICNT 42%, port 12%, cache 8%, mshr 3%, bp-DRAM 35%", rows)
+			"paper AVG: bp-ICNT 42%, port 12%, cache 8%, mshr 3%, bp-DRAM 35%", res.Fig8)
 		nl()
 	}
 	if want["fig9"] {
-		rows, err := r.Fig9()
-		if err != nil {
-			return err
-		}
 		WriteBreakdown(w, "Fig. 9 — L1 stall distribution",
-			"paper AVG: cache 11%, mshr 41%, bp-L2 48%", rows)
+			"paper AVG: cache 11%, mshr 41%, bp-L2 48%", res.Fig9)
 		nl()
 	}
 	if want["tableIII"] {
 		WriteTableIII(w)
 		nl()
 	}
-	if want["fig10"] {
-		rows, names, err := r.Fig10()
-		if err != nil {
-			return err
-		}
+	if want["fig10"] && res.Fig10 != nil {
 		WriteSpeedups(w, "Fig. 10 — IPC with 4× bandwidth scaling (normalized to baseline)",
-			"paper AVG: L1 1.04, L2 1.59, DRAM 1.11, L1+L2 1.69, L2+DRAM 1.76, All 1.90", rows, names)
+			"paper AVG: L1 1.04, L2 1.59, DRAM 1.11, L1+L2 1.69, L2+DRAM 1.76, All 1.90",
+			res.Fig10.Rows, res.Fig10.Configs)
 		nl()
 	}
 	if want["fig11"] {
-		pts, err := r.Fig11()
-		if err != nil {
-			return err
-		}
-		WriteFig11(w, pts)
+		WriteFig11(w, res.Fig11)
 		nl()
 	}
-	if want["fig12"] {
-		rows, names, err := r.Fig12()
-		if err != nil {
-			return err
-		}
+	if want["fig12"] && res.Fig12 != nil {
 		WriteSpeedups(w, "Fig. 12 — IPC with cost-effective configurations (normalized to baseline)",
-			"paper AVG: 16+48 1.234, 16+68 1.29, 32+52 1.257, HBM 1.11; lavaMD drops 37% on 16+48", rows, names)
-		asym, err := r.AsymmetricOnlySpeedup()
-		if err != nil {
-			return err
+			"paper AVG: 16+48 1.234, 16+68 1.29, 32+52 1.257, HBM 1.11; lavaMD drops 37% on 16+48",
+			res.Fig12.Rows, res.Fig12.Configs)
+		if res.AsymmetricOnly != nil {
+			fmt.Fprintf(w, "standalone 16+48 crossbar without queue scaling: %.3f (paper: 1.155)\n", *res.AsymmetricOnly)
 		}
-		fmt.Fprintf(w, "standalone 16+48 crossbar without queue scaling: %.3f (paper: 1.155)\n", asym)
 		nl()
 	}
 	if want["area"] {
-		WriteArea(w, AreaAnalysis())
+		WriteArea(w, res.Area)
 		nl()
 	}
-	return nil
 }
 
 // WriteTableI renders the baseline architecture parameters.

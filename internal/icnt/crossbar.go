@@ -60,8 +60,8 @@ type Network struct {
 	lockSrc  []int // output → source it is locked to (-1 if free)
 	rr       []int // output → round-robin arbitration pointer
 
-	inCap  int // injection capacity in flits
-	now    int64
+	inCap     int // injection capacity in flits
+	now       int64
 	unbounded bool
 
 	Stats Stats

@@ -53,8 +53,8 @@ type warp struct {
 
 	// bodyIdx and iter track the issue position incrementally
 	// (bodyIdx == issued % len(body), iter == issued / len(body)).
-	bodyIdx int
-	iter    int
+	bodyIdx  int
+	iter     int
 	fetchIdx int // fetch position: fetched % len(body)
 
 	ibuf    [ibufCap]Inst
@@ -164,8 +164,8 @@ type Core struct {
 
 	respFIFO *mem.Queue[*mem.Fetch]
 
-	ring     [ringSize][]ringEvt
-	now      int64
+	ring           [ringSize][]ringEvt
+	now            int64
 	heavyBusyUntil int64
 	injectToggle   bool // alternate data/instruction miss injection
 

@@ -6,7 +6,8 @@
 // is modelled by a kernel whose instruction mix, thread-level parallelism,
 // coalescing degree, working-set geometry, inter-core sharing, store
 // fraction and code footprint are tuned to produce the stream properties
-// the paper reports for its namesake (see workloads.go and DESIGN.md §2).
+// the paper reports for its namesake (each spec in workloads.go carries a
+// comment explaining the substitution).
 //
 // Address generation is a pure function of (core, warp, iteration,
 // instruction), so re-evaluating it on a stalled issue attempt is free of
@@ -101,11 +102,11 @@ const lineBytes = 128
 // Region bases in line-index space (multiplied by lineBytes at the end).
 // Keeping regions disjoint makes every pattern's reuse behaviour explicit.
 const (
-	hotRegionBase   = uint64(0)
-	wsRegionBase    = uint64(1) << 21
-	tileRegionBase  = uint64(1) << 23
+	hotRegionBase    = uint64(0)
+	wsRegionBase     = uint64(1) << 21
+	tileRegionBase   = uint64(1) << 23
 	streamRegionBase = uint64(1) << 25
-	storeRegionBase = uint64(1) << 29
+	storeRegionBase  = uint64(1) << 29
 )
 
 // memSlot describes a memory instruction's position within the body.
@@ -324,7 +325,8 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
-// SortedNames returns workload names in Table II order (by P∞ rank).
+// SortedNames returns the names of byName in alphabetical order — a
+// stable iteration order for callers that hold only the workload map.
 func SortedNames(byName map[string]*smcore.Workload) []string {
 	names := make([]string, 0, len(byName))
 	for n := range byName {

@@ -21,7 +21,7 @@ type Benchmark struct {
 // reuse at the L1, L2 or nowhere; coalescing degree sets transactions per
 // instruction; store fraction loads the request network; TLP and
 // dependency distance set latency tolerance; code footprint drives L1I
-// pressure. See DESIGN.md §2 for the substitution rationale.
+// pressure. The comment on each spec explains the substitution.
 func Table() []Benchmark {
 	return []Benchmark{
 		{
@@ -36,7 +36,7 @@ func Table() []Benchmark {
 				DepDist: 5, Pattern: PatTiled,
 				WorkingSetKB: 48, SharedKB: 128, SharedFrac: 0.3,
 				StoreWindowLines: 16,
-				Seed: 11,
+				Seed:             11,
 			},
 			PaperPInf: 4.90, PaperPDRAM: 1.01,
 		},
@@ -64,7 +64,7 @@ func Table() []Benchmark {
 				DepDist: 3, Pattern: PatHotShared,
 				WorkingSetKB: 512, SharedKB: 96, SharedFrac: 0.7,
 				StoreWindowLines: 16,
-				Seed: 13,
+				Seed:             13,
 			},
 			PaperPInf: 3.23, PaperPDRAM: 1.00,
 		},
@@ -103,7 +103,7 @@ func Table() []Benchmark {
 				LoadsPerIter: 8, StoresPerIter: 2, ALUPerIter: 36,
 				DepDist: 5, Pattern: PatRandomWS,
 				WorkingSetKB: 640,
-				Seed: 16,
+				Seed:         16,
 			},
 			PaperPInf: 3.08, PaperPDRAM: 1.06,
 		},
@@ -116,7 +116,7 @@ func Table() []Benchmark {
 				DepDist: 3, Pattern: PatHotShared,
 				WorkingSetKB: 384, SharedKB: 64, SharedFrac: 0.6,
 				StoreWindowLines: 16,
-				Seed: 17,
+				Seed:             17,
 			},
 			PaperPInf: 2.89, PaperPDRAM: 1.01,
 		},
@@ -130,7 +130,7 @@ func Table() []Benchmark {
 				DepDist: 1, Pattern: PatStrided,
 				LinesPerAccess: 3, StridePages: 131, WorkingSetKB: 384,
 				StoreWindowLines: 16,
-				Seed: 18,
+				Seed:             18,
 			},
 			PaperPInf: 2.84, PaperPDRAM: 1.00,
 		},
@@ -146,7 +146,7 @@ func Table() []Benchmark {
 				DepDist: 4, Pattern: PatHotShared,
 				WorkingSetKB: 256, SharedKB: 64, SharedFrac: 0.8,
 				StoreWindowLines: 32,
-				Seed: 19,
+				Seed:             19,
 			},
 			PaperPInf: 2.70, PaperPDRAM: 1.00,
 		},
@@ -163,7 +163,7 @@ func Table() []Benchmark {
 				LinesPerAccess: 9, StridePages: 173, WorkingSetKB: 384,
 				SharedKB: 8, SharedFrac: 0.72,
 				StoreWindowLines: 32,
-				Seed: 20,
+				Seed:             20,
 			},
 			PaperPInf: 2.70, PaperPDRAM: 1.13,
 		},
@@ -177,7 +177,7 @@ func Table() []Benchmark {
 				DepDist: 1, Pattern: PatStrided,
 				LinesPerAccess: 2, StridePages: 211, WorkingSetKB: 640,
 				StoreWindowLines: 16,
-				Seed: 21,
+				Seed:             21,
 			},
 			PaperPInf: 2.10, PaperPDRAM: 1.00,
 		},
@@ -190,7 +190,7 @@ func Table() []Benchmark {
 				DepDist: 3, Pattern: PatHotShared,
 				WorkingSetKB: 512, SharedKB: 32, SharedFrac: 0.5,
 				StoreWindowLines: 16,
-				Seed: 22,
+				Seed:             22,
 			},
 			PaperPInf: 1.98, PaperPDRAM: 1.00,
 		},
@@ -204,7 +204,7 @@ func Table() []Benchmark {
 				DepDist: 8, Pattern: PatStream,
 				SharedKB: 192, SharedFrac: 0.3,
 				StoreWindowLines: 64,
-				Seed: 23,
+				Seed:             23,
 			},
 			PaperPInf: 1.51, PaperPDRAM: 1.19,
 		},
@@ -217,7 +217,7 @@ func Table() []Benchmark {
 				LoadsPerIter: 2, StoresPerIter: 2, ALUPerIter: 46,
 				DepDist: 6, Pattern: PatRandomWS,
 				WorkingSetKB: 640,
-				Seed: 24,
+				Seed:         24,
 			},
 			PaperPInf: 1.49, PaperPDRAM: 1.08,
 		},
@@ -231,7 +231,7 @@ func Table() []Benchmark {
 				DepDist: 0, Pattern: PatStrided,
 				LinesPerAccess: 2, StridePages: 61, WorkingSetKB: 256,
 				StoreWindowLines: 32,
-				Seed: 25,
+				Seed:             25,
 			},
 			PaperPInf: 1.43, PaperPDRAM: 1.09,
 		},
@@ -246,7 +246,7 @@ func Table() []Benchmark {
 				DepDist: 10, Pattern: PatStream,
 				SharedKB: 256, SharedFrac: 0.45,
 				StoreWindowLines: 64,
-				Seed: 26,
+				Seed:             26,
 			},
 			PaperPInf: 1.23, PaperPDRAM: 1.20,
 		},
@@ -260,7 +260,7 @@ func Table() []Benchmark {
 				DepDist: 3, Pattern: PatStream,
 				SharedKB: 96, SharedFrac: 0.4,
 				StoreWindowLines: 32,
-				Seed: 27,
+				Seed:             27,
 			},
 			PaperPInf: 1.20, PaperPDRAM: 1.14,
 		},
@@ -272,9 +272,9 @@ func Table() []Benchmark {
 				WarpsPerCore: 48, Iters: 20,
 				LoadsPerIter: 4, StoresPerIter: 1, ALUPerIter: 22, HeavyPerIter: 2,
 				DepDist: 8, Pattern: PatTiled,
-				WorkingSetKB: 24,
+				WorkingSetKB:     24,
 				StoreWindowLines: 32,
-				Seed: 28,
+				Seed:             28,
 			},
 			PaperPInf: 1.16, PaperPDRAM: 1.09,
 		},
