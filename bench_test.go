@@ -1,7 +1,9 @@
 // Benchmarks that regenerate every table and figure of the paper's
 // evaluation. Each benchmark reports its headline quantity via
 // b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
-// reproduction harness; `bench_output.txt` records the results.
+// reproduction harness. Wall-time results for the pinned subset live in
+// BENCH.json at the repository root (regenerated via tools/benchguard and
+// enforced by the CI benchmark-regression gate).
 //
 // Simulations are memoized in a shared runner: the 19 baseline runs feed
 // Figs. 1, 4, 5, 7, 8, 9 and every speedup denominator, so the full

@@ -19,6 +19,7 @@ import (
 	"gpumembw/internal/area"
 	"gpumembw/internal/config"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/prof"
 )
 
 func main() {
@@ -26,7 +27,14 @@ func main() {
 	factor := flag.Int("factor", 4, "scaling factor for the selected levels")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all 19)")
 	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
+	profiles := prof.AddFlags()
 	flag.Parse()
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer profiles.Stop()
 
 	cfg := gpumembw.Baseline()
 	cfg.Name = fmt.Sprintf("%s-%dx", *levels, *factor)
@@ -78,6 +86,7 @@ func main() {
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		profiles.Stop() // os.Exit skips the deferred call
 		os.Exit(1)
 	}
 
@@ -87,6 +96,7 @@ func main() {
 		sp, err := s.Speedup(cfg, b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			profiles.Stop() // os.Exit skips the deferred call
 			os.Exit(1)
 		}
 		fmt.Printf("%-12s %9.2fx\n", b, sp)

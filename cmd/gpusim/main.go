@@ -5,6 +5,7 @@
 //
 //	gpusim -bench mm -config baseline
 //	gpusim -bench mm -config L2-4x -json
+//	gpusim -bench mm -cpuprofile p.out
 //	gpusim -list
 package main
 
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"gpumembw"
+	"gpumembw/internal/prof"
 )
 
 func main() {
@@ -24,7 +26,14 @@ func main() {
 	cfgName := flag.String("config", "baseline", "configuration preset (see -list)")
 	asJSON := flag.Bool("json", false, "emit the metrics as JSON")
 	list := flag.Bool("list", false, "list benchmarks and configurations")
+	profiles := prof.AddFlags()
 	flag.Parse()
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer profiles.Stop()
 
 	if *list {
 		fmt.Println("benchmarks (Table II order):")
@@ -57,6 +66,7 @@ func main() {
 	m, err := s.Run(cfg, *bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		profiles.Stop() // os.Exit skips the deferred call
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)

@@ -11,6 +11,7 @@
 //	paperfigs -j 8               # worker-pool size (default GOMAXPROCS)
 //	paperfigs -json              # machine-readable results
 //	paperfigs -o EXPERIMENTS.out # write to a file
+//	paperfigs -cpuprofile p.out  # profile the run for go tool pprof
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"gpumembw/internal/exp"
+	"gpumembw/internal/prof"
 )
 
 func main() {
@@ -30,7 +32,14 @@ func main() {
 	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
+	profiles := prof.AddFlags()
 	flag.Parse()
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer profiles.Stop()
 
 	var sections []string
 	if *only != "" {
@@ -65,6 +74,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		profiles.Stop() // os.Exit skips the deferred call
 		os.Exit(1)
 	}
 	st := s.Stats()

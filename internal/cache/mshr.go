@@ -38,8 +38,12 @@ func (r AllocResult) String() string {
 // from outstanding miss line address to the requesters waiting on its fill.
 // maxEntries ≤ 0 makes it unbounded (ideal modes); maxMerge ≤ 0 allows
 // unlimited merging.
+//
+// Released waiter lists keep their backing arrays on an internal spare
+// list, so steady-state allocate/release cycles are allocation-free.
 type MSHR[T any] struct {
 	entries    map[uint64][]T
+	spare      [][]T // backing arrays of released entries, ready for reuse
 	maxEntries int
 	maxMerge   int
 }
@@ -92,7 +96,13 @@ func (m *MSHR[T]) Allocate(addr uint64, item T) AllocResult {
 	if m.Full() {
 		return AllocFullEntries
 	}
-	m.entries[addr] = []T{item}
+	if n := len(m.spare); n > 0 {
+		ws := m.spare[n-1][:0]
+		m.spare = m.spare[:n-1]
+		m.entries[addr] = append(ws, item)
+	} else {
+		m.entries[addr] = []T{item}
+	}
 	return AllocNew
 }
 
@@ -104,11 +114,16 @@ func (m *MSHR[T]) Waiters(addr uint64) []T {
 
 // Release completes the miss on addr, removing the entry and returning
 // every waiter (primary first, in allocation order).
+//
+// The returned slice aliases a backing array the MSHR will reuse: it is
+// valid only until the next Allocate. Callers consume it immediately (the
+// fill path iterates the waiters and moves on), so no copy is made.
 func (m *MSHR[T]) Release(addr uint64) []T {
 	waiters, ok := m.entries[addr]
 	if !ok {
 		return nil
 	}
 	delete(m.entries, addr)
+	m.spare = append(m.spare, waiters)
 	return waiters
 }

@@ -8,7 +8,10 @@
 // pipeline ("cache" stalls in Figs. 8 and 9).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // LineState is the state of one cache line.
 type LineState uint8
@@ -57,11 +60,28 @@ type Victim struct {
 // IndexStride spreads addresses across banked caches: the set index of a
 // line is (addr/lineBytes/indexStride) mod sets, so a bank receiving every
 // numBanks-th line still uses all its sets.
+//
+// Lines live in one flat slab (ways consecutive per set) and the index
+// arithmetic strength-reduces its divisions to shifts and masks where the
+// geometry allows — the tag lookup sits on the per-access hot path of both
+// cache levels.
 type TagArray struct {
-	sets        [][]line
-	lineBytes   uint64
-	indexStride uint64
-	clock       int64 // monotonic access counter driving LRU
+	lines     []line // numSets * ways, set-major
+	numSets   int
+	ways      int
+	lineBytes uint64
+
+	// idxDiv is lineBytes*indexStride: floor(floor(a/b)/c) == floor(a/(b*c))
+	// for positive integers, so one division replaces the original two.
+	// idxShift/setMask are the shift-and-mask fast path, valid when
+	// idxShift >= 0 (idxDiv a power of two) / setMask != 0 (numSets a
+	// power of two).
+	idxDiv   uint64
+	idxShift int
+	setMask  uint64
+	lineMask uint64 // lineBytes-1 when a power of two, else 0
+
+	clock int64 // monotonic access counter driving LRU
 }
 
 // NewTagArray builds a tag array with the given geometry. indexStride must
@@ -72,34 +92,63 @@ func NewTagArray(sets, ways, lineBytes, indexStride int) *TagArray {
 			sets, ways, lineBytes, indexStride))
 	}
 	t := &TagArray{
-		sets:        make([][]line, sets),
-		lineBytes:   uint64(lineBytes),
-		indexStride: uint64(indexStride),
+		lines:     make([]line, sets*ways),
+		numSets:   sets,
+		ways:      ways,
+		lineBytes: uint64(lineBytes),
+		idxDiv:    uint64(lineBytes) * uint64(indexStride),
+		idxShift:  -1,
 	}
-	for i := range t.sets {
-		t.sets[i] = make([]line, ways)
+	if isPow2(t.idxDiv) {
+		t.idxShift = bits.TrailingZeros64(t.idxDiv)
+	}
+	if isPow2(uint64(sets)) {
+		t.setMask = uint64(sets) - 1
+	}
+	if isPow2(t.lineBytes) {
+		t.lineMask = t.lineBytes - 1
 	}
 	return t
 }
 
+func isPow2(v uint64) bool { return v&(v-1) == 0 }
+
 // Sets returns the number of sets.
-func (t *TagArray) Sets() int { return len(t.sets) }
+func (t *TagArray) Sets() int { return t.numSets }
 
 // Ways returns the associativity.
-func (t *TagArray) Ways() int { return len(t.sets[0]) }
+func (t *TagArray) Ways() int { return t.ways }
 
 // LineAddr returns addr rounded down to its cache-line base.
 func (t *TagArray) LineAddr(addr uint64) uint64 {
+	if t.lineMask != 0 {
+		return addr &^ t.lineMask
+	}
 	return addr - addr%t.lineBytes
 }
 
 func (t *TagArray) setIndex(addr uint64) int {
-	return int(addr / t.lineBytes / t.indexStride % uint64(len(t.sets)))
+	var idx uint64
+	if t.idxShift >= 0 {
+		idx = addr >> uint(t.idxShift)
+	} else {
+		idx = addr / t.idxDiv
+	}
+	if t.setMask != 0 {
+		return int(idx & t.setMask)
+	}
+	return int(idx % uint64(t.numSets))
+}
+
+// set returns the ways of the set holding addr (addr need not be aligned).
+func (t *TagArray) set(addr uint64) []line {
+	i := t.setIndex(addr) * t.ways
+	return t.lines[i : i+t.ways]
 }
 
 func (t *TagArray) find(addr uint64) *line {
 	addr = t.LineAddr(addr)
-	set := t.sets[t.setIndex(addr)]
+	set := t.set(addr)
 	for i := range set {
 		if set[i].state != Invalid && set[i].addr == addr {
 			return &set[i]
@@ -160,7 +209,7 @@ func (t *TagArray) Invalidate(addr uint64) bool {
 // (non-reserved) way — i.e. whether ReserveVictim can succeed. A false
 // return is the paper's "lack of replaceable cache lines" structural hazard.
 func (t *TagArray) HasReplaceable(addr uint64) bool {
-	set := t.sets[t.setIndex(t.LineAddr(addr))]
+	set := t.set(t.LineAddr(addr))
 	for i := range set {
 		if set[i].state != Reserved {
 			return true
@@ -175,7 +224,7 @@ func (t *TagArray) HasReplaceable(addr uint64) bool {
 // Fill. It fails (ok=false) when every way in the set is reserved.
 func (t *TagArray) ReserveVictim(addr uint64) (victim Victim, ok bool) {
 	addr = t.LineAddr(addr)
-	set := t.sets[t.setIndex(addr)]
+	set := t.set(addr)
 	chosen := -1
 	for i := range set {
 		switch set[i].state {
@@ -225,7 +274,7 @@ func (t *TagArray) Fill(addr uint64) Victim {
 // ReservedCount returns the number of reserved lines in the set for addr
 // (used by tests and congestion diagnostics).
 func (t *TagArray) ReservedCount(addr uint64) int {
-	set := t.sets[t.setIndex(t.LineAddr(addr))]
+	set := t.set(t.LineAddr(addr))
 	n := 0
 	for i := range set {
 		if set[i].state == Reserved {

@@ -186,7 +186,8 @@ func TestTagArrayInvariants(t *testing.T) {
 				}
 			}
 			// No set may hold duplicate tags.
-			for _, set := range ta.sets {
+			for s := 0; s < ta.Sets(); s++ {
+				set := ta.lines[s*ta.ways : (s+1)*ta.ways]
 				tags := map[uint64]int{}
 				for _, l := range set {
 					if l.state != Invalid {

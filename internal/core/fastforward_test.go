@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/smcore"
+	"gpumembw/internal/trace"
+)
+
+// runPair runs the same cell with the idle fast-forward enabled and
+// disabled and returns both results.
+func runPair(t *testing.T, cfg config.Config, wl *smcore.Workload) (ff, slow Metrics, ffErr, slowErr error) {
+	t.Helper()
+	ff, ffErr, _ = runOnce(t, cfg, wl, false)
+	slow, slowErr, _ = runOnce(t, cfg, wl, true)
+	return ff, slow, ffErr, slowErr
+}
+
+func runOnce(t *testing.T, cfg config.Config, wl *smcore.Workload, noFF bool) (Metrics, error, int64) {
+	t.Helper()
+	g, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.noFastForward = noFF
+	m, err := g.Run()
+	return m, err, g.ffSkipped
+}
+
+// requireIdentical fails unless the two runs agree on every metric.
+func requireIdentical(t *testing.T, name string, ff, slow Metrics, ffErr, slowErr error) {
+	t.Helper()
+	if (ffErr == nil) != (slowErr == nil) {
+		t.Fatalf("%s: fast-forward error %v, reference error %v", name, ffErr, slowErr)
+	}
+	if !reflect.DeepEqual(ff, slow) {
+		t.Errorf("%s: fast-forward changed the metrics\nwith skip: %+v\nreference: %+v", name, ff, slow)
+	}
+}
+
+// TestFastForwardInvisible verifies the tentpole guarantee: skipping idle
+// cycles must leave every collected metric byte-identical, in each
+// simulation mode.
+func TestFastForwardInvisible(t *testing.T) {
+	wls := trace.Workloads()
+	small := func(cfg config.Config) config.Config {
+		cfg.Core.NumCores = 2
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"normal", small(config.Baseline())},
+		{"p-inf", small(config.InfiniteBW())},
+		{"p-dram", small(config.InfiniteDRAM())},
+		{"fixed-lat-200", small(config.FixedL1MissLatency(200))},
+		{"fixed-lat-800", small(config.FixedL1MissLatency(800))},
+	}
+	var skippedAnywhere int64
+	for _, bench := range []string{"mm", "ii", "bfs'"} {
+		wl := wls[bench]
+		if wl == nil {
+			t.Fatalf("unknown benchmark %q", bench)
+		}
+		for _, tc := range cases {
+			ff, ffErr, skipped := runOnce(t, tc.cfg, wl, false)
+			slow, slowErr, _ := runOnce(t, tc.cfg, wl, true)
+			requireIdentical(t, bench+"/"+tc.name, ff, slow, ffErr, slowErr)
+			skippedAnywhere += skipped
+		}
+	}
+	if skippedAnywhere == 0 {
+		t.Error("fast-forward never skipped a cycle; the comparison is vacuous")
+	}
+}
+
+// TestFastForwardMaxCyclesMidSkip truncates the simulation at a wall of
+// cycles chosen to land inside a fast-forwarded span: the skip must stop
+// exactly at MaxCycles with the truncation flag set, as if every cycle had
+// been ticked.
+func TestFastForwardMaxCyclesMidSkip(t *testing.T) {
+	wls := trace.Workloads()
+	cfg := config.FixedL1MissLatency(800)
+	cfg.Core.NumCores = 1
+
+	// Probe a range of walls; with an 800-cycle miss latency several of
+	// them land inside a fast-forwarded span.
+	var skippedAnywhere int64
+	for _, wall := range []int64{500, 1000, 2000, 5000} {
+		c := cfg
+		c.MaxCycles = wall
+		ff, ffErr, skipped := runOnce(t, c, wls["mm"], false)
+		slow, slowErr, _ := runOnce(t, c, wls["mm"], true)
+		requireIdentical(t, "maxcycles-mid-skip", ff, slow, ffErr, slowErr)
+		if ff.Cycles > wall {
+			t.Errorf("wall %d: truncated run reports %d cycles", wall, ff.Cycles)
+		}
+		if !ff.Truncated {
+			t.Errorf("wall %d: run was not truncated", wall)
+		}
+		skippedAnywhere += skipped
+	}
+	if skippedAnywhere == 0 {
+		t.Error("fast-forward never skipped before a wall; the test is vacuous")
+	}
+}
+
+// TestFastForwardLivelockWindow verifies that the 200k-cycle livelock
+// detector fires at the same cycle, with the same error, whether or not
+// idle spans are skipped.
+func TestFastForwardLivelockWindow(t *testing.T) {
+	// A load generating more transactions than the memory pipeline can
+	// ever hold stalls str-MEM forever: no ring events, no progress.
+	cfg := config.Baseline()
+	cfg.Core.NumCores = 1
+	cfg.Core.MemPipelineWidth = 2
+	wl := &smcore.Workload{
+		Name:         "livelock",
+		Program:      smcore.Program{Body: []smcore.Inst{{Kind: smcore.OpLoad, Dest: 1, Src1: -1, Src2: -1}}, Iters: 2, CodeBase: 1 << 40},
+		WarpsPerCore: 1,
+		Addr: func(buf []uint64, coreID, warpID, iter, instIdx int) []uint64 {
+			for k := 0; k < 4; k++ { // 4 lines > width 2
+				buf = append(buf, uint64(k)<<7)
+			}
+			return buf
+		},
+	}
+	ff, slow, ffErr, slowErr := runPair(t, cfg, wl)
+	if !errors.Is(ffErr, ErrLivelock) || !errors.Is(slowErr, ErrLivelock) {
+		t.Fatalf("expected livelock from both runs, got %v / %v", ffErr, slowErr)
+	}
+	if ffErr.Error() != slowErr.Error() {
+		t.Errorf("livelock errors differ:\nwith skip: %v\nreference: %v", ffErr, slowErr)
+	}
+	requireIdentical(t, "livelock", ff, slow, nil, nil)
+}
+
+// TestFastForwardClockAccumulators verifies the clock-domain accumulators
+// stay bit-exact across skips: the 700 MHz and 924 MHz domains must have
+// ticked the same number of times, leaving identical fractional state.
+func TestFastForwardClockAccumulators(t *testing.T) {
+	wls := trace.Workloads()
+	cfg := config.Baseline()
+	cfg.Core.NumCores = 2
+
+	g1, err := New(cfg, wls["ii"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(cfg, wls["ii"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.noFastForward = true
+	if _, err := g2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.icntAcc != g2.icntAcc || g1.dramAcc != g2.dramAcc {
+		t.Errorf("accumulators diverged: icnt %v vs %v, dram %v vs %v",
+			g1.icntAcc, g2.icntAcc, g1.dramAcc, g2.dramAcc)
+	}
+	if g1.cycle != g2.cycle {
+		t.Errorf("cycle counts diverged: %d vs %d", g1.cycle, g2.cycle)
+	}
+	if a, b := g1.req.Stats.Cycles, g2.req.Stats.Cycles; a != b {
+		t.Errorf("request-network cycle counts diverged: %d vs %d", a, b)
+	}
+	if a, b := g1.parts[0].DRAM.Stats, g2.parts[0].DRAM.Stats; !reflect.DeepEqual(a, b) {
+		t.Errorf("DRAM stats diverged: %+v vs %+v", a, b)
+	}
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"gpumembw/internal/cache"
 	"gpumembw/internal/config"
@@ -39,6 +40,7 @@ type GPU struct {
 	reply *icnt.Network
 	parts []*l2.Partition
 	amap  dram.AddrMap
+	pool  *mem.FetchPool
 
 	idealL2 *cache.TagArray // functional L2 for ModeInfiniteBW
 
@@ -47,6 +49,12 @@ type GPU struct {
 	dramAcc   float64
 	fetchID   uint64
 	truncated bool
+
+	// noFastForward disables the idle fast-forward; tests use it to
+	// verify that skipping is invisible in every metric. ffSkipped counts
+	// the cycles the fast-forward jumped over (diagnostics and tests).
+	noFastForward bool
+	ffSkipped     int64
 }
 
 // New assembles a GPU for the given configuration and workload.
@@ -60,11 +68,12 @@ func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
 	if wl.Addr == nil {
 		return nil, fmt.Errorf("core: workload %q has no address generator", wl.Name)
 	}
-	g := &GPU{cfg: cfg, wl: wl, amap: dram.NewAddrMap(&cfg)}
+	g := &GPU{cfg: cfg, wl: wl, amap: dram.NewAddrMap(&cfg), pool: &mem.FetchPool{}}
 
 	newFetch := func(addr uint64, typ mem.AccessType, size, coreID, warpID int, issueCycle int64) *mem.Fetch {
 		g.fetchID++
-		f := &mem.Fetch{
+		f := g.pool.Get()
+		*f = mem.Fetch{
 			ID: g.fetchID, Addr: addr, Type: typ, SizeBytes: size,
 			CoreID: coreID, WarpID: warpID, IssueCycle: issueCycle,
 		}
@@ -74,7 +83,9 @@ func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
 	}
 
 	for i := 0; i < cfg.Core.NumCores; i++ {
-		g.cores = append(g.cores, smcore.NewCore(i, &g.cfg, wl, newFetch))
+		c := smcore.NewCore(i, &g.cfg, wl, newFetch)
+		c.SetFetchPool(g.pool)
+		g.cores = append(g.cores, c)
 	}
 
 	switch cfg.Mode {
@@ -87,7 +98,9 @@ func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
 		g.reply = icnt.NewNetwork("reply", cfg.L2.NumBanks, cfg.Core.NumCores,
 			cfg.Icnt.ReplyFlitBytes, cfg.Icnt.InputBufFlits, cfg.Icnt.OutputBufPackets, cfg.Icnt.LatencyCycles)
 		for p := 0; p < cfg.DRAM.NumPartitions; p++ {
-			g.parts = append(g.parts, l2.NewPartition(p, &g.cfg))
+			part := l2.NewPartition(p, &g.cfg)
+			part.SetFetchPool(g.pool)
+			g.parts = append(g.parts, part)
 		}
 		for _, c := range g.cores {
 			c.SetInject(func(f *mem.Fetch) bool {
@@ -161,6 +174,7 @@ func (g *GPU) Run() (Metrics, error) {
 			if normal && c.CanAcceptResponse() {
 				if pkt, ok := g.reply.Pop(c.ID); ok {
 					c.AcceptResponse(pkt.Fetch)
+					g.reply.Release(pkt)
 				}
 			}
 			c.Tick()
@@ -185,8 +199,102 @@ func (g *GPU) Run() (Metrics, error) {
 			return g.collect(), fmt.Errorf("%w after cycle %d: %s",
 				ErrLivelock, lastProgress, g.cores[0].OutstandingWork())
 		}
+
+		if !g.noFastForward {
+			g.fastForward(normal, icntRatio, dramRatio, lastProgress)
+			// Re-run the loop-exit checks the skipped cycles flew past:
+			// the skip target is clamped to both limits, so landing on one
+			// reproduces exactly the cycle the unskipped run stopped at.
+			if g.cfg.MaxCycles > 0 && g.cycle >= g.cfg.MaxCycles {
+				g.truncated = true
+				break
+			}
+			if g.cycle-lastProgress > 200_000 {
+				return g.collect(), fmt.Errorf("%w after cycle %d: %s",
+					ErrLivelock, lastProgress, g.cores[0].OutstandingWork())
+			}
+		}
 	}
 	return g.collect(), nil
+}
+
+// fastForward skips over cycles in which no component can do any work:
+// every core is parked on fixed-latency completions (its next wake-up
+// cycle is known) and, in ModeNormal, the networks and memory partitions
+// are completely drained. The skipped cycles are bulk-accounted so that
+// every statistic — active cycles, replayed stall attributions, clock-
+// domain ratios — is identical to ticking through them one by one.
+//
+// Vijaykumar et al. (Memory Systems section of PAPERS.md) treat idle GPU
+// resources as exploitable slack; here the slack is the simulator's own
+// idle cycles, and skipping them is pure wall-clock profit.
+func (g *GPU) fastForward(normal bool, icntRatio, dramRatio float64, lastProgress int64) {
+	wake := int64(math.MaxInt64)
+	for _, c := range g.cores {
+		w, ok := c.NextWake()
+		if !ok {
+			return
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	// wake == MaxInt64 would mean every core is done; Run already breaks.
+	if wake == math.MaxInt64 || wake-1 <= g.cycle {
+		return
+	}
+	if normal {
+		if g.req.InFlight() != 0 || g.reply.InFlight() != 0 {
+			return
+		}
+		for _, p := range g.parts {
+			if !p.Idle() {
+				return
+			}
+		}
+	}
+	// Stop one cycle short of the wake-up so the event fires inside a
+	// normal Tick, and never skip past the truncation or livelock checks.
+	target := wake - 1
+	if g.cfg.MaxCycles > 0 && target > g.cfg.MaxCycles {
+		target = g.cfg.MaxCycles
+	}
+	if limit := lastProgress + 200_001; target > limit {
+		target = limit
+	}
+	if target <= g.cycle {
+		return
+	}
+
+	if normal {
+		// Step the clock-domain accumulators cycle by cycle — the exact
+		// float sequence the unskipped loop would produce — counting how
+		// many (idle) domain ticks each accumulates.
+		var icntTicks, dramTicks int64
+		for i := g.cycle; i < target; i++ {
+			g.icntAcc += icntRatio
+			for g.icntAcc >= 1 {
+				g.icntAcc--
+				icntTicks++
+			}
+			g.dramAcc += dramRatio
+			for g.dramAcc >= 1 {
+				g.dramAcc--
+				dramTicks++
+			}
+		}
+		g.req.SkipTicks(icntTicks)
+		g.reply.SkipTicks(icntTicks)
+		for _, p := range g.parts {
+			p.SkipTicks(icntTicks)
+			p.DRAM.SkipTicks(dramTicks)
+		}
+	}
+	for _, c := range g.cores {
+		c.SkipTo(target)
+	}
+	g.ffSkipped += target - g.cycle
+	g.cycle = target
 }
 
 // tickIcntDomain advances the 700 MHz domain one cycle: both crossbars and
@@ -200,6 +308,7 @@ func (g *GPU) tickIcntDomain() {
 			if pkt, ok := g.req.Peek(bank.ID); ok && bank.CanAccept() {
 				g.req.Pop(bank.ID)
 				bank.Accept(pkt.Fetch)
+				g.req.Release(pkt)
 			}
 		}
 		p.TickL2()

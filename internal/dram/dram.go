@@ -116,6 +116,8 @@ type Channel struct {
 	infinite    bool
 	infiniteLat int64 // in command-clock cycles
 
+	pool *mem.FetchPool // optional freelist for fetches that die here
+
 	Stats Stats
 }
 
@@ -144,6 +146,10 @@ func NewChannel(id int, cfg *config.Config) *Channel {
 	return ch
 }
 
+// SetFetchPool wires the freelist that receives fetches completing their
+// life at the DRAM (stores and write-backs). A nil pool is valid.
+func (c *Channel) SetFetchPool(p *mem.FetchPool) { c.pool = p }
+
 // Full reports whether the scheduler queue cannot accept another request.
 // A full scheduler queue is what backs up the L2 miss queue (bp-DRAM).
 func (c *Channel) Full() bool { return c.sched.Full() }
@@ -166,15 +172,26 @@ func (c *Channel) Push(f *mem.Fetch) bool {
 			c.Stats.Reads++
 		} else {
 			c.Stats.Writes++
+			c.pool.Put(f) // stores are fire-and-forget
 		}
 		return true
 	}
+	// Stamp the DRAM coordinates once: the FR-FCFS scans below re-read
+	// them every command cycle the request sits in the queue.
+	f.DRAMBank, f.DRAMRow = c.amap.BankRow(f.Addr)
 	return c.sched.Push(f)
 }
 
 // PopResponse removes the oldest completed read, if any.
 func (c *Channel) PopResponse() (*mem.Fetch, bool) {
 	return c.ret.Pop()
+}
+
+// SkipTicks advances the command clock by n cycles without doing any work.
+// Valid only while the channel is Idle(): the caller's idle fast-forward
+// guarantees every skipped Tick would have been a no-op.
+func (c *Channel) SkipTicks(n int64) {
+	c.now += n
 }
 
 // PeekResponse returns the oldest completed read without removing it.
@@ -184,7 +201,15 @@ func (c *Channel) PeekResponse() (*mem.Fetch, bool) { return c.ret.Peek() }
 func (c *Channel) Tick() {
 	c.now++
 	if c.infinite {
-		c.completeInfinite()
+		if len(c.inflight) > 0 {
+			c.completeInfinite()
+		}
+		return
+	}
+	if c.sched.Empty() && len(c.inflight) == 0 && c.ret.Empty() {
+		// Fully idle: every statement below is a no-op (no bursts to
+		// retire, no pending work to count, occupancy observations of
+		// empty queues are outside their usage lifetime).
 		return
 	}
 
@@ -252,9 +277,8 @@ func (c *Channel) issueReadyCAS() bool {
 	}
 	for i := 0; i < c.sched.Len(); i++ {
 		f := c.sched.At(i)
-		bank, row := c.amap.BankRow(f.Addr)
-		b := &c.banks[bank]
-		if b.openRow != row || b.casReady > c.now {
+		b := &c.banks[f.DRAMBank]
+		if b.openRow != f.DRAMRow || b.casReady > c.now {
 			continue
 		}
 		isRead := f.Type.NeedsReply()
@@ -293,6 +317,7 @@ func (c *Channel) issueReadyCAS() bool {
 			c.Stats.Writes++
 			c.readAfter = dataEnd + int64(t.CDLR)
 			b.preReady = maxI64(b.preReady, dataEnd+int64(t.WR))
+			c.pool.Put(f) // the write is absorbed; no response travels back
 		}
 		return true
 	}
@@ -305,9 +330,8 @@ func (c *Channel) issueRowCommand() {
 	t := c.cfg.DRAM.Timing
 	for i := 0; i < c.sched.Len(); i++ {
 		f := c.sched.At(i)
-		bank, row := c.amap.BankRow(f.Addr)
-		b := &c.banks[bank]
-		if b.openRow == row {
+		b := &c.banks[f.DRAMBank]
+		if b.openRow == f.DRAMRow {
 			continue // waiting on CAS timing only
 		}
 		if b.openRow >= 0 {
@@ -320,7 +344,7 @@ func (c *Channel) issueRowCommand() {
 			continue
 		}
 		if b.actReady <= c.now && c.nextAct <= c.now {
-			b.openRow = row
+			b.openRow = f.DRAMRow
 			b.casReady = c.now + int64(t.RCD)
 			b.preReady = c.now + int64(t.RAS)
 			b.actReady = c.now + int64(t.RC)

@@ -11,6 +11,12 @@
 // Ejection-FIFO slots are reserved when a packet wins arbitration, so a full
 // sink propagates backpressure into the network and from there into the
 // senders' queues — the bp-ICNT and bp-L2 effects of Figs. 8 and 9.
+//
+// The switch tracks activity per output: headDst records which destination
+// each source's head packet targets, and dstWork counts the sources
+// currently targeting each output, so Tick touches only outputs with work
+// and arbitration reads an int array instead of peeking every injection
+// FIFO. An idle crossbar cycle costs one compare per output.
 package icnt
 
 import (
@@ -55,10 +61,14 @@ type Network struct {
 	in  []*mem.Queue[*Packet] // per-source injection FIFOs
 	out []*mem.Queue[*Packet] // per-destination ejection FIFOs
 
-	inFlits  []int // flits resident in each injection FIFO
-	outResvd []int // ejection slots reserved by in-transfer packets
-	lockSrc  []int // output → source it is locked to (-1 if free)
-	rr       []int // output → round-robin arbitration pointer
+	inFlits  []int   // flits resident in each injection FIFO
+	outResvd []int   // ejection slots reserved by in-transfer packets
+	lockSrc  []int   // output → source it is locked to (-1 if free)
+	rr       []int   // output → round-robin arbitration pointer
+	headDst  []int32 // source → destination of its head packet (-1 if empty)
+	dstWork  []int32 // output → number of sources whose head targets it
+
+	pool []*Packet // freelist of released packets
 
 	inCap     int // injection capacity in flits
 	now       int64
@@ -82,11 +92,14 @@ func NewNetwork(name string, sources, dests, flitBytes, inCapFlits, outCapPacket
 		outResvd:  make([]int, dests),
 		lockSrc:   make([]int, dests),
 		rr:        make([]int, dests),
+		headDst:   make([]int32, sources),
+		dstWork:   make([]int32, dests),
 		inCap:     inCapFlits,
 		unbounded: outCapPackets <= 0,
 	}
 	for i := range n.in {
 		n.in[i] = mem.NewQueue[*Packet](0) // flit budget enforced separately
+		n.headDst[i] = -1
 	}
 	for i := range n.out {
 		n.out[i] = mem.NewQueue[*Packet](outCapPackets)
@@ -115,7 +128,12 @@ func (n *Network) Inject(f *mem.Fetch, src, dst, bytes int) bool {
 	if !n.CanInject(src, bytes) {
 		return false
 	}
-	p := &Packet{Fetch: f, Src: src, Dst: dst, Flits: mem.Flits(bytes, n.flitBytes)}
+	p := n.getPacket()
+	*p = Packet{Fetch: f, Src: src, Dst: dst, Flits: mem.Flits(bytes, n.flitBytes)}
+	if n.in[src].Empty() {
+		n.headDst[src] = int32(dst)
+		n.dstWork[dst]++
+	}
 	n.in[src].Push(p)
 	n.inFlits[src] += p.Flits
 	n.Stats.PacketsInjected++
@@ -132,7 +150,9 @@ func (n *Network) Peek(dst int) (*Packet, bool) {
 	return p, true
 }
 
-// Pop consumes the packet waiting at destination dst.
+// Pop consumes the packet waiting at destination dst. The returned packet
+// belongs to the caller; Release recycles it once its fetch has been
+// handed on.
 func (n *Network) Pop(dst int) (*Packet, bool) {
 	p, ok := n.Peek(dst)
 	if !ok {
@@ -143,14 +163,43 @@ func (n *Network) Pop(dst int) (*Packet, bool) {
 	return p, true
 }
 
+// Release returns a packet obtained from Pop to the network's freelist.
+// Optional: unreleased packets are simply garbage collected.
+func (n *Network) Release(p *Packet) {
+	if p != nil {
+		n.pool = append(n.pool, p)
+	}
+}
+
+func (n *Network) getPacket() *Packet {
+	if l := len(n.pool); l > 0 {
+		p := n.pool[l-1]
+		n.pool = n.pool[:l-1]
+		return p
+	}
+	return &Packet{}
+}
+
 // Tick advances the crossbar one interconnect cycle: every output port
-// moves at most one flit from its locked (or newly arbitrated) source.
+// with pending work moves at most one flit from its locked (or newly
+// arbitrated) source.
 func (n *Network) Tick() {
 	n.now++
 	n.Stats.Cycles++
-	for d := range n.out {
-		n.tickOutput(d)
+	for d, w := range n.dstWork {
+		if w != 0 {
+			n.tickOutput(d)
+		}
 	}
+}
+
+// SkipTicks advances the network clock by n cycles without doing any work.
+// Valid only while the network is completely empty (InFlight() == 0): the
+// caller's idle fast-forward guarantees every skipped Tick would have been
+// a no-op beyond the cycle counters.
+func (n *Network) SkipTicks(ticks int64) {
+	n.now += ticks
+	n.Stats.Cycles += ticks
 }
 
 func (n *Network) tickOutput(d int) {
@@ -177,6 +226,13 @@ func (n *Network) tickOutput(d int) {
 	n.Stats.BusyOutputCycles++
 	if p.sent >= p.Flits {
 		n.in[src].Pop()
+		n.dstWork[d]--
+		if next, ok := n.in[src].Peek(); ok {
+			n.headDst[src] = int32(next.Dst)
+			n.dstWork[next.Dst]++
+		} else {
+			n.headDst[src] = -1
+		}
 		n.lockSrc[d] = -1
 		n.outResvd[d]--
 		p.ready = n.now + n.latency
@@ -194,11 +250,18 @@ func (n *Network) arbitrate(d int) int {
 		return -1
 	}
 	numSrc := len(n.in)
+	d32 := int32(d)
+	s := n.rr[d] + 1
+	if s >= numSrc {
+		s = 0
+	}
 	for i := 0; i < numSrc; i++ {
-		s := (n.rr[d] + 1 + i) % numSrc
-		if p, ok := n.in[s].Peek(); ok && p.Dst == d && p.sent == 0 {
+		if n.headDst[s] == d32 {
 			n.rr[d] = s
 			return s
+		}
+		if s++; s >= numSrc {
+			s = 0
 		}
 	}
 	return -1

@@ -96,6 +96,8 @@ type Bank struct {
 	portCycles int64 // port occupancy per line transfer
 	tagLat     int64
 
+	pool *mem.FetchPool // optional freelist for fetch creation/retirement
+
 	Stats BankStats
 }
 
@@ -113,6 +115,10 @@ func NewBank(id int, cfg *config.Config) *Bank {
 		tagLat:     int64(cfg.L2.TagLatency),
 	}
 }
+
+// SetFetchPool wires the freelist the bank draws miss and write-back
+// fetches from and releases dead fetches to. A nil pool is valid.
+func (b *Bank) SetFetchPool(p *mem.FetchPool) { b.pool = p }
 
 // CanAccept reports whether the access queue has room for a new request.
 func (b *Bank) CanAccept() bool { return !b.accessQ.Full() }
@@ -134,7 +140,8 @@ func (b *Bank) CanFill(f *mem.Fetch) bool {
 
 // Fill applies a DRAM fill: install the reserved line, release the MSHR
 // entry, and queue one reply per merged requester. The replies drain into
-// the response queue one per cycle as space allows.
+// the response queue one per cycle as space allows. The fill fetch itself
+// (the bank-generated DRAM request) dies here and returns to the pool.
 func (b *Bank) Fill(f *mem.Fetch) {
 	b.Stats.Fills++
 	b.tags.Fill(f.Addr)
@@ -142,6 +149,7 @@ func (b *Bank) Fill(f *mem.Fetch) {
 	b.fillReady = b.now + b.portCycles
 	for _, w := range b.mshr.Release(f.Addr) {
 		if !w.Type.NeedsReply() {
+			b.pool.Put(w)
 			continue
 		}
 		w.IsReply = true
@@ -149,6 +157,7 @@ func (b *Bank) Fill(f *mem.Fetch) {
 		w.SizeBytes = b.cfg.L2.LineBytes
 		b.fillPending = append(b.fillPending, w)
 	}
+	b.pool.Put(f)
 }
 
 // drainFill moves one pending fill reply into the response queue.
@@ -205,15 +214,23 @@ func (b *Bank) PeekMiss() (*mem.Fetch, bool) {
 // access queue and recording stall attribution when it is blocked.
 func (b *Bank) Tick() {
 	b.now++
-	b.drainFill()
-	b.Stats.AccessOccupancy.Observe(b.accessQ.Len(), b.accessQ.Cap())
-	f, ok := b.accessQ.Peek()
-	if !ok {
+	if len(b.fillPending) > 0 {
+		b.drainFill()
+	}
+	occ := b.accessQ.Len()
+	if occ == 0 {
 		return
 	}
+	b.Stats.AccessOccupancy.Observe(occ, b.accessQ.Cap())
+	f, _ := b.accessQ.Peek()
 	cause := b.process(f)
 	if cause == StallNone {
 		b.accessQ.Pop()
+		if !f.Type.NeedsReply() {
+			// Stores and write-backs are absorbed here: the fetch has no
+			// further life (any DRAM traffic uses a fresh fetch).
+			b.pool.Put(f)
+		}
 		return
 	}
 	b.Stats.StallCycles[cause]++
@@ -289,7 +306,8 @@ func (b *Bank) processRead(f *mem.Fetch) StallCause {
 		if !ok {
 			panic("l2: no victim despite HasReplaceable")
 		}
-		miss := &mem.Fetch{
+		miss := b.pool.Get()
+		*miss = mem.Fetch{
 			ID:          f.ID,
 			Type:        mem.DataRead,
 			Addr:        addr,
@@ -360,7 +378,8 @@ func (b *Bank) processWrite(f *mem.Fetch) StallCause {
 }
 
 func (b *Bank) pushWriteBack(addr uint64) {
-	wb := &mem.Fetch{
+	wb := b.pool.Get()
+	*wb = mem.Fetch{
 		Type:      mem.WriteBack,
 		Addr:      addr,
 		SizeBytes: b.cfg.L2.LineBytes,
@@ -374,7 +393,8 @@ func (b *Bank) pushWriteBack(addr uint64) {
 }
 
 func (b *Bank) dramWrite(addr uint64, orig *mem.Fetch) *mem.Fetch {
-	return &mem.Fetch{
+	f := b.pool.Get()
+	*f = mem.Fetch{
 		ID:          orig.ID,
 		Type:        mem.WriteBack,
 		Addr:        addr,
@@ -383,4 +403,5 @@ func (b *Bank) dramWrite(addr uint64, orig *mem.Fetch) *mem.Fetch {
 		PartitionID: orig.PartitionID,
 		BankID:      b.ID,
 	}
+	return f
 }

@@ -38,10 +38,44 @@ func (p *Partition) BankFor(globalBank int) *Bank {
 	return p.Banks[globalBank/p.cfg.DRAM.NumPartitions]
 }
 
+// SetFetchPool wires the GPU's fetch freelist into every bank and the DRAM
+// channel of this partition. A nil pool is valid.
+func (p *Partition) SetFetchPool(pool *mem.FetchPool) {
+	for _, b := range p.Banks {
+		b.SetFetchPool(pool)
+	}
+	p.DRAM.SetFetchPool(pool)
+}
+
+// tickIdle reports whether this TickL2 call has no work at all: no DRAM
+// fill ready, and every bank with an empty access queue, no fill replies
+// draining and no misses to forward. Response queues are irrelevant here —
+// the reply-network hand-off happens outside TickL2 and only reads clocks.
+func (p *Partition) tickIdle() bool {
+	if _, ok := p.DRAM.PeekResponse(); ok {
+		return false
+	}
+	for _, b := range p.Banks {
+		if b.accessQ.Len() != 0 || len(b.fillPending) != 0 || b.missQ.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // TickL2 advances the partition one L2/interconnect cycle: deliver one DRAM
 // fill, tick every bank, and drain the bank miss queues into the DRAM
 // scheduler queue.
 func (p *Partition) TickL2() {
+	if p.tickIdle() {
+		// Keep the bank clocks in lockstep; everything else below would
+		// be a no-op this cycle.
+		for _, b := range p.Banks {
+			b.now++
+		}
+		return
+	}
+
 	// DRAM fill delivery: one line per cycle, head-of-line.
 	if f, ok := p.DRAM.PeekResponse(); ok {
 		bank := p.BankFor(f.BankID)
@@ -98,6 +132,16 @@ func (p *Partition) ConsumeResponse(b *Bank) {
 			p.respRR = (p.respRR + i + 1) % n
 			return
 		}
+	}
+}
+
+// SkipTicks advances every bank clock by n L2 cycles without doing any
+// work. Valid only while the partition is Idle(): the caller's idle
+// fast-forward guarantees every skipped TickL2 would have been a no-op.
+// The DRAM channel runs in its own clock domain and is skipped separately.
+func (p *Partition) SkipTicks(n int64) {
+	for _, b := range p.Banks {
+		b.now += n
 	}
 }
 

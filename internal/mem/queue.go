@@ -3,6 +3,10 @@ package mem
 // Queue is a bounded FIFO. A capacity of 0 or less makes the queue
 // unbounded, which the ideal memory systems (P∞, P_DRAM) use to remove
 // structural limits. The zero value is an empty unbounded queue.
+//
+// The implementation avoids integer division on the hot paths: indices
+// wrap with a compare-and-subtract instead of a modulo, since every
+// simulated queue is peeked or scanned far more often than it is resized.
 type Queue[T any] struct {
 	buf      []T
 	head     int
@@ -18,6 +22,14 @@ func NewQueue[T any](capacity int) *Queue[T] {
 		q.buf = make([]T, capacity)
 	}
 	return q
+}
+
+// wrap reduces an index in [0, 2*len(buf)) into the ring.
+func (q *Queue[T]) wrap(i int) int {
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return i
 }
 
 // Len returns the number of queued entries.
@@ -52,7 +64,7 @@ func (q *Queue[T]) Push(v T) bool {
 	if len(q.buf) == q.size { // unbounded growth
 		q.grow()
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.buf[q.wrap(q.head+q.size)] = v
 	q.size++
 	return true
 }
@@ -65,7 +77,7 @@ func (q *Queue[T]) Pop() (T, bool) {
 	}
 	v := q.buf[q.head]
 	q.buf[q.head] = zero // release references for the garbage collector
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = q.wrap(q.head + 1)
 	q.size--
 	return v, true
 }
@@ -85,7 +97,7 @@ func (q *Queue[T]) At(i int) T {
 	if i < 0 || i >= q.size {
 		panic("mem: queue index out of range")
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[q.wrap(q.head+i)]
 }
 
 // RemoveAt deletes and returns the i-th oldest entry, preserving the order
@@ -95,13 +107,13 @@ func (q *Queue[T]) RemoveAt(i int) T {
 	if i < 0 || i >= q.size {
 		panic("mem: queue index out of range")
 	}
-	v := q.buf[(q.head+i)%len(q.buf)]
+	v := q.buf[q.wrap(q.head+i)]
 	// Shift the younger entries toward the head.
 	for j := i; j < q.size-1; j++ {
-		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+		q.buf[q.wrap(q.head+j)] = q.buf[q.wrap(q.head+j+1)]
 	}
 	var zero T
-	q.buf[(q.head+q.size-1)%len(q.buf)] = zero
+	q.buf[q.wrap(q.head+q.size-1)] = zero
 	q.size--
 	return v
 }
@@ -109,7 +121,7 @@ func (q *Queue[T]) RemoveAt(i int) T {
 func (q *Queue[T]) grow() {
 	next := make([]T, max(4, 2*len(q.buf)))
 	for i := 0; i < q.size; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+		next[i] = q.buf[q.wrap(q.head+i)]
 	}
 	q.buf = next
 	q.head = 0

@@ -1,0 +1,69 @@
+// Package prof is the profiling harness shared by the command-line tools:
+// every binary accepts -cpuprofile and -memprofile flags, so a performance
+// regression anywhere in the cycle engine can be diagnosed with `go tool
+// pprof` against the exact workload that exposed it.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the destinations selected on the command line.
+type Flags struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set.
+func AddFlags() *Flags {
+	var f Flags
+	flag.StringVar(&f.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.memPath, "memprofile", "", "write an allocation profile to this file on exit")
+	return &f
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse.
+func (f *Flags) Start() error {
+	if f.cpuPath == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. Call once the
+// workload is done (defer-friendly: errors are reported on stderr because
+// deferred calls run after the exit status is decided).
+func (f *Flags) Stop() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+		f.cpuFile = nil
+	}
+	if f.memPath == "" {
+		return
+	}
+	file, err := os.Create(f.memPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	defer file.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+}

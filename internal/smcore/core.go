@@ -2,6 +2,8 @@ package smcore
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"gpumembw/internal/cache"
 	"gpumembw/internal/config"
@@ -86,6 +88,12 @@ const (
 	evtICacheFill
 )
 
+// ringSlotCap is the preallocated per-slot event capacity: one slab backs
+// every slot of the completion ring, so steady-state scheduling allocates
+// only when a single cycle completes more than ringSlotCap events (the
+// slot then grows individually and stays grown).
+const ringSlotCap = 4
+
 type ringEvt struct {
 	kind   uint8
 	isLoad bool
@@ -153,9 +161,16 @@ type Core struct {
 	greedy  int32
 	fetchRR int
 
-	icache   *cache.TagArray
-	iPending map[uint64]bool
-	iMissQ   *mem.Queue[*mem.Fetch]
+	icache *cache.TagArray
+	// iPending tracks instruction-cache lines with a fill in flight as a
+	// bitset over the program's code lines (the code segment is a small
+	// contiguous range, so index-based bits replace the former
+	// map[uint64]bool and its per-access hashing).
+	iPending      []uint64
+	iPendingCount int
+	codeLineBase  uint64 // line address of the first code line
+	iLineShift    uint   // log2 of the L1I line size
+	iMissQ        *mem.Queue[*mem.Fetch]
 
 	l1    *cache.TagArray
 	mshr  *cache.MSHR[tx]
@@ -175,17 +190,33 @@ type Core struct {
 	// precomputed so the scheduler scan does no per-cycle bit assembly.
 	regMasks []uint64
 	// fetchable counts warps with i-buffer space and instructions left,
-	// letting fetchTick skip its scan when every buffer is full.
+	// and fetchMask holds the same predicate as a bitset, so fetchTick
+	// jumps straight to the next eligible warp instead of scanning.
 	fetchable int
+	fetchMask []uint64
+	// fetchParked memoizes "every eligible warp's next code line has a
+	// fill in flight": in that state fetchTick only rotates the round-
+	// robin pointer, which SkipTo can replay in bulk. The memo is
+	// invalidated whenever the eligibility mask, a fetch position, or the
+	// pending-fill set changes.
+	fetchParked      bool
+	fetchParkedValid bool
 	// issueDirty marks that core state changed since the last scheduler
 	// scan; while clear, a stalled scan would classify identically, so
 	// issueTick replays lastStall instead of rescanning every warp.
 	issueDirty bool
 	lastStall  int // cached classification; -1 when no stall was recorded
 
+	// evtCount and nextEvtHint summarize the completion ring for the idle
+	// fast-forward: how many events are scheduled and a lower bound on the
+	// next one's cycle (exact while it lies in the future).
+	evtCount    int
+	nextEvtHint int64
+
 	newFetch NewFetchFn
 	inject   InjectFn
 	idealLat IdealLatencyFn
+	pool     *mem.FetchPool
 
 	done bool
 
@@ -205,7 +236,6 @@ func NewCore(id int, cfg *config.Config, wl *Workload, newFetch NewFetchFn) *Cor
 		wl:       wl,
 		warps:    make([]warp, nWarps),
 		icache:   cache.NewTagArray(cfg.L1.ICacheSizeBytes/cfg.L1.LineBytes/cfg.L1.ICacheWays, cfg.L1.ICacheWays, cfg.L1.LineBytes, 1),
-		iPending: make(map[uint64]bool),
 		iMissQ:   mem.NewQueue[*mem.Fetch](cfg.L1.MissQueueEntries),
 		l1:       cache.NewTagArray(cfg.L1Sets(), cfg.L1.Ways, cfg.L1.LineBytes, 1),
 		mshr:     cache.NewMSHR[tx](cfg.L1.MSHREntries, cfg.L1.MSHRMaxMerge),
@@ -214,11 +244,23 @@ func NewCore(id int, cfg *config.Config, wl *Workload, newFetch NewFetchFn) *Cor
 		respFIFO: mem.NewQueue[*mem.Fetch](cfg.L1.ResponseFIFO),
 		newFetch: newFetch,
 	}
+	slab := make([]ringEvt, ringSize*ringSlotCap)
+	for i := range c.ring {
+		c.ring[i] = slab[i*ringSlotCap : i*ringSlotCap : (i+1)*ringSlotCap]
+	}
+	c.iLineShift = uint(bits.TrailingZeros64(uint64(cfg.L1.LineBytes)))
+	c.codeLineBase = c.icache.LineAddr(wl.Program.PCAddr(0)) >> c.iLineShift
+	lastLine := c.icache.LineAddr(wl.Program.PCAddr(len(wl.Program.Body)-1)) >> c.iLineShift
+	c.iPending = make([]uint64, (lastLine-c.codeLineBase)/64+1)
 	total := wl.Program.TotalInsts()
 	for i := range c.warps {
 		c.warps[i] = warp{id: i, total: total, addrCacheFor: -1}
 	}
 	c.fetchable = len(c.warps)
+	c.fetchMask = make([]uint64, (nWarps+63)/64)
+	for i := 0; i < nWarps; i++ {
+		c.fetchMask[i>>6] |= 1 << uint(i&63)
+	}
 	c.issueDirty = true
 	c.lastStall = -1
 	c.regMasks = make([]uint64, len(wl.Program.Body))
@@ -245,6 +287,36 @@ func (c *Core) SetInject(fn InjectFn) { c.inject = fn }
 
 // SetIdealLatency wires the P∞ latency oracle (ModeInfiniteBW).
 func (c *Core) SetIdealLatency(fn IdealLatencyFn) { c.idealLat = fn }
+
+// SetFetchPool wires the freelist that receives consumed reply fetches.
+// A nil pool is valid.
+func (c *Core) SetFetchPool(p *mem.FetchPool) { c.pool = p }
+
+// iPendingIdx maps a code-line address to its bit index.
+func (c *Core) iPendingIdx(line uint64) uint64 {
+	return (line >> c.iLineShift) - c.codeLineBase
+}
+
+func (c *Core) iPendingTest(line uint64) bool {
+	i := c.iPendingIdx(line)
+	return c.iPending[i>>6]&(1<<(i&63)) != 0
+}
+
+func (c *Core) iPendingSet(line uint64) {
+	i := c.iPendingIdx(line)
+	c.iPending[i>>6] |= 1 << (i & 63)
+	c.iPendingCount++
+	c.fetchParkedValid = false
+}
+
+func (c *Core) iPendingClear(line uint64) {
+	i := c.iPendingIdx(line)
+	if c.iPending[i>>6]&(1<<(i&63)) != 0 {
+		c.iPending[i>>6] &^= 1 << (i & 63)
+		c.iPendingCount--
+	}
+	c.fetchParkedValid = false // a landed fill may unblock the fetch stage
+}
 
 // Done reports whether every warp has retired all instructions and every
 // outstanding memory operation has drained.
@@ -290,6 +362,10 @@ func (c *Core) schedule(delta int64, e ringEvt) {
 	}
 	slot := (c.now + delta) % ringSize
 	c.ring[slot] = append(c.ring[slot], e)
+	if abs := c.now + delta; c.evtCount == 0 || abs < c.nextEvtHint {
+		c.nextEvtHint = abs
+	}
+	c.evtCount++
 }
 
 func (c *Core) applyCompletions() {
@@ -299,6 +375,7 @@ func (c *Core) applyCompletions() {
 		return
 	}
 	c.issueDirty = true
+	c.evtCount -= len(evts)
 	for _, e := range evts {
 		switch e.kind {
 		case evtRegClear:
@@ -316,25 +393,26 @@ func (c *Core) applyCompletions() {
 			}
 		case evtICacheFill:
 			c.icache.Fill(e.line)
-			delete(c.iPending, e.line)
+			c.iPendingClear(e.line)
 		}
 	}
 	c.ring[slot] = evts[:0]
 }
 
 // consumeResponse retires one reply packet per cycle: L1I fills and L1D
-// fills with MSHR release and scoreboard wake-up.
+// fills with MSHR release and scoreboard wake-up. The reply fetch dies
+// here and returns to the pool.
 func (c *Core) consumeResponse() {
-	f, ok := c.respFIFO.Pop()
-	if !ok {
+	if c.respFIFO.Empty() {
 		return
 	}
+	f, _ := c.respFIFO.Pop()
 	f.ReplyCycle = c.now
 	lat := c.now - f.IssueCycle
 	switch f.Type {
 	case mem.InstRead:
 		c.icache.Fill(f.Addr)
-		delete(c.iPending, f.Addr)
+		c.iPendingClear(f.Addr)
 	case mem.DataRead:
 		c.Stats.AML.Add(lat)
 		if f.L2Hit {
@@ -349,16 +427,18 @@ func (c *Core) consumeResponse() {
 	default:
 		panic("smcore: unexpected reply type " + f.Type.String())
 	}
+	c.pool.Put(f)
 }
 
 // lsuTick processes the head of the memory pipeline against the L1D,
 // attributing blocked cycles per Fig. 9.
 func (c *Core) lsuTick() {
-	c.Stats.MemQOcc.Observe(c.memQ.Len(), c.memQ.Cap())
-	head, ok := c.memQ.Peek()
-	if !ok {
-		return
+	occ := c.memQ.Len()
+	if occ == 0 {
+		return // occupancy 0 is outside the histogram's usage lifetime
 	}
+	c.Stats.MemQOcc.Observe(occ, c.memQ.Cap())
+	head, _ := c.memQ.Peek()
 	if c.cfg.Mode != config.ModeNormal {
 		c.lsuIdeal(head)
 		return
@@ -456,6 +536,16 @@ func (c *Core) lsuIdeal(head tx) {
 	c.Stats.L1Misses++
 }
 
+// issueScan carries the per-scan hazard observations of one issueTick.
+type issueScan struct {
+	sawStrMem  bool
+	sawStrALU  bool
+	sawDataMem bool
+	sawDataALU bool
+	anyInst    bool
+	anyAlive   bool
+}
+
 // issueTick implements the greedy-then-oldest scheduler and the Fig. 7
 // stall taxonomy.
 func (c *Core) issueTick() {
@@ -472,81 +562,9 @@ func (c *Core) issueTick() {
 		}
 	}
 	c.issueDirty = false
-	var sawStrMem, sawStrALU, sawDataMem, sawDataALU, anyInst, anyAlive bool
+	var s issueScan
 
-	try := func(w *warp) bool {
-		if !w.aliveForIssue() {
-			return false
-		}
-		anyAlive = true
-		if w.ibufLen == 0 {
-			return false
-		}
-		anyInst = true
-		in := w.ibuf[0]
-		mask := c.regMasks[w.bodyIdx]
-		if w.pendingLoad&mask != 0 {
-			sawDataMem = true
-			return false
-		}
-		if w.pendingALU&mask != 0 {
-			sawDataALU = true
-			return false
-		}
-		switch in.Kind {
-		case OpLoad, OpStore:
-			if w.addrCacheFor != w.issued {
-				w.addrCache = c.wl.Addr(w.addrCache[:0], c.ID, w.id, w.iter, w.bodyIdx)
-				w.addrCacheFor = w.issued
-			}
-			if len(w.addrCache) == 0 {
-				panic("smcore: memory instruction generated no addresses")
-			}
-			if c.memQ.Free() < len(w.addrCache) {
-				sawStrMem = true
-				return false
-			}
-			isStore := in.Kind == OpStore
-			for _, line := range w.addrCache {
-				c.memQ.Push(tx{warpID: int32(w.id), reg: in.Dest, store: isStore, line: c.l1.LineAddr(line)})
-			}
-			if !isStore && in.Dest >= 0 {
-				w.pendingLoad |= uint64(1) << uint(in.Dest)
-				w.loadCount[in.Dest] = uint8(len(w.addrCache))
-			}
-		case OpHeavyALU:
-			if c.heavyBusyUntil > c.now {
-				sawStrALU = true
-				return false
-			}
-			c.heavyBusyUntil = c.now + heavyALUInterval
-			if in.Dest >= 0 {
-				w.pendingALU |= uint64(1) << uint(in.Dest)
-				c.schedule(heavyALULatency, ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
-			}
-		case OpALU:
-			if in.Dest >= 0 {
-				w.pendingALU |= uint64(1) << uint(in.Dest)
-				c.schedule(int64(c.cfg.Core.ALULatency), ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
-			}
-		}
-		// Retire from the i-buffer.
-		copy(w.ibuf[:], w.ibuf[1:w.ibufLen])
-		if w.ibufLen == ibufCap && w.fetched < w.total {
-			c.fetchable++
-		}
-		w.ibufLen--
-		w.issued++
-		w.bodyIdx++
-		if w.bodyIdx == len(c.wl.Program.Body) {
-			w.bodyIdx = 0
-			w.iter++
-		}
-		c.Stats.Issued++
-		return true
-	}
-
-	if try(&c.warps[c.greedy]) {
+	if c.tryIssue(&c.warps[c.greedy], &s) {
 		c.issueDirty = true
 		c.lastStall = -1
 		return
@@ -555,7 +573,7 @@ func (c *Core) issueTick() {
 		if int32(i) == c.greedy {
 			continue
 		}
-		if try(&c.warps[i]) {
+		if c.tryIssue(&c.warps[i], &s) {
 			c.greedy = int32(i)
 			c.issueDirty = true
 			c.lastStall = -1
@@ -563,21 +581,21 @@ func (c *Core) issueTick() {
 		}
 	}
 	c.lastStall = -1
-	if !anyAlive {
+	if !s.anyAlive {
 		return
 	}
 	// Nothing issued: classify per §IV-A5 — structural beats data beats
 	// fetch.
 	switch {
-	case sawStrMem:
+	case s.sawStrMem:
 		c.lastStall = StallStrMem
-	case sawStrALU:
+	case s.sawStrALU:
 		c.lastStall = StallStrALU
-	case sawDataMem:
+	case s.sawDataMem:
 		c.lastStall = StallDataMem
-	case sawDataALU:
+	case s.sawDataALU:
 		c.lastStall = StallDataALU
-	case !anyInst:
+	case !s.anyInst:
 		c.lastStall = StallFetch
 	}
 	if c.lastStall >= 0 {
@@ -585,80 +603,184 @@ func (c *Core) issueTick() {
 	}
 }
 
+// tryIssue attempts to issue warp w's oldest buffered instruction,
+// recording any hazard it runs into in s.
+func (c *Core) tryIssue(w *warp, s *issueScan) bool {
+	if !w.aliveForIssue() {
+		return false
+	}
+	s.anyAlive = true
+	if w.ibufLen == 0 {
+		return false
+	}
+	s.anyInst = true
+	in := w.ibuf[0]
+	mask := c.regMasks[w.bodyIdx]
+	if w.pendingLoad&mask != 0 {
+		s.sawDataMem = true
+		return false
+	}
+	if w.pendingALU&mask != 0 {
+		s.sawDataALU = true
+		return false
+	}
+	switch in.Kind {
+	case OpLoad, OpStore:
+		if w.addrCacheFor != w.issued {
+			w.addrCache = c.wl.Addr(w.addrCache[:0], c.ID, w.id, w.iter, w.bodyIdx)
+			w.addrCacheFor = w.issued
+		}
+		if len(w.addrCache) == 0 {
+			panic("smcore: memory instruction generated no addresses")
+		}
+		if c.memQ.Free() < len(w.addrCache) {
+			s.sawStrMem = true
+			return false
+		}
+		isStore := in.Kind == OpStore
+		for _, line := range w.addrCache {
+			c.memQ.Push(tx{warpID: int32(w.id), reg: in.Dest, store: isStore, line: c.l1.LineAddr(line)})
+		}
+		if !isStore && in.Dest >= 0 {
+			w.pendingLoad |= uint64(1) << uint(in.Dest)
+			w.loadCount[in.Dest] = uint8(len(w.addrCache))
+		}
+	case OpHeavyALU:
+		if c.heavyBusyUntil > c.now {
+			s.sawStrALU = true
+			return false
+		}
+		c.heavyBusyUntil = c.now + heavyALUInterval
+		if in.Dest >= 0 {
+			w.pendingALU |= uint64(1) << uint(in.Dest)
+			c.schedule(heavyALULatency, ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
+		}
+	case OpALU:
+		if in.Dest >= 0 {
+			w.pendingALU |= uint64(1) << uint(in.Dest)
+			c.schedule(int64(c.cfg.Core.ALULatency), ringEvt{kind: evtRegClear, reg: in.Dest, warpID: int32(w.id)})
+		}
+	}
+	// Retire from the i-buffer.
+	copy(w.ibuf[:], w.ibuf[1:w.ibufLen])
+	if w.ibufLen == ibufCap && w.fetched < w.total {
+		c.fetchable++
+		c.fetchMask[w.id>>6] |= 1 << uint(w.id&63)
+		c.fetchParkedValid = false // the eligible-warp set changed
+	}
+	w.ibufLen--
+	w.issued++
+	w.bodyIdx++
+	if w.bodyIdx == len(c.wl.Program.Body) {
+		w.bodyIdx = 0
+		w.iter++
+	}
+	c.Stats.Issued++
+	return true
+}
+
+// nextFetchWarp returns the first warp index with a set fetchMask bit at
+// or cyclically after start, or -1 when the mask is empty.
+func (c *Core) nextFetchWarp(start int) int {
+	words := c.fetchMask
+	w := start >> 6
+	if rest := words[w] >> uint(start&63); rest != 0 {
+		return start + bits.TrailingZeros64(rest)
+	}
+	// The rest of word w held no bit at or after start; continue with the
+	// following words and wrap around to w, whose low bits (below start)
+	// are the cyclically last candidates.
+	for i := 1; i <= len(words); i++ {
+		j := w + i
+		if j >= len(words) {
+			j -= len(words)
+		}
+		if words[j] != 0 {
+			return j<<6 + bits.TrailingZeros64(words[j])
+		}
+	}
+	return -1
+}
+
 // fetchTick decodes one instruction per cycle into a warp's i-buffer,
-// going through the L1I; misses travel the shared memory path.
+// going through the L1I; misses travel the shared memory path. The
+// eligible-warp bitset finds the round-robin successor directly instead of
+// scanning every warp.
 func (c *Core) fetchTick() {
 	if c.fetchable == 0 {
 		return
 	}
-	n := len(c.warps)
-	for i := 0; i < n; i++ {
-		idx := (c.fetchRR + 1 + i) % n
-		w := &c.warps[idx]
-		if w.fetched >= w.total || w.ibufLen == ibufCap {
-			continue
-		}
-		c.fetchRR = idx
-		pcIdx := w.fetchIdx
-		addr := c.wl.Program.PCAddr(pcIdx)
-		line := c.icache.LineAddr(addr)
-		if c.icache.Access(addr) {
-			w.ibuf[w.ibufLen] = c.wl.Program.Body[pcIdx]
-			w.ibufLen++
-			w.fetched++
-			w.fetchIdx++
-			if w.fetchIdx == len(c.wl.Program.Body) {
-				w.fetchIdx = 0
-			}
-			if w.ibufLen == ibufCap || w.fetched >= w.total {
-				c.fetchable--
-			}
-			c.Stats.IFetches++
-			c.issueDirty = true // a fresh instruction may be issuable
-			return
-		}
-		if c.iPending[line] {
-			return // fill in flight; the warp retries
-		}
-		c.Stats.IMisses++
-		if c.cfg.Mode != config.ModeNormal {
-			lat := int64(c.cfg.FixedL1MissLatency)
-			if c.cfg.Mode == config.ModeInfiniteBW {
-				lat = c.idealLat(line)
-			}
-			c.iPending[line] = true
-			c.schedule(lat, ringEvt{kind: evtICacheFill, line: line})
-			return
-		}
-		if c.iMissQ.Full() {
-			return
-		}
-		c.iPending[line] = true
-		c.iMissQ.Push(c.newFetch(line, mem.InstRead, 0, c.ID, w.id, c.now))
+	start := c.fetchRR + 1
+	if start >= len(c.warps) {
+		start = 0
+	}
+	idx := c.nextFetchWarp(start)
+	if idx < 0 {
 		return
 	}
+	w := &c.warps[idx]
+	c.fetchRR = idx
+	pcIdx := w.fetchIdx
+	addr := c.wl.Program.PCAddr(pcIdx)
+	line := c.icache.LineAddr(addr)
+	if c.icache.Access(addr) {
+		w.ibuf[w.ibufLen] = c.wl.Program.Body[pcIdx]
+		w.ibufLen++
+		w.fetched++
+		w.fetchIdx++
+		if w.fetchIdx == len(c.wl.Program.Body) {
+			w.fetchIdx = 0
+		}
+		if w.ibufLen == ibufCap || w.fetched >= w.total {
+			c.fetchable--
+			c.fetchMask[idx>>6] &^= 1 << uint(idx&63)
+		}
+		c.fetchParkedValid = false // the warp's fetch position moved
+		c.Stats.IFetches++
+		c.issueDirty = true // a fresh instruction may be issuable
+		return
+	}
+	if c.iPendingTest(line) {
+		return // fill in flight; the round-robin pointer moves on
+	}
+	c.Stats.IMisses++
+	if c.cfg.Mode != config.ModeNormal {
+		lat := int64(c.cfg.FixedL1MissLatency)
+		if c.cfg.Mode == config.ModeInfiniteBW {
+			lat = c.idealLat(line)
+		}
+		c.iPendingSet(line)
+		c.schedule(lat, ringEvt{kind: evtICacheFill, line: line})
+		return
+	}
+	if c.iMissQ.Full() {
+		return
+	}
+	c.iPendingSet(line)
+	c.iMissQ.Push(c.newFetch(line, mem.InstRead, 0, c.ID, w.id, c.now))
 }
 
 // drainMissQueues injects one request packet per cycle into the request
 // crossbar, alternating between data and instruction misses.
 func (c *Core) drainMissQueues() {
-	if c.inject == nil {
+	if c.inject == nil || (c.missQ.Empty() && c.iMissQ.Empty()) {
 		return
 	}
 	first, second := c.missQ, c.iMissQ
 	if c.injectToggle {
 		first, second = second, first
 	}
-	for _, q := range []*mem.Queue[*mem.Fetch]{first, second} {
-		f, ok := q.Peek()
-		if !ok {
-			continue
+	q := first
+	f, ok := q.Peek()
+	if !ok {
+		q = second
+		if f, ok = q.Peek(); !ok {
+			return
 		}
-		if c.inject(f) {
-			q.Pop()
-			c.injectToggle = !c.injectToggle
-		}
-		return
+	}
+	if c.inject(f) {
+		q.Pop()
+		c.injectToggle = !c.injectToggle
 	}
 }
 
@@ -676,10 +798,125 @@ func (c *Core) checkDone() {
 	if !c.memQ.Empty() || !c.missQ.Empty() || !c.iMissQ.Empty() || !c.respFIFO.Empty() {
 		return
 	}
-	if c.mshr.Len() != 0 || len(c.iPending) != 0 {
+	if c.mshr.Len() != 0 || c.iPendingCount != 0 {
 		return
 	}
 	c.done = true
+}
+
+// NextWake reports whether the core's state provably cannot change before
+// some future cycle, and that cycle. It returns ok=false when the core may
+// make progress (or record different statistics) on the very next tick.
+// The GPU's idle fast-forward uses it to jump over runs of no-op cycles
+// while every warp waits on fixed-latency completions.
+func (c *Core) NextWake() (int64, bool) {
+	if c.done {
+		// A drained core ticks as a no-op and keeps no statistics.
+		return math.MaxInt64, true
+	}
+	// Any queued work can progress (or must keep recording occupancy and
+	// stall attribution that depends on downstream state) every cycle.
+	if c.issueDirty || !c.respFIFO.Empty() || !c.memQ.Empty() ||
+		!c.missQ.Empty() || !c.iMissQ.Empty() {
+		return 0, false
+	}
+	// The fetch stage must be parked: either no warp has i-buffer space,
+	// or every eligible warp is blocked on an in-flight L1I fill (in
+	// which case fetchTick only rotates its round-robin pointer, a
+	// rotation SkipTo replays in bulk).
+	if c.fetchable != 0 && !c.fetchParkedNow() {
+		return 0, false
+	}
+	wake := c.nextEventCycle()
+	if c.lastStall == StallStrALU {
+		if c.heavyBusyUntil <= c.now {
+			return 0, false // the replay path re-scans on the next tick
+		}
+		// The replayed str-ALU stall re-scans once the heavy pipe frees.
+		if wake < 0 || c.heavyBusyUntil < wake {
+			wake = c.heavyBusyUntil
+		}
+	}
+	if wake < 0 {
+		return 0, false
+	}
+	return wake, true
+}
+
+// nextEventCycle returns the cycle of the earliest scheduled completion,
+// or -1 when the ring is empty.
+func (c *Core) nextEventCycle() int64 {
+	if c.evtCount == 0 {
+		return -1
+	}
+	if c.nextEvtHint > c.now {
+		return c.nextEvtHint
+	}
+	// The hint went stale when its slot fired; rescan from the next slot.
+	for d := int64(1); d < ringSize; d++ {
+		if len(c.ring[(c.now+d)%ringSize]) > 0 {
+			c.nextEvtHint = c.now + d
+			return c.nextEvtHint
+		}
+	}
+	return -1
+}
+
+// fetchParkedNow reports (memoized) whether every eligible warp's next
+// code line has a fill in flight, so a fetchTick can neither fetch nor
+// schedule a new miss.
+func (c *Core) fetchParkedNow() bool {
+	if !c.fetchParkedValid {
+		c.fetchParked = c.computeFetchParked()
+		c.fetchParkedValid = true
+	}
+	return c.fetchParked
+}
+
+func (c *Core) computeFetchParked() bool {
+	for wi, word := range c.fetchMask {
+		for word != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			w := &c.warps[idx]
+			line := c.icache.LineAddr(c.wl.Program.PCAddr(w.fetchIdx))
+			// A valid line would fetch; an absent, non-pending line
+			// would schedule a new miss. Either is forward progress.
+			if c.icache.Probe(line) == cache.Valid || !c.iPendingTest(line) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SkipTo advances the core clock to target, bulk-accounting the skipped
+// cycles exactly as the equivalent run of no-op Ticks would have: active
+// cycles accrue, a replayed issue-stall classification accrues once per
+// cycle, and a parked fetch stage's round-robin pointer rotates once per
+// cycle through the eligible warps. The caller must have validated the
+// skip with NextWake.
+func (c *Core) SkipTo(target int64) {
+	if c.done || target <= c.now {
+		return
+	}
+	n := target - c.now
+	c.now = target
+	c.Stats.Cycles += n
+	if c.lastStall >= 0 {
+		c.Stats.IssueStalls[c.lastStall] += n
+	}
+	if c.fetchable > 0 {
+		// Each skipped fetchTick advanced fetchRR to the next eligible
+		// warp before blocking on its pending fill; replay n steps.
+		for steps := n % int64(c.fetchable); steps > 0; steps-- {
+			start := c.fetchRR + 1
+			if start >= len(c.warps) {
+				start = 0
+			}
+			c.fetchRR = c.nextFetchWarp(start)
+		}
+	}
 }
 
 // OutstandingWork reports queue/MSHR occupancy for deadlock diagnostics.
