@@ -1,0 +1,237 @@
+// Package client is the typed Go client for gpusimd, the simulation
+// daemon (internal/server). It speaks the versioned wire types of
+// internal/api, re-exported here as aliases so callers outside the module
+// can name them.
+//
+//	c := client.New("http://127.0.0.1:8372")
+//	job, err := c.Submit(ctx, client.JobSpec{Config: "baseline", Bench: "mm"})
+//	job, err = c.Wait(ctx, job.ID, 200*time.Millisecond)
+//	fmt.Println(job.Metrics.IPC)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gpumembw/internal/api"
+)
+
+// Wire types, aliased from the API package.
+type (
+	// Job is the server's view of one submitted simulation cell.
+	Job = api.Job
+	// JobSpec names one cell: a preset name or inline config, plus bench.
+	JobSpec = api.JobSpec
+	// JobState is the job lifecycle state.
+	JobState = api.JobState
+	// SweepRequest is a config×bench cross product to submit.
+	SweepRequest = api.SweepRequest
+	// SweepResponse reports the sweep expansion and its deduplication.
+	SweepResponse = api.SweepResponse
+	// Stats is the daemon's scheduler counters and queue gauges.
+	Stats = api.Stats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = api.JobQueued
+	JobRunning  = api.JobRunning
+	JobDone     = api.JobDone
+	JobFailed   = api.JobFailed
+	JobCanceled = api.JobCanceled
+)
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gpusimd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one gpusimd daemon. The zero value is not usable; use New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the daemon at baseURL, e.g.
+// "http://127.0.0.1:8372".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request; in (if non-nil) is sent as JSON, out (if
+// non-nil) receives the decoded 2xx body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr api.Error
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(data, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(data))
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var h api.Health
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Submit enqueues one cell (POST /v1/jobs). Submitting a cell the daemon
+// already knows returns the existing job, possibly already done.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job polls one job (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists every job in submission order (GET /v1/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var list api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// Cancel cancels a queued job (DELETE /v1/jobs/{id}).
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Sweep submits a config×bench cross product (POST /v1/sweeps).
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	var resp SweepResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Benchmarks lists benchmark names in Table II order (GET /v1/benchmarks).
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var list api.BenchmarkList
+	if err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Benchmarks, nil
+}
+
+// Configs lists preset names, sorted (GET /v1/configs).
+func (c *Client) Configs(ctx context.Context) ([]string, error) {
+	var list api.ConfigList
+	if err := c.do(ctx, http.MethodGet, "/v1/configs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Configs, nil
+}
+
+// Wait polls the job every poll interval (default 200ms when <= 0) until
+// it reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits one cell and waits for its terminal state — the blocking
+// convenience around Submit + Wait.
+func (c *Client) Run(ctx context.Context, spec JobSpec, poll time.Duration) (*Job, error) {
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if j.State.Terminal() {
+		return j, nil
+	}
+	return c.Wait(ctx, j.ID, poll)
+}

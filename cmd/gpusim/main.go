@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"gpumembw"
@@ -34,6 +33,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer profiles.Stop()
+	defer profiles.ExitOnSignal(nil)()
 
 	if *list {
 		fmt.Println("benchmarks (Table II order):")
@@ -41,13 +41,7 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 		fmt.Println("configs:")
-		cfgs := gpumembw.Configs()
-		names := make([]string, 0, len(cfgs))
-		for n := range cfgs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range gpumembw.ConfigNames() {
 			fmt.Printf("  %s\n", n)
 		}
 		return

@@ -1,0 +1,321 @@
+// Command gpusimctl is the shell client for gpusimd: submit jobs, poll
+// them, run sweeps, and inspect the daemon, over the /v1 HTTP API.
+//
+// Usage:
+//
+//	gpusimctl [-addr URL] <command> [flags]
+//
+//	gpusimctl submit -config baseline -bench mm -wait
+//	gpusimctl submit -config-json cfg.json -bench mm -wait -metrics
+//	gpusimctl get <job-id>
+//	gpusimctl wait <job-id>
+//	gpusimctl cancel <job-id>
+//	gpusimctl list
+//	gpusimctl sweep -configs baseline,L2-4x -benches mm,sc -wait
+//	gpusimctl stats [-json]
+//	gpusimctl benchmarks
+//	gpusimctl configs
+//	gpusimctl health
+//
+// The daemon address comes from -addr, or the GPUSIMD_ADDR environment
+// variable, or defaults to http://127.0.0.1:8372. `submit -wait -metrics`
+// prints the completed job's metrics as indented JSON, byte-identical to
+// `gpusim -json` for the same cell.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gpumembw/client"
+	"gpumembw/internal/config"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|cancel|list|sweep|stats|benchmarks|configs|health> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusimctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	defaultAddr := os.Getenv("GPUSIMD_ADDR")
+	if defaultAddr == "" {
+		defaultAddr = "http://127.0.0.1:8372"
+	}
+	addr := flag.String("addr", defaultAddr, "gpusimd base URL (or $GPUSIMD_ADDR)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	c := client.New(*addr)
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	switch cmd {
+	case "submit":
+		cmdSubmit(ctx, c, args)
+	case "get":
+		cmdGet(ctx, c, args, false)
+	case "wait":
+		cmdGet(ctx, c, args, true)
+	case "cancel":
+		cmdCancel(ctx, c, args)
+	case "list":
+		cmdList(ctx, c)
+	case "sweep":
+		cmdSweep(ctx, c, args)
+	case "stats":
+		cmdStats(ctx, c, args)
+	case "benchmarks":
+		names, err := c.Benchmarks(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "configs":
+		names, err := c.Configs(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "health":
+		if err := c.Health(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+// printJSON emits v as indented JSON — for metrics, the exact encoding
+// `gpusim -json` uses, so outputs diff cleanly.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func printJob(j *client.Job) {
+	fmt.Printf("%s  %-8s  config=%s bench=%s", j.ID, j.State, specConfig(j.Spec), j.Spec.Bench)
+	if j.Metrics != nil {
+		fmt.Printf("  cycles=%d IPC=%.3f", j.Metrics.Cycles, j.Metrics.IPC)
+	}
+	if j.Error != "" {
+		fmt.Printf("  error=%q", j.Error)
+	}
+	fmt.Println()
+}
+
+func specConfig(s client.JobSpec) string {
+	if s.Config != "" {
+		return s.Config
+	}
+	if s.InlineConfig != nil {
+		if s.InlineConfig.Name != "" {
+			return s.InlineConfig.Name
+		}
+		return "inline"
+	}
+	return "?"
+}
+
+// finishJob handles the tail of submit/wait: optionally block, then print.
+func finishJob(ctx context.Context, c *client.Client, j *client.Job, wait bool, poll time.Duration, metricsOnly, asJSON bool) {
+	var err error
+	if wait && !j.State.Terminal() {
+		j, err = c.Wait(ctx, j.ID, poll)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case metricsOnly:
+		if j.State != client.JobDone {
+			fatal(fmt.Errorf("job %s is %s, no metrics (error: %s)", j.ID, j.State, j.Error))
+		}
+		printJSON(j.Metrics)
+	case asJSON:
+		printJSON(j)
+	default:
+		printJob(j)
+	}
+	if j.State == client.JobFailed {
+		os.Exit(1)
+	}
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	cfgName := fs.String("config", "", "configuration preset name (see `gpusimctl configs`)")
+	cfgJSON := fs.String("config-json", "", "path to a full inline config JSON (\"-\" for stdin)")
+	bench := fs.String("bench", "", "benchmark name (see `gpusimctl benchmarks`)")
+	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval for -wait")
+	metricsOnly := fs.Bool("metrics", false, "with -wait: print only the metrics JSON (matches `gpusim -json`)")
+	asJSON := fs.Bool("json", false, "print the job as JSON")
+	fs.Parse(args)
+
+	spec := client.JobSpec{Config: *cfgName, Bench: *bench}
+	if *cfgJSON != "" {
+		data, err := readFileOrStdin(*cfgJSON)
+		if err != nil {
+			fatal(err)
+		}
+		var cfg config.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *cfgJSON, err))
+		}
+		spec.InlineConfig = &cfg
+	}
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	finishJob(ctx, c, j, *wait, *poll, *metricsOnly, *asJSON)
+}
+
+func readFileOrStdin(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func cmdGet(ctx context.Context, c *client.Client, args []string, wait bool) {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval (wait)")
+	metricsOnly := fs.Bool("metrics", false, "print only the metrics JSON")
+	asJSON := fs.Bool("json", false, "print the job as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("expected one job ID"))
+	}
+	j, err := c.Job(ctx, fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	finishJob(ctx, c, j, wait, *poll, *metricsOnly, *asJSON)
+}
+
+func cmdCancel(ctx context.Context, c *client.Client, args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("expected one job ID"))
+	}
+	j, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		fatal(err)
+	}
+	printJob(j)
+}
+
+func cmdList(ctx context.Context, c *client.Client) {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range jobs {
+		printJob(&jobs[i])
+	}
+}
+
+func cmdSweep(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	configs := fs.String("configs", "", "comma-separated preset names")
+	benches := fs.String("benches", "", "comma-separated benchmarks (default: all)")
+	wait := fs.Bool("wait", false, "block until every job reaches a terminal state")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
+	fs.Parse(args)
+	if *configs == "" {
+		fatal(fmt.Errorf("sweep: -configs is required"))
+	}
+	req := client.SweepRequest{Configs: splitCSV(*configs)}
+	if *benches == "" {
+		all, err := c.Benchmarks(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		req.Benches = all
+	} else {
+		req.Benches = splitCSV(*benches)
+	}
+	resp, err := c.Sweep(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep: %d cells requested, %d deduplicated, %d jobs\n",
+		resp.Requested, resp.Deduped, len(resp.Jobs))
+	failed := 0
+	for i := range resp.Jobs {
+		j := &resp.Jobs[i]
+		if *wait && !j.State.Terminal() {
+			done, err := c.Wait(ctx, j.ID, *poll)
+			if err != nil {
+				fatal(err)
+			}
+			j = done
+		}
+		printJob(j)
+		if j.State == client.JobFailed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d job(s) failed", failed))
+	}
+}
+
+func cmdStats(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the stats as JSON")
+	fs.Parse(args)
+	st, err := c.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(st)
+		return
+	}
+	fmt.Printf("workers      %d\n", st.Workers)
+	fmt.Printf("queue        %d/%d\n", st.QueueDepth, st.QueueCap)
+	fmt.Printf("simulated    %d\n", st.Scheduler.Simulated)
+	fmt.Printf("memo hits    %d\n", st.Scheduler.CacheHits)
+	fmt.Printf("disk hits    %d\n", st.Scheduler.DiskHits)
+	if st.CacheDir != "" {
+		fmt.Printf("cache dir    %s (%d entries)\n", st.CacheDir, st.DiskCacheEntries)
+	}
+	for _, state := range []client.JobState{client.JobQueued, client.JobRunning, client.JobDone, client.JobFailed, client.JobCanceled} {
+		if n := st.Jobs[state]; n > 0 {
+			fmt.Printf("jobs %-8s %d\n", state, n)
+		}
+	}
+}
+
+func splitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

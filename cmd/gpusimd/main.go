@@ -1,0 +1,95 @@
+// Command gpusimd runs the simulator as a long-lived HTTP service: jobs
+// are submitted asynchronously, identical (config, benchmark) cells are
+// simulated once and shared across requests, and an optional disk cache
+// persists results across restarts. See internal/server for the routes
+// and client (or cmd/gpusimctl) for a typed way to talk to it.
+//
+// Usage:
+//
+//	gpusimd                              # listen on :8372, GOMAXPROCS workers
+//	gpusimd -addr 127.0.0.1:9000 -j 4    # explicit listen address and workers
+//	gpusimd -cache-dir /var/cache/gpusim # persist results across restarts
+//	gpusimd -max-queue 256               # bound the job queue (503 beyond it)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new submissions get 503,
+// queued jobs are canceled, in-flight cells drain (up to 30s), and any
+// -cpuprofile/-memprofile output is flushed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"gpumembw/internal/prof"
+	"gpumembw/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist simulation results under this directory")
+	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "bound on the job queue")
+	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
+	profiles := prof.AddFlags()
+	flag.Parse()
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer profiles.Stop()
+
+	opts := server.Options{
+		Workers:  *workers,
+		MaxQueue: *maxQueue,
+		CacheDir: *cacheDir,
+		ErrLog:   os.Stderr,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiles.Stop() // os.Exit skips the deferred call
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	release := profiles.ExitOnSignal(func() {
+		fmt.Fprintln(os.Stderr, "gpusimd: shutting down (draining in-flight cells)...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "gpusimd: drained (%d simulated, %d memo hits, %d disk hits)\n",
+			st.Scheduler.Simulated, st.Scheduler.CacheHits, st.Scheduler.DiskHits)
+	})
+	defer release()
+
+	fmt.Fprintf(os.Stderr, "gpusimd: listening on %s (%d workers, queue %d", *addr, srv.Stats().Workers, *maxQueue)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, ", cache %s", *cacheDir)
+	}
+	fmt.Fprintln(os.Stderr, ")")
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		profiles.Stop() // os.Exit skips the deferred call
+		os.Exit(1)
+	}
+	// ErrServerClosed means the signal handler initiated the shutdown —
+	// the only path that closes the listener. Block until it finishes
+	// flushing profiles and exits the process with the 128+signal status;
+	// returning here would race it with a spurious status 0.
+	select {}
+}

@@ -35,11 +35,16 @@ func main() {
 	profiles := prof.AddFlags()
 	flag.Parse()
 
+	if err := exp.ValidateWorkers(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer profiles.Stop()
+	defer profiles.ExitOnSignal(nil)()
 
 	var sections []string
 	if *only != "" {

@@ -32,13 +32,15 @@
 //
 // The commands (cmd/paperfigs, cmd/gpusim, cmd/bwexplore) regenerate
 // every table and figure of the paper; see EXPERIMENTS.md for measured-vs-
-// paper results and README.md for a tour.
+// paper results and README.md for a tour. For batch campaigns, cmd/gpusimd
+// serves the engine over HTTP as an async job API with a persistent result
+// cache — drive it with NewClient or cmd/gpusimctl.
 package gpumembw
 
 import (
-	"fmt"
 	"io"
 
+	"gpumembw/client"
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
@@ -134,24 +136,33 @@ func BenchmarkNames() []string { return trace.Names() }
 func WorkloadByName(name string) (*Workload, error) { return trace.ByName(name) }
 
 // Configs returns every named configuration preset the paper evaluates.
-func Configs() map[string]Config {
-	list := []Config{
-		config.Baseline(), config.ScaledL1(), config.ScaledL2(), config.ScaledDRAM(),
-		config.ScaledL1L2(), config.ScaledL2DRAM(), config.ScaledAll(), config.HBM(),
-		config.CostEffective16x48(), config.CostEffective16x68(), config.CostEffective32x52(),
-		config.AsymmetricOnly(), config.InfiniteBW(), config.InfiniteDRAM(),
-	}
-	out := make(map[string]Config, len(list))
-	for _, c := range list {
-		out[c.Name] = c
-	}
-	return out
-}
+func Configs() map[string]Config { return config.Presets() }
 
-// ConfigByName returns the named preset.
-func ConfigByName(name string) (Config, error) {
-	if c, ok := Configs()[name]; ok {
-		return c, nil
-	}
-	return Config{}, fmt.Errorf("gpumembw: unknown config %q", name)
+// ConfigNames returns the preset names accepted by ConfigByName, sorted.
+func ConfigNames() []string { return config.Names() }
+
+// ConfigByName returns the named preset. Unknown names are an error that
+// lists the valid ones.
+func ConfigByName(name string) (Config, error) { return config.ByName(name) }
+
+// Client is the typed HTTP client for gpusimd, the simulation daemon
+// (cmd/gpusimd): submit (config, benchmark) cells as async jobs, poll
+// them, run deduplicated sweeps, and read scheduler stats. See the client
+// package for the full API.
+type Client = client.Client
+
+// JobSpec names one daemon job: a configuration (preset name or full
+// inline Config) plus a benchmark.
+type JobSpec = client.JobSpec
+
+// SweepRequest is a config×bench cross product for Client.Sweep.
+type SweepRequest = client.SweepRequest
+
+// ClientOption configures a Client (see client.WithHTTPClient).
+type ClientOption = client.Option
+
+// NewClient builds a daemon client for the given base URL, e.g.
+// "http://127.0.0.1:8372".
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return client.New(baseURL, opts...)
 }

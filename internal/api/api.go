@@ -1,0 +1,142 @@
+// Package api defines the versioned wire types of the gpusimd HTTP API,
+// shared by the server (internal/server) and the Go client (client).
+//
+// All routes live under the "/v1" prefix (plus the unversioned GET
+// /healthz). A job is one (configuration, benchmark) simulation cell; its
+// ID is content-addressed — a hash of the full configuration value (name
+// excluded) and the benchmark name — so resubmitting a cell, or submitting
+// it under a different preset label with identical silicon, lands on the
+// same job. Cancellation (DELETE /v1/jobs/{id}) therefore affects every
+// client that submitted that cell.
+//
+// Errors are returned as an Error payload with a non-2xx status: 400 for
+// malformed specs (the body carries config.Validate detail and, for
+// unknown names, the list of valid ones), 404 for unknown job IDs, 409 for
+// canceling a job that already started, and 503 when the bounded queue is
+// full or the daemon is draining.
+package api
+
+import (
+	"time"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/exp"
+)
+
+// Version is the API version segment all job routes are mounted under.
+const Version = "v1"
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	// JobQueued means the job is waiting in the bounded queue.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker picked the job up (or is waiting on the
+	// same cell already in flight for another job).
+	JobRunning JobState = "running"
+	// JobDone means the simulation finished and Metrics is populated.
+	JobDone JobState = "done"
+	// JobFailed means the simulation returned an error (see Job.Error).
+	// The simulator is deterministic and the scheduler memoizes failures,
+	// so resubmitting the spec returns the same failed job.
+	JobFailed JobState = "failed"
+	// JobCanceled means the job was canceled while still queued.
+	// Resubmitting the same spec re-enqueues it.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final — polling can stop.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobSpec names one simulation cell. Exactly one of Config (a preset name,
+// see GET /v1/configs) or InlineConfig (a full config.Config value,
+// validated server-side with config.Validate) must be set.
+type JobSpec struct {
+	Config       string         `json:"config,omitempty"`
+	InlineConfig *config.Config `json:"inlineConfig,omitempty"`
+	Bench        string         `json:"bench"`
+}
+
+// Job is the server's view of one submitted cell, returned by POST
+// /v1/jobs, GET /v1/jobs/{id} and DELETE /v1/jobs/{id}.
+type Job struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+
+	// Metrics is set once State == JobDone. It is byte-identical (as
+	// canonical JSON) to what `gpusim -json` prints for the same cell.
+	Metrics *core.Metrics `json:"metrics,omitempty"`
+	// Error is set once State == JobFailed.
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs, in submission order.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// SweepRequest (POST /v1/sweeps) expands the cross product of its
+// configurations and benchmarks into jobs. Cells that collapse to the same
+// content-addressed ID — within the sweep or against jobs already known to
+// the daemon — are submitted once.
+type SweepRequest struct {
+	Configs       []string        `json:"configs,omitempty"`
+	InlineConfigs []config.Config `json:"inlineConfigs,omitempty"`
+	Benches       []string        `json:"benches"`
+}
+
+// SweepResponse reports the expansion: Requested cells were asked for,
+// Jobs holds the unique cells (existing jobs are returned as-is, completed
+// ones with their cached result), and Deduped = Requested - len(Jobs).
+type SweepResponse struct {
+	Requested int   `json:"requested"`
+	Deduped   int   `json:"deduped"`
+	Jobs      []Job `json:"jobs"`
+}
+
+// Stats is the response of GET /v1/stats: the scheduler's cumulative
+// simulate/hit counters plus the daemon's queue and job-table gauges.
+type Stats struct {
+	Scheduler exp.Stats `json:"scheduler"`
+
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+
+	// Jobs counts the job table by state.
+	Jobs map[JobState]int `json:"jobs"`
+
+	// CacheDir and DiskCacheEntries describe the persistent result cache,
+	// when one is configured (-cache-dir).
+	CacheDir         string `json:"cacheDir,omitempty"`
+	DiskCacheEntries int    `json:"diskCacheEntries,omitempty"`
+}
+
+// BenchmarkList is the response of GET /v1/benchmarks (Table II order).
+type BenchmarkList struct {
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// ConfigList is the response of GET /v1/configs (sorted preset names).
+type ConfigList struct {
+	Configs []string `json:"configs"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status string `json:"status"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,46 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Presets returns every named configuration preset the paper evaluates,
+// keyed by name: the Table I baseline, the 4×-scaled points of Fig. 10,
+// HBM, the cost-effective asymmetric crossbars of Fig. 12, and the ideal
+// memory systems of Table II. The parameterized builders
+// (FixedL1MissLatency, WithCoreClock) are not presets and are excluded.
+func Presets() map[string]Config {
+	list := []Config{
+		Baseline(), ScaledL1(), ScaledL2(), ScaledDRAM(),
+		ScaledL1L2(), ScaledL2DRAM(), ScaledAll(), HBM(),
+		CostEffective16x48(), CostEffective16x68(), CostEffective32x52(),
+		AsymmetricOnly(), InfiniteBW(), InfiniteDRAM(),
+	}
+	out := make(map[string]Config, len(list))
+	for _, c := range list {
+		out[c.Name] = c
+	}
+	return out
+}
+
+// Names returns the preset names accepted by ByName, sorted.
+func Names() []string {
+	presets := Presets()
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the named preset. Unknown names are an error that lists
+// the valid ones.
+func ByName(name string) (Config, error) {
+	if c, ok := Presets()[name]; ok {
+		return c, nil
+	}
+	return Config{}, fmt.Errorf("config: unknown config %q (known: %s)", name, strings.Join(Names(), ", "))
+}

@@ -6,6 +6,15 @@ import (
 	"gpumembw/internal/stats"
 )
 
+// SimVersion identifies the simulated behavior of the cycle engine. Bump
+// it in any PR that changes what a simulation produces (cycle counts,
+// metrics definitions, workload generation) — persisted result caches
+// (gpusimd -cache-dir) discard entries stamped with a different version,
+// so stale caches can never violate the byte-parity promise between the
+// daemon and a freshly built `gpusim -json`. Pure-performance changes
+// that keep output byte-identical (the PR 2 kind) must not bump it.
+const SimVersion = "ispass17-sim-3"
+
 // Metrics aggregates every quantity the paper reports for one simulation.
 type Metrics struct {
 	Benchmark string

@@ -1,6 +1,10 @@
 package exp
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -39,6 +43,25 @@ func (j Job) key() cellKey {
 	return cellKey{cfg: cfg, bench: j.Bench}
 }
 
+// CellID returns a stable, content-addressed identifier of the job's
+// memo cell: a hash over the canonical JSON of exactly the identity
+// key() memoizes on (the full configuration value with Name cleared,
+// plus the benchmark). gpusimd uses it for job IDs and disk-cache
+// filenames, so job identity and memo identity can never diverge.
+func (j Job) CellID() string {
+	k := j.key()
+	b, err := json.Marshal(struct {
+		Config config.Config `json:"config"`
+		Bench  string        `json:"bench"`
+	}{k.cfg, k.bench})
+	if err != nil {
+		// config.Config is a plain value type; Marshal cannot fail on it.
+		panic(fmt.Sprintf("exp: marshal cell key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
 // dedupeJobs drops jobs whose cell already appeared earlier in the
 // slice, preserving first-occurrence order.
 func dedupeJobs(jobs []Job) []Job {
@@ -54,11 +77,23 @@ func dedupeJobs(jobs []Job) []Job {
 }
 
 // Stats counts the scheduler's work: how many cells were actually
-// simulated and how many requests were served from the memo cache
-// (including requests that joined a simulation already in flight).
+// simulated, how many requests were served from the in-memory memo cache
+// (including requests that joined a simulation already in flight), and how
+// many were served by the optional second-level ResultCache.
 type Stats struct {
 	Simulated int64 `json:"simulated"`
 	CacheHits int64 `json:"cacheHits"`
+	DiskHits  int64 `json:"diskHits"`
+}
+
+// ResultCache is an optional second-level store consulted before a cell is
+// simulated and filled after a successful simulation — gpusimd plugs a
+// disk-backed cache in here so daemon restarts do not re-simulate. Get and
+// Put may be called concurrently; the scheduler guarantees at most one
+// in-flight call per cell, and never caches failed runs.
+type ResultCache interface {
+	Get(j Job) (core.Metrics, bool)
+	Put(j Job, m core.Metrics)
 }
 
 // cell is one memoized simulation result. done is closed once m and err
@@ -82,21 +117,39 @@ type Scheduler struct {
 	mu        sync.Mutex
 	cells     map[cellKey]*cell
 	workloads map[string]*smcore.Workload
+	results   ResultCache
 	simulated atomic.Int64
 	hits      atomic.Int64
+	diskHits  atomic.Int64
 }
 
 // Option configures a Scheduler.
 type Option func(*Scheduler)
 
 // WithWorkers sets the worker-pool size used by RunJobs. n <= 0 selects
-// runtime.GOMAXPROCS(0), the default.
+// runtime.GOMAXPROCS(0), the default. Callers surfacing a user-supplied
+// count should reject negative values first via ValidateWorkers.
 func WithWorkers(n int) Option {
 	return func(s *Scheduler) {
 		if n > 0 {
 			s.workers = n
 		}
 	}
+}
+
+// ValidateWorkers rejects worker counts that a user-facing flag should not
+// accept: negative values are an error; 0 means "use GOMAXPROCS".
+func ValidateWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("exp: invalid worker count %d: must be >= 0 (0 selects GOMAXPROCS)", n)
+	}
+	return nil
+}
+
+// WithResultCache attaches a second-level result store (e.g. gpusimd's
+// disk cache) consulted before simulating and filled after success.
+func WithResultCache(c ResultCache) Option {
+	return func(s *Scheduler) { s.results = c }
 }
 
 // WithProgress directs one line per completed simulation to w. Writes are
@@ -123,28 +176,60 @@ func (s *Scheduler) Workers() int { return s.workers }
 
 // Stats returns the cumulative simulate/hit counters.
 func (s *Scheduler) Stats() Stats {
-	return Stats{Simulated: s.simulated.Load(), CacheHits: s.hits.Load()}
+	return Stats{
+		Simulated: s.simulated.Load(),
+		CacheHits: s.hits.Load(),
+		DiskHits:  s.diskHits.Load(),
+	}
 }
 
 // Run executes (or recalls) one simulation. If the cell is already being
 // simulated by another goroutine, Run waits for that result rather than
 // duplicating the work.
 func (s *Scheduler) Run(cfg config.Config, bench string) (core.Metrics, error) {
+	return s.RunContext(context.Background(), cfg, bench)
+}
+
+// RunContext is Run with cancellation: it returns ctx.Err() if ctx is done
+// before the work starts, and stops waiting on another goroutine's
+// in-flight cell when ctx is canceled. A simulation this call itself has
+// begun is not aborted mid-flight — the cycle engine is not preemptible —
+// so cancellation is effective for queued (not-yet-started) work, which is
+// exactly what gpusimd's DELETE /v1/jobs/{id} needs.
+func (s *Scheduler) RunContext(ctx context.Context, cfg config.Config, bench string) (core.Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Metrics{}, err
+	}
 	j := Job{Config: cfg, Bench: bench}
 	key := j.key()
 	s.mu.Lock()
 	c, ok := s.cells[key]
 	if ok {
 		s.mu.Unlock()
-		<-c.done
-		s.hits.Add(1)
-		return c.m, c.err
+		select {
+		case <-c.done:
+			s.hits.Add(1)
+			return c.m, c.err
+		case <-ctx.Done():
+			return core.Metrics{}, ctx.Err()
+		}
 	}
 	c = &cell{done: make(chan struct{})}
 	s.cells[key] = c
 	s.mu.Unlock()
 
+	if s.results != nil {
+		if m, ok := s.results.Get(j); ok {
+			s.diskHits.Add(1)
+			c.m = m
+			close(c.done)
+			return c.m, nil
+		}
+	}
 	c.m, c.err = s.simulate(j)
+	if c.err == nil && s.results != nil {
+		s.results.Put(j, c.m)
+	}
 	close(c.done)
 	return c.m, c.err
 }
@@ -152,7 +237,7 @@ func (s *Scheduler) Run(cfg config.Config, bench string) (core.Metrics, error) {
 func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
 	wl, ok := s.workloads[j.Bench]
 	if !ok {
-		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q", j.Bench)
+		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q (known: %v)", j.Bench, trace.Names())
 	}
 	s.simulated.Add(1)
 	m, err := core.RunWorkload(j.Config, wl)

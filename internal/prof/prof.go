@@ -8,14 +8,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 )
 
 // Flags holds the destinations selected on the command line.
 type Flags struct {
 	cpuPath string
 	memPath string
+
+	mu      sync.Mutex // a signal-handler Stop can race the deferred one
+	stopped bool
 	cpuFile *os.File
 }
 
@@ -44,10 +50,49 @@ func (f *Flags) Start() error {
 	return nil
 }
 
+// ExitOnSignal installs a SIGINT/SIGTERM handler that runs cleanup (if
+// non-nil), stops the profiles, and exits with the conventional 128+signal
+// status. Without it, an interrupted run silently loses its -cpuprofile/
+// -memprofile output: deferred Stop calls never run when the process dies
+// on a signal. Long-lived commands pass a cleanup that drains in-flight
+// work (gpusimd's graceful shutdown); one-shot commands pass nil.
+// The returned function uninstalls the handler.
+func (f *Flags) ExitOnSignal(cleanup func()) (release func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		signal.Stop(ch)
+		if cleanup != nil {
+			cleanup()
+		}
+		f.Stop()
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
 // Stop finishes the CPU profile and writes the heap profile. Call once the
 // workload is done (defer-friendly: errors are reported on stderr because
-// deferred calls run after the exit status is decided).
+// deferred calls run after the exit status is decided). Stop is idempotent
+// and safe to call from a signal handler racing a deferred call.
 func (f *Flags) Stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return
+	}
+	f.stopped = true
 	if f.cpuFile != nil {
 		pprof.StopCPUProfile()
 		f.cpuFile.Close()

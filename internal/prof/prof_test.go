@@ -1,0 +1,36 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStopIsIdempotent(t *testing.T) {
+	memPath := filepath.Join(t.TempDir(), "mem.out")
+	f := &Flags{memPath: memPath}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	if _, err := os.Stat(memPath); err != nil {
+		t.Fatalf("first Stop did not write the heap profile: %v", err)
+	}
+	// A second Stop — the signal handler racing the deferred call — must
+	// not rewrite the profile.
+	if err := os.Remove(memPath); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	if _, err := os.Stat(memPath); !os.IsNotExist(err) {
+		t.Fatal("second Stop rewrote the heap profile")
+	}
+}
+
+func TestStartWithoutPathsIsNoop(t *testing.T) {
+	var f Flags
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+}

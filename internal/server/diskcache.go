@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"gpumembw/internal/core"
+	"gpumembw/internal/exp"
+)
+
+// cacheSchema versions the on-disk entry layout; entries written by an
+// incompatible daemon are ignored (and overwritten on the next Put).
+const cacheSchema = 1
+
+// cacheEntry is one persisted simulation result. Like the scheduler's
+// memo cache, the stored metrics carry the config label of whichever job
+// simulated the cell first. SimVersion pins the cycle engine's behavior:
+// entries written by a simulator whose output differs (core.SimVersion
+// bumped) are treated as misses, so a reused -cache-dir can never serve
+// metrics that a freshly built `gpusim -json` would not reproduce.
+type cacheEntry struct {
+	Schema     int          `json:"schema"`
+	SimVersion string       `json:"simVersion"`
+	Bench      string       `json:"bench"`
+	Config     string       `json:"config"`
+	Metrics    core.Metrics `json:"metrics"`
+}
+
+// diskCache persists one JSON file per simulation cell, named by the
+// cell's content hash, so a restarted daemon (same -cache-dir) serves
+// previously simulated cells without re-simulating. It implements
+// exp.ResultCache; I/O failures degrade to cache misses, reported once
+// per operation on errlog.
+type diskCache struct {
+	dir     string
+	errlog  io.Writer
+	entries atomic.Int64 // counted once at startup, bumped on new Puts
+}
+
+func newDiskCache(dir string, errlog io.Writer) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create cache dir: %w", err)
+	}
+	c := &diskCache{dir: dir, errlog: errlog}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: read cache dir: %w", err)
+	}
+	for _, e := range dirents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			c.entries.Add(1)
+		}
+	}
+	return c, nil
+}
+
+func (c *diskCache) path(j exp.Job) string {
+	return filepath.Join(c.dir, j.CellID()+".json")
+}
+
+func (c *diskCache) warnf(format string, args ...any) {
+	if c.errlog != nil {
+		fmt.Fprintf(c.errlog, format+"\n", args...)
+	}
+}
+
+// Get implements exp.ResultCache.
+func (c *diskCache) Get(j exp.Job) (core.Metrics, bool) {
+	data, err := os.ReadFile(c.path(j))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.warnf("cache read %s: %v", c.path(j), err)
+		}
+		return core.Metrics{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != cacheSchema {
+		c.warnf("cache entry %s ignored (schema %d, err %v)", c.path(j), e.Schema, err)
+		return core.Metrics{}, false
+	}
+	if e.SimVersion != core.SimVersion {
+		c.warnf("cache entry %s ignored (simulator %q, running %q)", c.path(j), e.SimVersion, core.SimVersion)
+		return core.Metrics{}, false
+	}
+	return e.Metrics, true
+}
+
+// Put implements exp.ResultCache. The write is atomic (temp file +
+// rename) so a crashed daemon never leaves a truncated entry behind.
+func (c *diskCache) Put(j exp.Job, m core.Metrics) {
+	data, err := json.Marshal(cacheEntry{
+		Schema:     cacheSchema,
+		SimVersion: core.SimVersion,
+		Bench:      j.Bench,
+		Config:     j.Config.Name,
+		Metrics:    m,
+	})
+	if err != nil {
+		c.warnf("cache marshal %s: %v", c.path(j), err)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.warnf("cache write: %v", err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.warnf("cache write %s: %v %v", c.path(j), werr, cerr)
+		return
+	}
+	path := c.path(j)
+	_, statErr := os.Stat(path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.warnf("cache rename %s: %v", path, err)
+		return
+	}
+	if os.IsNotExist(statErr) {
+		c.entries.Add(1)
+	}
+}
+
+// Len reports the number of persisted entries without touching the disk.
+func (c *diskCache) Len() int {
+	return int(c.entries.Load())
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gpumembw/internal/api"
+	"gpumembw/internal/config"
+	"gpumembw/internal/trace"
+)
+
+// Handler returns the daemon's route table:
+//
+//	GET    /healthz           liveness
+//	GET    /v1/stats          scheduler counters + queue gauges
+//	POST   /v1/jobs           submit one cell (api.JobSpec)
+//	GET    /v1/jobs           list jobs in submission order
+//	GET    /v1/jobs/{id}      poll one job
+//	DELETE /v1/jobs/{id}      cancel a queued job
+//	POST   /v1/sweeps         submit a config×bench cross product
+//	GET    /v1/benchmarks     benchmark names (Table II order)
+//	GET    /v1/configs        preset names (sorted)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// writeError maps an error to its HTTP status (500 unless it is an
+// *httpError) and emits the api.Error payload.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	writeJSON(w, status, api.Error{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, errBadRequest("decode job spec: %v", err))
+		return
+	}
+	cfg, err := s.resolveSpec(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	j, created, err := s.submit(spec, cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, s.snapshot(j))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := api.JobList{Jobs: make([]api.Job, 0, len(s.order))}
+	for _, id := range s.order {
+		list.Jobs = append(list.Jobs, s.jobs[id].Job)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.cancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot(j))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decode sweep request: %v", err))
+		return
+	}
+	if len(req.Benches) == 0 {
+		writeError(w, errBadRequest("sweep: benches is required"))
+		return
+	}
+	if len(req.Configs)+len(req.InlineConfigs) == 0 {
+		writeError(w, errBadRequest("sweep: one of configs or inlineConfigs is required"))
+		return
+	}
+
+	// Resolve every cell up front so a malformed corner of the cross
+	// product rejects the whole sweep instead of half-submitting it.
+	var requested int
+	var cells []resolvedCell
+	seen := make(map[string]bool)
+	addConfig := func(spec api.JobSpec) error {
+		for _, b := range req.Benches {
+			sp := spec
+			sp.Bench = b
+			cfg, err := s.resolveSpec(sp)
+			if err != nil {
+				return err
+			}
+			requested++
+			if id := cellID(cfg, b); !seen[id] {
+				seen[id] = true
+				cells = append(cells, resolvedCell{id: id, spec: sp, cfg: cfg})
+			}
+		}
+		return nil
+	}
+	for _, name := range req.Configs {
+		if err := addConfig(api.JobSpec{Config: name}); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	for i := range req.InlineConfigs {
+		if err := addConfig(api.JobSpec{InlineConfig: &req.InlineConfigs[i]}); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+
+	jobs, err := s.submitSweep(cells)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SweepResponse{
+		Requested: requested,
+		Deduped:   requested - len(jobs),
+		Jobs:      jobs,
+	})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.BenchmarkList{Benchmarks: trace.Names()})
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ConfigList{Configs: config.Names()})
+}

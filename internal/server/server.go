@@ -1,0 +1,425 @@
+// Package server implements gpusimd: an HTTP daemon that wraps the
+// experiment engine (exp.Scheduler) behind an async job API.
+//
+// Jobs are (configuration, benchmark) cells, content-addressed so
+// duplicate submissions — within a sweep, across clients, or across the
+// daemon's lifetime — share one simulation. A bounded queue feeds a
+// worker pool; the scheduler's memo cache serves repeats in-memory, and an
+// optional disk cache (Options.CacheDir) persists results across
+// restarts. Queued jobs can be canceled; Shutdown drains in-flight cells.
+//
+// Retention: finished jobs and memoized metrics are kept for the daemon's
+// lifetime — cross-request reuse is the point of the service — so memory
+// grows with the number of distinct cells submitted. Only the queue is
+// bounded. Evicting cold cells (TTL, LRU, delete-finished) is the next
+// scaling step and rides on the same content-addressed IDs.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpumembw/internal/api"
+	"gpumembw/internal/config"
+	"gpumembw/internal/exp"
+	"gpumembw/internal/trace"
+)
+
+// DefaultMaxQueue is the bounded-queue capacity when Options.MaxQueue is 0.
+const DefaultMaxQueue = 1024
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size; 0 selects GOMAXPROCS,
+	// negative is an error.
+	Workers int
+	// MaxQueue bounds the job queue; 0 selects DefaultMaxQueue, negative
+	// is an error. Submissions beyond the bound get 503.
+	MaxQueue int
+	// CacheDir, when non-empty, persists simulation results as JSON files
+	// so a restarted daemon serves previously simulated cells without
+	// re-simulating.
+	CacheDir string
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+	// ErrLog, when non-nil, receives disk-cache I/O warnings.
+	ErrLog io.Writer
+}
+
+// job is the server-side job record. Mutable fields are guarded by
+// Server.mu; cancel aborts a queued job's context.
+type job struct {
+	api.Job
+	cfg    config.Config
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Server owns the scheduler, the job table and the worker pool. Create
+// one with New; serve its Handler; stop it with Shutdown.
+type Server struct {
+	opts     Options
+	workers  int
+	maxQueue int
+	sched    *exp.Scheduler
+	cache    *diskCache
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on enqueue and on drain
+	jobs     map[string]*job
+	order    []string // submission order for GET /v1/jobs
+	pending  []*job   // FIFO of queued jobs; state queued <=> in pending
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	s, err := newServer(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.startWorkers()
+	return s, nil
+}
+
+// newServer builds the Server without starting workers (tests use this to
+// exercise the queue deterministically).
+func newServer(opts Options) (*Server, error) {
+	if err := exp.ValidateWorkers(opts.Workers); err != nil {
+		return nil, err
+	}
+	if opts.MaxQueue < 0 {
+		return nil, fmt.Errorf("server: invalid queue bound %d: must be >= 0 (0 selects %d)", opts.MaxQueue, DefaultMaxQueue)
+	}
+	maxQueue := opts.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	schedOpts := []exp.Option{exp.WithWorkers(opts.Workers)}
+	if opts.Progress != nil {
+		schedOpts = append(schedOpts, exp.WithProgress(opts.Progress))
+	}
+	var cache *diskCache
+	if opts.CacheDir != "" {
+		var err error
+		cache, err = newDiskCache(opts.CacheDir, opts.ErrLog)
+		if err != nil {
+			return nil, err
+		}
+		schedOpts = append(schedOpts, exp.WithResultCache(cache))
+	}
+
+	s := &Server{
+		opts:     opts,
+		workers:  workers,
+		maxQueue: maxQueue,
+		sched:    exp.NewScheduler(schedOpts...),
+		cache:    cache,
+		jobs:     make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+func (s *Server) startWorkers() {
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+}
+
+// worker pops queued jobs in FIFO order until drained. Cancellation
+// removes a job from pending directly, so every popped job is live.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		j.State = api.JobRunning
+		now := time.Now()
+		j.StartedAt = &now
+		s.mu.Unlock()
+
+		m, err := s.sched.RunContext(j.ctx, j.cfg, j.Spec.Bench)
+
+		s.mu.Lock()
+		done := time.Now()
+		j.FinishedAt = &done
+		if err != nil {
+			j.State = api.JobFailed
+			j.Error = err.Error()
+		} else {
+			// The memo and disk caches may have simulated this silicon
+			// under a different preset label; the job answers with its own.
+			m.Config = j.cfg.Name
+			j.State = api.JobDone
+			j.Metrics = &m
+		}
+		s.mu.Unlock()
+	}
+}
+
+// cellID content-addresses one simulation cell, delegating to the
+// scheduler's own memo-cell identity so the two can never diverge.
+func cellID(cfg config.Config, bench string) string {
+	return exp.Job{Config: cfg, Bench: bench}.CellID()
+}
+
+// httpError carries a status code out of the submit/resolve helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveSpec validates a JobSpec and returns the concrete configuration.
+func (s *Server) resolveSpec(spec api.JobSpec) (config.Config, error) {
+	if spec.Bench == "" {
+		return config.Config{}, errBadRequest("spec: bench is required (known: %v)", trace.Names())
+	}
+	if !trace.Exists(spec.Bench) {
+		return config.Config{}, errBadRequest("spec: unknown benchmark %q (known: %v)", spec.Bench, trace.Names())
+	}
+	switch {
+	case spec.Config != "" && spec.InlineConfig != nil:
+		return config.Config{}, errBadRequest("spec: config and inlineConfig are mutually exclusive")
+	case spec.Config != "":
+		cfg, err := config.ByName(spec.Config)
+		if err != nil {
+			return config.Config{}, errBadRequest("spec: %v", err)
+		}
+		return cfg, nil
+	case spec.InlineConfig != nil:
+		cfg := *spec.InlineConfig
+		if cfg.Name == "" {
+			cfg.Name = "inline"
+		}
+		if err := cfg.Validate(); err != nil {
+			return config.Config{}, errBadRequest("spec: %v", err)
+		}
+		return cfg, nil
+	default:
+		return config.Config{}, errBadRequest("spec: one of config or inlineConfig is required")
+	}
+}
+
+// submit enqueues one resolved cell, deduplicating against the job table.
+// It returns the job and true if this call created or re-enqueued it.
+func (s *Server) submit(spec api.JobSpec, cfg config.Config) (*job, bool, error) {
+	id := cellID(cfg, spec.Bench)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		// Canceled jobs are re-enqueueable. Everything else — including
+		// failed ones: the simulator is deterministic and the scheduler
+		// memoizes errors, so a retry would reproduce the failure — is
+		// shared as-is.
+		if j.State != api.JobCanceled {
+			return j, false, nil
+		}
+		if err := s.enqueueLocked(j); err != nil {
+			return nil, false, err
+		}
+		return j, true, nil
+	}
+	j := &job{
+		Job: api.Job{
+			ID:          id,
+			Spec:        spec,
+			SubmittedAt: time.Now(),
+		},
+		cfg: cfg,
+	}
+	if err := s.enqueueLocked(j); err != nil {
+		return nil, false, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j, true, nil
+}
+
+// enqueueLocked resets j to queued and appends it to the bounded pending
+// FIFO. Callers hold s.mu.
+func (s *Server) enqueueLocked(j *job) error {
+	if s.draining {
+		return &httpError{status: http.StatusServiceUnavailable, msg: "server: draining, not accepting jobs"}
+	}
+	if len(s.pending) >= s.maxQueue {
+		return &httpError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf("server: job queue full (%d entries)", s.maxQueue)}
+	}
+	j.State = api.JobQueued
+	j.Error = ""
+	j.StartedAt, j.FinishedAt = nil, nil
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	s.pending = append(s.pending, j)
+	s.cond.Signal()
+	return nil
+}
+
+// resolvedCell is one validated sweep cell (unique by id).
+type resolvedCell struct {
+	id   string
+	spec api.JobSpec
+	cfg  config.Config
+}
+
+// submitSweep enqueues a deduplicated sweep atomically: capacity for
+// every cell that needs a queue slot is checked under one lock
+// acquisition, so the sweep either submits whole or rejects whole —
+// never leaving the client owning half its job IDs.
+func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	needed := 0
+	for _, c := range cells {
+		if j, ok := s.jobs[c.id]; !ok || j.State == api.JobCanceled {
+			needed++
+		}
+	}
+	if free := s.maxQueue - len(s.pending); needed > free {
+		return nil, &httpError{
+			status: http.StatusServiceUnavailable,
+			msg:    fmt.Sprintf("server: sweep needs %d queue slots, %d free (queue bound %d)", needed, free, s.maxQueue),
+		}
+	}
+	jobs := make([]api.Job, 0, len(cells))
+	for _, c := range cells {
+		j, ok := s.jobs[c.id]
+		if !ok || j.State == api.JobCanceled {
+			if !ok {
+				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cfg: c.cfg}
+			}
+			if err := s.enqueueLocked(j); err != nil {
+				return nil, err // draining flipped, or capacity bug
+			}
+			if _, known := s.jobs[c.id]; !known {
+				s.jobs[c.id] = j
+				s.order = append(s.order, c.id)
+			}
+		}
+		jobs = append(jobs, j.Job)
+	}
+	return jobs, nil
+}
+
+// cancel cancels a still-queued job. Running and finished jobs conflict.
+func (s *Server) cancelJob(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)}
+	}
+	switch j.State {
+	case api.JobQueued:
+		s.cancelQueuedLocked(j)
+		return j, nil
+	case api.JobCanceled:
+		return j, nil
+	default:
+		return nil, &httpError{status: http.StatusConflict, msg: fmt.Sprintf("server: job %q is %s, only queued jobs can be canceled", id, j.State)}
+	}
+}
+
+// cancelQueuedLocked marks j canceled and removes it from the pending
+// FIFO, freeing its queue slot immediately. Callers hold s.mu.
+func (s *Server) cancelQueuedLocked(j *job) {
+	j.State = api.JobCanceled
+	now := time.Now()
+	j.FinishedAt = &now
+	j.cancel()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// snapshot copies a job's API view under the lock.
+func (s *Server) snapshot(j *job) api.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.Job
+}
+
+// Stats assembles the GET /v1/stats payload.
+func (s *Server) Stats() api.Stats {
+	s.mu.Lock()
+	byState := make(map[api.JobState]int)
+	for _, j := range s.jobs {
+		byState[j.State]++
+	}
+	depth := len(s.pending)
+	capacity := s.maxQueue
+	s.mu.Unlock()
+
+	st := api.Stats{
+		Scheduler:  s.sched.Stats(),
+		Workers:    s.workers,
+		QueueDepth: depth,
+		QueueCap:   capacity,
+		Jobs:       byState,
+	}
+	if s.cache != nil {
+		st.CacheDir = s.cache.dir
+		st.DiskCacheEntries = s.cache.Len()
+	}
+	return st
+}
+
+// Shutdown stops accepting submissions, cancels still-queued jobs, and
+// waits (bounded by ctx) for in-flight simulations to drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.State == api.JobQueued {
+			s.cancelQueuedLocked(j)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown deadline: %w", ctx.Err())
+	}
+}

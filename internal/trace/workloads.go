@@ -325,6 +325,17 @@ func Workloads() map[string]*smcore.Workload {
 	return out
 }
 
+// Exists reports whether name is a Table II benchmark, without building
+// its workload.
+func Exists(name string) bool {
+	for _, b := range Table() {
+		if b.Spec.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // ByName builds the named benchmark.
 func ByName(name string) (*smcore.Workload, error) {
 	for _, b := range Table() {
