@@ -295,16 +295,38 @@ func BenchmarkTableIII_AreaModel(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed on the
-// baseline configuration (cycles simulated per wall second).
+// baseline configuration (cycles simulated per wall second), once for a
+// Table II benchmark and once for a custom inline workload spec going
+// through the full first-class spec path (validate, canonicalize, build).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	wl, err := gpumembw.WorkloadByName("ii")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
+	b.Run("bench=ii", func(b *testing.B) {
+		wl, err := gpumembw.WorkloadByName("ii")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchThroughput(b, func() (gpumembw.Metrics, error) {
+			return gpumembw.Run(config.Baseline(), wl)
+		})
+	})
+	b.Run("spec=custom", func(b *testing.B) {
+		spec := gpumembw.WorkloadSpec{
+			Name: "bench-custom", WarpsPerCore: 32, Iters: 24,
+			LoadsPerIter: 4, StoresPerIter: 1, ALUPerIter: 30,
+			DepDist: 3, Pattern: gpumembw.PatHotShared,
+			WorkingSetKB: 512, SharedKB: 32, SharedFrac: 0.5,
+			StoreWindowLines: 16, Seed: 40,
+		}
+		benchThroughput(b, func() (gpumembw.Metrics, error) {
+			return gpumembw.RunSpec(config.Baseline(), spec)
+		})
+	})
+}
+
+func benchThroughput(b *testing.B, run func() (gpumembw.Metrics, error)) {
+	b.Helper()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		m, err := gpumembw.Run(config.Baseline(), wl)
+		m, err := run()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,22 +21,27 @@ import (
 	"time"
 
 	"gpumembw/internal/api"
+	"gpumembw/internal/trace"
 )
 
 // Wire types, aliased from the API package.
 type (
 	// Job is the server's view of one submitted simulation cell.
 	Job = api.Job
-	// JobSpec names one cell: a preset name or inline config, plus bench.
+	// JobSpec names one cell: a preset name or inline config, plus a
+	// workload (benchmark name or inline WorkloadSpec).
 	JobSpec = api.JobSpec
 	// JobState is the job lifecycle state.
 	JobState = api.JobState
-	// SweepRequest is a config×bench cross product to submit.
+	// SweepRequest is a config×workload cross product to submit.
 	SweepRequest = api.SweepRequest
 	// SweepResponse reports the sweep expansion and its deduplication.
 	SweepResponse = api.SweepResponse
 	// Stats is the daemon's scheduler counters and queue gauges.
 	Stats = api.Stats
+	// WorkloadSpec is an inline synthetic-kernel spec for
+	// JobSpec.InlineSpec / SweepRequest.InlineSpecs.
+	WorkloadSpec = trace.Spec
 )
 
 // Job lifecycle states.
@@ -172,7 +177,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
-// Sweep submits a config×bench cross product (POST /v1/sweeps).
+// Sweep submits a config×workload cross product (POST /v1/sweeps).
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &resp); err != nil {

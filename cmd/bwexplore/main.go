@@ -1,21 +1,29 @@
-// Command bwexplore runs custom design-space explorations: pick the memory
-// levels to scale and a scaling factor, and it reports per-benchmark
-// speedups over the baseline plus the estimated area cost. The benchmark
-// sweep runs on the experiment engine's worker pool.
+// Command bwexplore runs custom design-space explorations over BOTH axes
+// of the simulator's design space: pick the memory levels to scale and a
+// scaling factor (the architecture axis), and optionally sweep workload
+// knobs — coalescing degree, thread-level parallelism, working-set size —
+// as spec variants derived from a named benchmark (the workload axis).
+// Every (config, workload) cell runs once on the experiment engine's
+// worker pool through the shared sweep API; the report shows per-workload
+// speedups over the baseline plus the estimated area cost.
 //
 // Usage:
 //
 //	bwexplore -levels l2 -factor 4
 //	bwexplore -levels l1,l2 -factor 2 -bench mm,sc,lbm -j 8
+//	bwexplore -levels l2 -factor 4 -base mm -coalesce 1,4,8 -tlp 6,24,48
+//	bwexplore -levels dram -factor 4 -base nn -ws 64,512,4096
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gpumembw"
+	"gpumembw/cmd/internal/cliutil"
 	"gpumembw/internal/area"
 	"gpumembw/internal/config"
 	"gpumembw/internal/exp"
@@ -26,6 +34,10 @@ func main() {
 	levels := flag.String("levels", "l2", "comma-separated levels to scale: l1,l2,dram")
 	factor := flag.Int("factor", 4, "scaling factor for the selected levels")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all 19)")
+	base := flag.String("base", "", "benchmark whose spec seeds workload-axis variants")
+	coalesce := flag.String("coalesce", "", "comma-separated lines-per-access values to sweep (needs -base)")
+	tlp := flag.String("tlp", "", "comma-separated warps-per-core values to sweep (needs -base)")
+	ws := flag.String("ws", "", "comma-separated working-set sizes in KB to sweep (needs -base)")
 	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
 	profiles := prof.AddFlags()
 	flag.Parse()
@@ -41,27 +53,64 @@ func main() {
 	defer profiles.Stop()
 	defer profiles.ExitOnSignal(nil)()
 
+	cfg := scaledConfig(*levels, *factor)
+
+	refs, err := workloadAxis(*base, *benches, *coalesce, *tlp, *ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// One sweep call covers the whole grid: both configurations × every
+	// workload, deduplicated and simulated concurrently on the pool.
+	s := exp.NewScheduler(exp.WithWorkers(*workers), exp.WithProgress(os.Stderr))
+	res, err := s.Sweep([]config.Config{gpumembw.Baseline(), cfg}, refs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiles.Stop() // os.Exit skips the deferred call
+		os.Exit(1)
+	}
+
+	speedups := res.Speedups(0)
+	fmt.Printf("%-24s %10s\n", "workload", "speedup")
+	sum := 0.0
+	for w, name := range res.Workloads {
+		fmt.Printf("%-24s %9.2fx\n", name, speedups[w][1])
+		sum += speedups[w][1]
+	}
+	fmt.Printf("%-24s %9.2fx\n", "AVG", sum/float64(len(res.Workloads)))
+
+	baseCfg := config.Baseline()
+	est := area.Compare(&baseCfg, &cfg)
+	fmt.Printf("\narea: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",
+		est.StorageKB, est.CrossbarMM2, est.TotalMM2, 100*est.OverheadFrac)
+}
+
+// scaledConfig derives the architecture-axis design point: the baseline
+// with the selected memory levels scaled by factor, validated and named
+// after the selection.
+func scaledConfig(levels string, factor int) config.Config {
 	cfg := gpumembw.Baseline()
-	cfg.Name = fmt.Sprintf("%s-%dx", *levels, *factor)
-	for _, level := range strings.Split(*levels, ",") {
+	cfg.Name = fmt.Sprintf("%s-%dx", levels, factor)
+	for _, level := range strings.Split(levels, ",") {
 		switch strings.TrimSpace(level) {
 		case "l1":
-			cfg.L1.MissQueueEntries *= *factor
-			cfg.L1.MSHREntries *= *factor
-			cfg.Core.MemPipelineWidth *= *factor
+			cfg.L1.MissQueueEntries *= factor
+			cfg.L1.MSHREntries *= factor
+			cfg.Core.MemPipelineWidth *= factor
 		case "l2":
-			cfg.L2.MissQueueEntries *= *factor
-			cfg.L2.ResponseQueueEntries *= *factor
-			cfg.L2.MSHREntries *= *factor
-			cfg.L2.AccessQueueEntries *= *factor
-			cfg.L2.DataPortBytes *= *factor
-			cfg.Icnt.ReqFlitBytes *= *factor
-			cfg.Icnt.ReplyFlitBytes *= *factor
-			cfg.L2.NumBanks *= *factor
+			cfg.L2.MissQueueEntries *= factor
+			cfg.L2.ResponseQueueEntries *= factor
+			cfg.L2.MSHREntries *= factor
+			cfg.L2.AccessQueueEntries *= factor
+			cfg.L2.DataPortBytes *= factor
+			cfg.Icnt.ReqFlitBytes *= factor
+			cfg.Icnt.ReplyFlitBytes *= factor
+			cfg.L2.NumBanks *= factor
 		case "dram":
-			cfg.DRAM.SchedQueueEntries *= *factor
-			cfg.DRAM.BanksPerChip *= *factor
-			cfg.DRAM.BusWidthBits *= *factor
+			cfg.DRAM.SchedQueueEntries *= factor
+			cfg.DRAM.BanksPerChip *= factor
+			cfg.DRAM.BusWidthBits *= factor
 		default:
 			fmt.Fprintf(os.Stderr, "unknown level %q (want l1, l2 or dram)\n", level)
 			os.Exit(2)
@@ -71,46 +120,99 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	return cfg
+}
 
-	names := gpumembw.BenchmarkNames()
-	if *benches != "" {
-		names = strings.Split(*benches, ",")
+// workloadAxis expands the workload side of the grid. With -base set, it
+// derives inline spec variants from the named benchmark's registered
+// spec, crossing every provided axis (coalescing × TLP × working set);
+// otherwise it returns the selected (default: all 19) benchmarks.
+func workloadAxis(base, benches, coalesce, tlp, ws string) ([]exp.WorkloadRef, error) {
+	axesGiven := coalesce != "" || tlp != "" || ws != ""
+	if base != "" && benches != "" {
+		return nil, fmt.Errorf("bwexplore: -base and -bench are mutually exclusive")
+	}
+	if base == "" {
+		if axesGiven {
+			return nil, fmt.Errorf("bwexplore: -coalesce/-tlp/-ws need -base")
+		}
+		names := gpumembw.BenchmarkNames()
+		if benches != "" {
+			names = cliutil.SplitCSV(benches)
+		}
+		refs := make([]exp.WorkloadRef, len(names))
 		for i, b := range names {
-			names[i] = strings.TrimSpace(b)
+			refs[i] = exp.BenchRef(b)
+		}
+		return refs, nil
+	}
+	if !axesGiven {
+		return nil, fmt.Errorf("bwexplore: -base needs at least one of -coalesce, -tlp, -ws")
+	}
+	spec, err := gpumembw.SpecByName(base)
+	if err != nil {
+		return nil, err
+	}
+	coalesceVals, err := axisValues(coalesce, "coalesce", spec.LinesPerAccess)
+	if err != nil {
+		return nil, err
+	}
+	tlpVals, err := axisValues(tlp, "tlp", spec.WarpsPerCore)
+	if err != nil {
+		return nil, err
+	}
+	wsVals, err := axisValues(ws, "ws", spec.WorkingSetKB)
+	if err != nil {
+		return nil, err
+	}
+	var refs []exp.WorkloadRef
+	for _, c := range coalesceVals {
+		for _, t := range tlpVals {
+			for _, w := range wsVals {
+				v := spec
+				v.Name = variantName(base, coalesce != "", c, tlp != "", t, ws != "", w)
+				v.LinesPerAccess = c
+				v.WarpsPerCore = t
+				v.WorkingSetKB = w
+				if err := v.Validate(); err != nil {
+					return nil, err
+				}
+				refs = append(refs, exp.SpecRef(v))
+			}
 		}
 	}
+	return refs, nil
+}
 
-	// Pre-run every (config, benchmark) cell in parallel; the serial
-	// reporting loop below then assembles from the memo cache.
-	s := exp.NewScheduler(exp.WithWorkers(*workers), exp.WithProgress(os.Stderr))
-	var jobs []exp.Job
-	for _, b := range names {
-		jobs = append(jobs,
-			exp.Job{Config: gpumembw.Baseline(), Bench: b},
-			exp.Job{Config: cfg, Bench: b})
+// axisValues parses one comma-separated workload axis; an empty axis
+// pins the base spec's own value.
+func axisValues(s, name string, baseVal int) ([]int, error) {
+	if s == "" {
+		return []int{baseVal}, nil
 	}
-	if err := s.RunJobs(jobs); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		profiles.Stop() // os.Exit skips the deferred call
-		os.Exit(1)
-	}
-
-	fmt.Printf("%-12s %10s\n", "bench", "speedup")
-	sum := 0.0
-	for _, b := range names {
-		sp, err := s.Speedup(cfg, b)
+	var vals []int
+	for _, p := range cliutil.SplitCSV(s) {
+		v, err := strconv.Atoi(p)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			profiles.Stop() // os.Exit skips the deferred call
-			os.Exit(1)
+			return nil, fmt.Errorf("bwexplore: -%s: %w", name, err)
 		}
-		fmt.Printf("%-12s %9.2fx\n", b, sp)
-		sum += sp
+		vals = append(vals, v)
 	}
-	fmt.Printf("%-12s %9.2fx\n", "AVG", sum/float64(len(names)))
+	return vals, nil
+}
 
-	base := config.Baseline()
-	est := area.Compare(&base, &cfg)
-	fmt.Printf("\narea: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",
-		est.StorageKB, est.CrossbarMM2, est.TotalMM2, 100*est.OverheadFrac)
+// variantName labels a spec variant with only the axes actually swept,
+// e.g. "mm/c4/t24".
+func variantName(base string, hasC bool, c int, hasT bool, t int, hasW bool, w int) string {
+	name := base
+	if hasC {
+		name += fmt.Sprintf("/c%d", c)
+	}
+	if hasT {
+		name += fmt.Sprintf("/t%d", t)
+	}
+	if hasW {
+		name += fmt.Sprintf("/ws%d", w)
+	}
+	return name
 }

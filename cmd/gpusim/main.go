@@ -1,10 +1,13 @@
-// Command gpusim runs one benchmark on one memory-hierarchy configuration
+// Command gpusim runs one workload on one memory-hierarchy configuration
 // and prints the full metric set the paper measures, as text or JSON.
+// The workload is a Table II benchmark name (-bench) or any custom
+// workload spec as JSON (-spec) — see README.md "Custom workloads".
 //
 // Usage:
 //
 //	gpusim -bench mm -config baseline
 //	gpusim -bench mm -config L2-4x -json
+//	gpusim -spec custom.json -config baseline -json
 //	gpusim -bench mm -cpuprofile p.out
 //	gpusim -list
 package main
@@ -18,15 +21,25 @@ import (
 
 	"gpumembw"
 	"gpumembw/internal/prof"
+	"gpumembw/internal/trace"
 )
 
 func main() {
 	bench := flag.String("bench", "mm", "benchmark name (see -list)")
+	specPath := flag.String("spec", "", "path to a workload spec JSON (\"-\" for stdin); overrides -bench")
 	cfgName := flag.String("config", "baseline", "configuration preset (see -list)")
 	asJSON := flag.Bool("json", false, "emit the metrics as JSON")
 	list := flag.Bool("list", false, "list benchmarks and configurations")
 	profiles := prof.AddFlags()
 	flag.Parse()
+	if *specPath != "" {
+		benchSet := false
+		flag.Visit(func(f *flag.Flag) { benchSet = benchSet || f.Name == "bench" })
+		if benchSet {
+			fmt.Fprintln(os.Stderr, "gpusim: -bench and -spec are mutually exclusive")
+			os.Exit(2)
+		}
+	}
 
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -53,11 +66,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	// A single cell still goes through the engine so benchmark names are
-	// validated in one place.
+	// A single cell still goes through the engine so workload validation,
+	// labels and metrics assembly happen in one place — the same place the
+	// daemon and the sweep tools use, which is what keeps `gpusim -json`
+	// byte-identical to their output for the same cell.
 	s := gpumembw.NewScheduler()
+	ref := gpumembw.BenchRef(*bench)
+	if *specPath != "" {
+		spec, err := trace.ReadSpecFile(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			os.Exit(1)
+		}
+		ref = gpumembw.SpecRef(spec)
+	}
 	start := time.Now()
-	m, err := s.Run(cfg, *bench)
+	m, err := s.RunJob(gpumembw.Job{Config: cfg, Workload: ref})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		profiles.Stop() // os.Exit skips the deferred call

@@ -7,11 +7,13 @@
 //
 //	gpusimctl submit -config baseline -bench mm -wait
 //	gpusimctl submit -config-json cfg.json -bench mm -wait -metrics
+//	gpusimctl submit -config baseline -spec custom.json -wait -metrics
 //	gpusimctl get <job-id>
 //	gpusimctl wait <job-id>
 //	gpusimctl cancel <job-id>
 //	gpusimctl list
 //	gpusimctl sweep -configs baseline,L2-4x -benches mm,sc -wait
+//	gpusimctl sweep -configs baseline -spec a.json -spec b.json -wait
 //	gpusimctl stats [-json]
 //	gpusimctl benchmarks
 //	gpusimctl configs
@@ -34,7 +36,9 @@ import (
 	"time"
 
 	"gpumembw/client"
+	"gpumembw/cmd/internal/cliutil"
 	"gpumembw/internal/config"
+	"gpumembw/internal/trace"
 )
 
 func usage() {
@@ -114,7 +118,7 @@ func printJSON(v any) {
 }
 
 func printJob(j *client.Job) {
-	fmt.Printf("%s  %-8s  config=%s bench=%s", j.ID, j.State, specConfig(j.Spec), j.Spec.Bench)
+	fmt.Printf("%s  %-8s  config=%s bench=%s", j.ID, j.State, specConfig(j.Spec), specWorkload(j.Spec))
 	if j.Metrics != nil {
 		fmt.Printf("  cycles=%d IPC=%.3f", j.Metrics.Cycles, j.Metrics.IPC)
 	}
@@ -133,6 +137,21 @@ func specConfig(s client.JobSpec) string {
 			return s.InlineConfig.Name
 		}
 		return "inline"
+	}
+	return "?"
+}
+
+// specWorkload labels a job's workload the way the daemon does: the
+// benchmark name, the inline spec's name, or the unnamed-inline default.
+func specWorkload(s client.JobSpec) string {
+	if s.Bench != "" {
+		return s.Bench
+	}
+	if s.InlineSpec != nil {
+		if s.InlineSpec.Name != "" {
+			return s.InlineSpec.Name
+		}
+		return "custom"
 	}
 	return "?"
 }
@@ -167,6 +186,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 	cfgName := fs.String("config", "", "configuration preset name (see `gpusimctl configs`)")
 	cfgJSON := fs.String("config-json", "", "path to a full inline config JSON (\"-\" for stdin)")
 	bench := fs.String("bench", "", "benchmark name (see `gpusimctl benchmarks`)")
+	specJSON := fs.String("spec", "", "path to an inline workload spec JSON (\"-\" for stdin)")
 	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval for -wait")
 	metricsOnly := fs.Bool("metrics", false, "with -wait: print only the metrics JSON (matches `gpusim -json`)")
@@ -185,12 +205,36 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 		}
 		spec.InlineConfig = &cfg
 	}
+	if *specJSON != "" {
+		wl, err := readSpecFile(*specJSON)
+		if err != nil {
+			fatal(err)
+		}
+		spec.InlineSpec = wl
+	}
 	j, err := c.Submit(ctx, spec)
 	if err != nil {
 		fatal(err)
 	}
 	finishJob(ctx, c, j, *wait, *poll, *metricsOnly, *asJSON)
 }
+
+// readSpecFile loads one inline workload spec from a JSON file or stdin
+// via the shared trace loader, so gpusimctl and gpusim accept exactly
+// the same spec files.
+func readSpecFile(path string) (*client.WorkloadSpec, error) {
+	wl, err := trace.ReadSpecFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &wl, nil
+}
+
+// specPaths collects a repeatable -spec flag.
+type specPaths []string
+
+func (p *specPaths) String() string     { return strings.Join(*p, ",") }
+func (p *specPaths) Set(v string) error { *p = append(*p, v); return nil }
 
 func readFileOrStdin(path string) ([]byte, error) {
 	if path == "-" {
@@ -239,22 +283,32 @@ func cmdList(ctx context.Context, c *client.Client) {
 func cmdSweep(ctx context.Context, c *client.Client, args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	configs := fs.String("configs", "", "comma-separated preset names")
-	benches := fs.String("benches", "", "comma-separated benchmarks (default: all)")
+	benches := fs.String("benches", "", "comma-separated benchmarks (default: all, unless -spec is given)")
+	var specs specPaths
+	fs.Var(&specs, "spec", "path to an inline workload spec JSON (repeatable)")
 	wait := fs.Bool("wait", false, "block until every job reaches a terminal state")
 	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
 	fs.Parse(args)
 	if *configs == "" {
 		fatal(fmt.Errorf("sweep: -configs is required"))
 	}
-	req := client.SweepRequest{Configs: splitCSV(*configs)}
-	if *benches == "" {
+	req := client.SweepRequest{Configs: cliutil.SplitCSV(*configs)}
+	for _, path := range specs {
+		wl, err := readSpecFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		req.InlineSpecs = append(req.InlineSpecs, *wl)
+	}
+	switch {
+	case *benches != "":
+		req.Benches = cliutil.SplitCSV(*benches)
+	case len(req.InlineSpecs) == 0:
 		all, err := c.Benchmarks(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		req.Benches = all
-	} else {
-		req.Benches = splitCSV(*benches)
 	}
 	resp, err := c.Sweep(ctx, req)
 	if err != nil {
@@ -307,15 +361,4 @@ func cmdStats(ctx context.Context, c *client.Client, args []string) {
 			fmt.Printf("jobs %-8s %d\n", state, n)
 		}
 	}
-}
-
-func splitCSV(s string) []string {
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }

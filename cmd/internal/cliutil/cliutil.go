@@ -1,0 +1,18 @@
+// Package cliutil holds tiny flag-parsing helpers shared by the
+// command-line tools, so their flag semantics cannot drift apart.
+package cliutil
+
+import "strings"
+
+// SplitCSV splits a comma-separated flag value, trimming whitespace and
+// dropping empty items.
+func SplitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -32,9 +32,9 @@ func main() {
 	}
 
 	s := gpumembw.NewScheduler()
-	jobs := []gpumembw.Job{{Config: gpumembw.Baseline(), Bench: bench}}
+	jobs := []gpumembw.Job{gpumembw.BenchJob(gpumembw.Baseline(), bench)}
 	for _, cfg := range configs {
-		jobs = append(jobs, gpumembw.Job{Config: cfg, Bench: bench})
+		jobs = append(jobs, gpumembw.BenchJob(cfg, bench))
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		log.Fatal(err)

@@ -23,12 +23,22 @@
 // the ideal memory systems of Table II (InfiniteBW, InfiniteDRAM), the
 // fixed-latency sweep of Fig. 3, and an HBM-class DRAM.
 //
-// Sweeps over many (configuration, benchmark) cells should go through the
+// Workloads are not limited to the paper's 19 benchmarks: a WorkloadSpec
+// is a first-class value accepted everywhere a benchmark name is, so any
+// scenario between the canned points — a different coalescing degree,
+// TLP, working set or sharing mix — is one RunSpec call away:
+//
+//	spec, _ := gpumembw.SpecByName("mm")
+//	spec.Name, spec.LinesPerAccess = "mm-uncoalesced", 8
+//	m, err := gpumembw.RunSpec(gpumembw.Baseline(), spec)
+//
+// Sweeps over many (configuration, workload) cells should go through the
 // Scheduler — a concurrent, memoized experiment engine that deduplicates
 // shared cells and runs the rest on a worker pool:
 //
 //	s := gpumembw.NewScheduler(gpumembw.WithWorkers(8))
 //	speedup, err := s.Speedup(gpumembw.ScaledL2(), "mm")
+//	grid, err := s.Sweep(configs, workloadRefs) // workload-axis cross products
 //
 // The commands (cmd/paperfigs, cmd/gpusim, cmd/bwexplore) regenerate
 // every table and figure of the paper; see EXPERIMENTS.md for measured-vs-
@@ -59,12 +69,33 @@ type Metrics = core.Metrics
 type Workload = smcore.Workload
 
 // WorkloadSpec parameterizes a synthetic kernel (instruction mix, TLP,
-// coalescing, working-set geometry, sharing, code footprint).
+// coalescing, working-set geometry, sharing, code footprint). Specs are
+// first-class API values: they validate (Validate), canonicalize
+// (Canonical), and carry a stable content address (SpecID) that every
+// layer — engine memo cells, daemon job IDs, disk-cache entries — keys
+// on, so semantically identical specs share one simulation everywhere.
 type WorkloadSpec = trace.Spec
 
 // Benchmark couples a workload spec with the paper's Table II reference
 // speedups.
 type Benchmark = trace.Benchmark
+
+// Pattern selects the address stream of a WorkloadSpec's memory
+// instructions; spell it with the constants below or ParsePattern.
+type Pattern = trace.Pattern
+
+// Workload access patterns for WorkloadSpec.Pattern.
+const (
+	PatStream    = trace.PatStream
+	PatStrided   = trace.PatStrided
+	PatRandomWS  = trace.PatRandomWS
+	PatHotShared = trace.PatHotShared
+	PatTiled     = trace.PatTiled
+)
+
+// ParsePattern converts a pattern name ("stream", "strided", "random-ws",
+// "hot-shared", "tiled") into its Pattern value.
+func ParsePattern(s string) (Pattern, error) { return trace.ParsePattern(s) }
 
 // Configuration presets, re-exported from internal/config.
 var (
@@ -92,14 +123,36 @@ func Run(cfg Config, wl *Workload) (Metrics, error) {
 }
 
 // Scheduler is the concurrent, memoized experiment engine: it expands
-// figure/table requests into deduplicated (config, benchmark) jobs, runs
+// figure/table requests into deduplicated (config, workload) jobs, runs
 // them on a worker pool, and caches Metrics so cells shared between
 // experiments simulate exactly once. See NewScheduler.
 type Scheduler = exp.Scheduler
 
-// Job is one (configuration, benchmark) simulation cell for
-// Scheduler.RunJobs.
+// Job is one (configuration, workload) simulation cell for
+// Scheduler.RunJobs. Build one with BenchJob or SpecJob.
 type Job = exp.Job
+
+// WorkloadRef names a job's workload: a Table II benchmark by name, or
+// any custom workload as an inline WorkloadSpec. A spec equal to a
+// registered benchmark (labels aside) is the same workload — it shares
+// the benchmark's simulation cell.
+type WorkloadRef = exp.WorkloadRef
+
+// SweepResult is the metrics grid returned by Sweep and
+// Scheduler.Sweep.
+type SweepResult = exp.SweepResult
+
+// BenchRef names a Table II benchmark for a WorkloadRef.
+func BenchRef(name string) WorkloadRef { return exp.BenchRef(name) }
+
+// SpecRef wraps an inline workload spec for a WorkloadRef.
+func SpecRef(sp WorkloadSpec) WorkloadRef { return exp.SpecRef(sp) }
+
+// BenchJob builds a preset-benchmark job.
+func BenchJob(cfg Config, bench string) Job { return exp.BenchJob(cfg, bench) }
+
+// SpecJob builds an inline-spec job.
+func SpecJob(cfg Config, sp WorkloadSpec) Job { return exp.SpecJob(cfg, sp) }
 
 // SchedulerOption configures a Scheduler (WithWorkers, WithProgress).
 type SchedulerOption = exp.Option
@@ -135,6 +188,29 @@ func BenchmarkNames() []string { return trace.Names() }
 // WorkloadByName builds the named Table II benchmark.
 func WorkloadByName(name string) (*Workload, error) { return trace.ByName(name) }
 
+// SpecByName returns the named Table II benchmark as its workload spec —
+// the natural starting point for custom workloads: copy it, change the
+// axes under study (coalescing degree, TLP, working-set geometry,
+// sharing, ...), and pass the result to RunSpec, SpecRef or the daemon.
+func SpecByName(name string) (WorkloadSpec, error) { return trace.SpecByName(name) }
+
+// RunSpec validates, builds and simulates an inline workload spec on cfg
+// — the one-call path for workloads the paper never enumerated. The
+// returned Metrics are identical to any other entry point's for the same
+// (config, spec) cell: a scheduler memo hit, a daemon job and `gpusim
+// -spec` all share content-addressed cell identity (trace.Spec.SpecID).
+func RunSpec(cfg Config, sp WorkloadSpec) (Metrics, error) {
+	return exp.NewScheduler().RunSpec(cfg, sp)
+}
+
+// Sweep runs the configurations × workloads cross product on a fresh
+// engine with GOMAXPROCS workers and returns the metrics grid. For
+// repeated sweeps that should share a memo cache, use
+// NewScheduler().Sweep directly.
+func Sweep(cfgs []Config, workloads []WorkloadRef) (*SweepResult, error) {
+	return exp.NewScheduler().Sweep(cfgs, workloads)
+}
+
 // Configs returns every named configuration preset the paper evaluates.
 func Configs() map[string]Config { return config.Presets() }
 
@@ -152,7 +228,8 @@ func ConfigByName(name string) (Config, error) { return config.ByName(name) }
 type Client = client.Client
 
 // JobSpec names one daemon job: a configuration (preset name or full
-// inline Config) plus a benchmark.
+// inline Config) plus a workload (benchmark name or full inline
+// WorkloadSpec).
 type JobSpec = client.JobSpec
 
 // SweepRequest is a config×bench cross product for Client.Sweep.

@@ -48,9 +48,9 @@ func TestBenchmarkRegistry(t *testing.T) {
 func TestSchedulerFacade(t *testing.T) {
 	s := gpumembw.NewScheduler(gpumembw.WithWorkers(2))
 	jobs := []gpumembw.Job{
-		{Config: gpumembw.Baseline(), Bench: "leukocyte"},
-		{Config: gpumembw.InfiniteBW(), Bench: "leukocyte"},
-		{Config: gpumembw.InfiniteBW(), Bench: "leukocyte"}, // duplicate
+		gpumembw.BenchJob(gpumembw.Baseline(), "leukocyte"),
+		gpumembw.BenchJob(gpumembw.InfiniteBW(), "leukocyte"),
+		gpumembw.BenchJob(gpumembw.InfiniteBW(), "leukocyte"), // duplicate
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	wl, err := gpumembw.WorkloadSpec{
 		Name: "facade", Iters: 6,
 		LoadsPerIter: 2, ALUPerIter: 4, DepDist: 1,
-		Pattern: 0, WarpsPerCore: 4, Seed: 2,
+		Pattern: gpumembw.PatStream, WarpsPerCore: 4, Seed: 2,
 	}.Build()
 	if err != nil {
 		t.Fatal(err)
@@ -97,5 +97,58 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if mi.Speedup(m) < 0.9 {
 		t.Errorf("P∞ speedup %.2f implausibly low", mi.Speedup(m))
+	}
+}
+
+func TestRunSpecFacade(t *testing.T) {
+	// A custom spec through the one-call path matches the engine path for
+	// the same (config, spec) cell.
+	spec := gpumembw.WorkloadSpec{
+		Name: "facade-spec", Iters: 4,
+		LoadsPerIter: 2, ALUPerIter: 4, DepDist: 1,
+		Pattern: gpumembw.PatRandomWS, WorkingSetKB: 64, WarpsPerCore: 4, Seed: 5,
+	}
+	m, err := gpumembw.RunSpec(gpumembw.Baseline(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Benchmark != "facade-spec" || m.Cycles <= 0 {
+		t.Fatalf("metrics = %s/%d cycles", m.Benchmark, m.Cycles)
+	}
+	ref, err := gpumembw.NewScheduler().RunJob(gpumembw.SpecJob(gpumembw.Baseline(), spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cycles != m.Cycles {
+		t.Fatalf("RunSpec and SpecJob disagree (%d vs %d cycles)", m.Cycles, ref.Cycles)
+	}
+	if _, err := gpumembw.RunSpec(gpumembw.Baseline(), gpumembw.WorkloadSpec{Name: "bad"}); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}
+
+func TestSpecByNameAndSweepFacade(t *testing.T) {
+	sp, err := gpumembw.SpecByName("leukocyte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant := sp
+	variant.Name = "leukocyte-lowtlp"
+	variant.WarpsPerCore = 8
+	res, err := gpumembw.Sweep(
+		[]gpumembw.Config{gpumembw.Baseline()},
+		[]gpumembw.WorkloadRef{gpumembw.BenchRef("leukocyte"), gpumembw.SpecRef(variant)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || len(res.Cells[0]) != 1 {
+		t.Fatalf("grid shape = %dx%d", len(res.Cells), len(res.Cells[0]))
+	}
+	if res.Workloads[1] != "leukocyte-lowtlp" {
+		t.Fatalf("workload labels = %v", res.Workloads)
+	}
+	if res.Cells[0][0].Cycles == res.Cells[1][0].Cycles {
+		t.Fatal("TLP variant aliased the preset cell")
 	}
 }

@@ -2,18 +2,23 @@
 // shared by the server (internal/server) and the Go client (client).
 //
 // All routes live under the "/v1" prefix (plus the unversioned GET
-// /healthz). A job is one (configuration, benchmark) simulation cell; its
-// ID is content-addressed — a hash of the full configuration value (name
-// excluded) and the benchmark name — so resubmitting a cell, or submitting
-// it under a different preset label with identical silicon, lands on the
-// same job. Cancellation (DELETE /v1/jobs/{id}) therefore affects every
+// /healthz). A job is one (configuration, workload) simulation cell. Both
+// halves are first-class values: the configuration is a preset name or a
+// full inline config.Config, and the workload is a Table II benchmark
+// name or a full inline trace.Spec. The job ID is content-addressed — a
+// hash of the configuration value (name excluded) and the workload
+// spec's canonical identity (labels excluded, benchmark names resolved
+// to their registered specs) — so resubmitting a cell, submitting it
+// under a different label with identical parameters, or spelling a
+// preset benchmark as an equivalent inline spec all land on the same
+// job. Cancellation (DELETE /v1/jobs/{id}) therefore affects every
 // client that submitted that cell.
 //
 // Errors are returned as an Error payload with a non-2xx status: 400 for
-// malformed specs (the body carries config.Validate detail and, for
-// unknown names, the list of valid ones), 404 for unknown job IDs, 409 for
-// canceling a job that already started, and 503 when the bounded queue is
-// full or the daemon is draining.
+// malformed specs (the body carries config.Validate / trace.Spec.Validate
+// detail and, for unknown names, the list of valid ones), 404 for unknown
+// job IDs, 409 for canceling a job that already started, and 503 when the
+// bounded queue is full or the daemon is draining.
 package api
 
 import (
@@ -22,6 +27,7 @@ import (
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/trace"
 )
 
 // Version is the API version segment all job routes are mounted under.
@@ -52,13 +58,19 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
-// JobSpec names one simulation cell. Exactly one of Config (a preset name,
-// see GET /v1/configs) or InlineConfig (a full config.Config value,
-// validated server-side with config.Validate) must be set.
+// JobSpec names one simulation cell. Exactly one of Config (a preset
+// name, see GET /v1/configs) or InlineConfig (a full config.Config value,
+// validated server-side with config.Validate) must be set, and likewise
+// exactly one of Bench (a Table II benchmark name, see GET
+// /v1/benchmarks) or InlineSpec (a full trace.Spec value, validated
+// server-side with trace.Spec.Validate; an empty Name defaults to
+// "custom"). An inline spec equal to a registered benchmark (labels
+// aside) resolves to the benchmark's cell.
 type JobSpec struct {
 	Config       string         `json:"config,omitempty"`
 	InlineConfig *config.Config `json:"inlineConfig,omitempty"`
-	Bench        string         `json:"bench"`
+	Bench        string         `json:"bench,omitempty"`
+	InlineSpec   *trace.Spec    `json:"inlineSpec,omitempty"`
 }
 
 // Job is the server's view of one submitted cell, returned by POST
@@ -85,13 +97,18 @@ type JobList struct {
 }
 
 // SweepRequest (POST /v1/sweeps) expands the cross product of its
-// configurations and benchmarks into jobs. Cells that collapse to the same
-// content-addressed ID — within the sweep or against jobs already known to
-// the daemon — are submitted once.
+// configurations (Configs ∪ InlineConfigs) and workloads (Benches ∪
+// InlineSpecs) into jobs, so one request can sweep workload axes —
+// coalescing degree × TLP of inline spec variants against one config —
+// exactly like architecture axes. At least one configuration and one
+// workload are required. Cells that collapse to the same
+// content-addressed ID — within the sweep or against jobs already known
+// to the daemon — are submitted once.
 type SweepRequest struct {
 	Configs       []string        `json:"configs,omitempty"`
 	InlineConfigs []config.Config `json:"inlineConfigs,omitempty"`
-	Benches       []string        `json:"benches"`
+	Benches       []string        `json:"benches,omitempty"`
+	InlineSpecs   []trace.Spec    `json:"inlineSpecs,omitempty"`
 }
 
 // SweepResponse reports the expansion: Requested cells were asked for,

@@ -177,6 +177,12 @@ func TestWithCoreClock(t *testing.T) {
 	if c.L2.ClockMHz != 700 || c.DRAM.ClockMHz != 924 {
 		t.Errorf("memory clocks must stay fixed: L2 %g dram %g", c.L2.ClockMHz, c.DRAM.ClockMHz)
 	}
+	if c.Name != "baseline-core-1200MHz" {
+		t.Errorf("name = %q, want the design point appended to the base name", c.Name)
+	}
+	if d := WithCoreClock(ScaledL2(), 800); d.Name != "L2-4x-core-800MHz" {
+		t.Errorf("derived name = %q, provenance of the base config lost", d.Name)
+	}
 }
 
 func TestValidateCatchesErrors(t *testing.T) {

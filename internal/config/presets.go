@@ -1,5 +1,7 @@
 package config
 
+import "fmt"
+
 // Baseline returns the GTX 480 (Fermi) baseline of Table I.
 func Baseline() Config {
 	return Config{
@@ -238,10 +240,13 @@ func InfiniteDRAM() Config {
 }
 
 // FixedL1MissLatency returns the Fig. 3 configuration in which every L1
-// miss completes after exactly lat core cycles.
+// miss completes after exactly lat core cycles. The name carries the
+// design point ("fixed-lat-300"), so every consumer — the experiment
+// engine's memo keys, progress lines and JSON output — labels the same
+// derived configuration the same way.
 func FixedL1MissLatency(lat int) Config {
 	c := Baseline()
-	c.Name = "fixed-l1-miss-lat"
+	c.Name = fmt.Sprintf("fixed-lat-%d", lat)
 	c.Mode = ModeFixedL1MissLat
 	c.FixedL1MissLatency = lat
 	return c
@@ -249,8 +254,12 @@ func FixedL1MissLatency(lat int) Config {
 
 // WithCoreClock returns a copy of c with the core clock set to mhz,
 // leaving the interconnect, L2 and DRAM clocks untouched — the Fig. 11
-// frequency-scaling experiment.
+// frequency-scaling experiment. Like FixedL1MissLatency, the name carries
+// the design point, appended to the base name
+// ("baseline-core-1600MHz") so a derived non-baseline config keeps its
+// provenance in progress lines and job listings.
 func WithCoreClock(c Config, mhz float64) Config {
 	c.Core.ClockMHz = mhz
+	c.Name = fmt.Sprintf("%s-core-%gMHz", c.Name, mhz)
 	return c
 }

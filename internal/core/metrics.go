@@ -6,14 +6,21 @@ import (
 	"gpumembw/internal/stats"
 )
 
-// SimVersion identifies the simulated behavior of the cycle engine. Bump
-// it in any PR that changes what a simulation produces (cycle counts,
-// metrics definitions, workload generation) — persisted result caches
-// (gpusimd -cache-dir) discard entries stamped with a different version,
-// so stale caches can never violate the byte-parity promise between the
-// daemon and a freshly built `gpusim -json`. Pure-performance changes
-// that keep output byte-identical (the PR 2 kind) must not bump it.
-const SimVersion = "ispass17-sim-3"
+// SimVersion identifies the simulated behavior of the cycle engine AND
+// the cell-identity schema it is addressed by. Bump it in any PR that
+// changes what a simulation produces (cycle counts, metrics definitions,
+// workload generation) or how cells are identified (exp.Job.CellID,
+// trace.Spec canonicalization) — persisted result caches (gpusimd
+// -cache-dir) discard entries stamped with a different version, so stale
+// caches can never violate the byte-parity promise between the daemon
+// and a freshly built `gpusim -json`, and can never serve an entry whose
+// content hash was computed under an older identity scheme. Pure-
+// performance changes that keep output and identity byte-identical (the
+// PR 2 kind) must not bump it.
+//
+// sim-4: cells are keyed on {config, canonical workload-spec identity}
+// (inline WorkloadSpec support) instead of {config, benchmark name}.
+const SimVersion = "ispass17-sim-4"
 
 // Metrics aggregates every quantity the paper reports for one simulation.
 type Metrics struct {

@@ -126,7 +126,7 @@ func (s *Scheduler) Fig11() ([]Fig11Point, error) {
 			return nil, err
 		}
 		for _, mhz := range Fig11Clocks {
-			m, err := s.Run(fig11Config(mhz), b)
+			m, err := s.Run(config.WithCoreClock(config.Baseline(), mhz), b)
 			if err != nil {
 				return nil, err
 			}

@@ -17,46 +17,170 @@ import (
 	"gpumembw/internal/trace"
 )
 
-// Job is one deduplicatable unit of simulation work: a (configuration,
-// benchmark) cell of the paper's design space.
-type Job struct {
-	Config config.Config
-	Bench  string
+// WorkloadRef names the workload of a Job: exactly one of Bench (a Table
+// II benchmark name) or Spec (an inline workload spec) is set. Preset
+// names resolve to their registered trace.Spec, so a benchmark named
+// "mm" and an inline copy of mm's spec are the *same* workload — they
+// share one memo cell, one CellID and one disk-cache entry.
+type WorkloadRef struct {
+	Bench string      `json:"bench,omitempty"`
+	Spec  *trace.Spec `json:"spec,omitempty"`
 }
 
-// cellKey identifies a cell for memoization. config.Config is a plain
-// value type (comparable), so the key covers every architectural knob —
-// two configs that differ anywhere memoize separately, and callers may
-// mutate presets without renaming them. Name alone is excluded: configs
-// with identical silicon under different labels (HBM is a renamed
-// DRAM-4x; Fig. 11's 1400 MHz point is a renamed baseline) share one
-// cell, so the cached Metrics.Config may carry the label of whichever
-// job simulated first.
+// BenchRef names a Table II benchmark by its registered name.
+func BenchRef(name string) WorkloadRef { return WorkloadRef{Bench: name} }
+
+// SpecRef wraps an inline workload spec (the value is copied).
+func SpecRef(sp trace.Spec) WorkloadRef { return WorkloadRef{Spec: &sp} }
+
+// defaultSpecName labels inline specs submitted without a name, mirroring
+// the "inline" default for unnamed inline configurations.
+const defaultSpecName = "custom"
+
+// named returns the ref's spec with the unnamed-inline default applied.
+func (r WorkloadRef) named() trace.Spec {
+	sp := *r.Spec
+	if sp.Name == "" {
+		sp.Name = defaultSpecName
+	}
+	return sp
+}
+
+// Label returns the workload's display name: the benchmark name, the
+// inline spec's name, or the unnamed-inline default.
+func (r WorkloadRef) Label() string {
+	if r.Spec != nil {
+		return r.named().Name
+	}
+	return r.Bench
+}
+
+// Validate rejects refs that name no workload, name both kinds, name an
+// unknown benchmark, or carry a malformed inline spec. The error is
+// user-facing (server handlers return it as 400 detail).
+func (r WorkloadRef) Validate() error {
+	switch {
+	case r.Bench != "" && r.Spec != nil:
+		return fmt.Errorf("bench and spec are mutually exclusive")
+	case r.Spec != nil:
+		return r.named().Validate()
+	case r.Bench == "":
+		return fmt.Errorf("one of bench or spec is required (known benchmarks: %v)", trace.Names())
+	default:
+		if !trace.Exists(r.Bench) {
+			return fmt.Errorf("unknown benchmark %q (known: %v)", r.Bench, trace.Names())
+		}
+		return nil
+	}
+}
+
+// resolve returns the ref's workload spec: the inline spec (with the
+// unnamed-inline default applied) or the registered spec of the named
+// benchmark. ok is false for the two ref shapes Build rejects — unknown
+// benchmark names and refs naming both kinds — so their memoized errors
+// key on the name, never on a spec identity a valid job could share.
+func (r WorkloadRef) resolve() (trace.Spec, bool) {
+	if r.Bench != "" && r.Spec != nil {
+		return trace.Spec{}, false
+	}
+	if r.Spec != nil {
+		return r.named(), true
+	}
+	sp, err := trace.SpecByName(r.Bench)
+	return sp, err == nil
+}
+
+// Build compiles the referenced workload through the error-returning
+// spec path — malformed refs produce an error a daemon can report, never
+// a panic.
+func (r WorkloadRef) Build() (*smcore.Workload, error) {
+	if r.Bench != "" && r.Spec != nil {
+		return nil, fmt.Errorf("bench and spec are mutually exclusive")
+	}
+	if r.Spec != nil {
+		return r.named().Build()
+	}
+	return trace.ByName(r.Bench)
+}
+
+// Job is one deduplicatable unit of simulation work: a (configuration,
+// workload) cell of the design space — a paper benchmark by name, or any
+// custom workload as an inline spec.
+type Job struct {
+	Config   config.Config
+	Workload WorkloadRef
+}
+
+// BenchJob builds the common preset-benchmark job.
+func BenchJob(cfg config.Config, bench string) Job {
+	return Job{Config: cfg, Workload: BenchRef(bench)}
+}
+
+// SpecJob builds an inline-spec job.
+func SpecJob(cfg config.Config, sp trace.Spec) Job {
+	return Job{Config: cfg, Workload: SpecRef(sp)}
+}
+
+// cellKey identifies a cell for memoization. Both halves are plain value
+// types (comparable) covering every knob that affects the simulation:
+// two configs or specs that differ anywhere memoize separately, and
+// callers may mutate presets without renaming them. Labels alone are
+// excluded — config.Config.Name, and trace.Spec's Name/Suite via
+// Identity — so identical silicon or kernels under different labels
+// share one cell, and the cached Metrics may carry the labels of
+// whichever job simulated first. Preset benchmark names resolve to their
+// registered spec's identity; bench is set only for unknown names, whose
+// lookup error memoizes under the name itself.
+//
+// Refs that cannot simulate are kept out of valid cells: an INVALID
+// inline spec is keyed on its raw spelling (labels intact — raw specs
+// carry a name, canonical identities never do, so the key spaces are
+// disjoint). Canonicalization zeroes pattern-dead fields, so without
+// this split a spec invalid only in a dead field would alias its valid
+// twin's identity and poison that cell with a memoized error.
 type cellKey struct {
 	cfg   config.Config
-	bench string
+	bench string     // unknown benchmark names only
+	spec  trace.Spec // canonical workload identity; raw for invalid specs
 }
 
 func (j Job) key() cellKey {
 	cfg := j.Config
 	cfg.Name = ""
-	return cellKey{cfg: cfg, bench: j.Bench}
+	sp, ok := j.Workload.resolve()
+	switch {
+	case !ok:
+		return cellKey{cfg: cfg, bench: j.Workload.Bench}
+	case sp.Validate() != nil:
+		return cellKey{cfg: cfg, spec: sp}
+	default:
+		return cellKey{cfg: cfg, spec: sp.Identity()}
+	}
 }
 
 // CellID returns a stable, content-addressed identifier of the job's
 // memo cell: a hash over the canonical JSON of exactly the identity
-// key() memoizes on (the full configuration value with Name cleared,
-// plus the benchmark). gpusimd uses it for job IDs and disk-cache
-// filenames, so job identity and memo identity can never diverge.
+// key() memoizes on — the configuration with its name cleared plus the
+// workload's canonical spec identity (trace.Spec.Identity). gpusimd uses
+// it for job IDs and disk-cache filenames, so job identity and memo
+// identity can never diverge, and an inline spec equal to a preset
+// benchmark lands on the preset's cell.
 func (j Job) CellID() string {
 	k := j.key()
-	b, err := json.Marshal(struct {
+	payload := struct {
 		Config config.Config `json:"config"`
-		Bench  string        `json:"bench"`
-	}{k.cfg, k.bench})
+		Bench  string        `json:"bench,omitempty"`
+		Spec   *trace.Spec   `json:"spec,omitempty"`
+	}{Config: k.cfg, Bench: k.bench}
+	if k.bench == "" {
+		payload.Spec = &k.spec
+	}
+	b, err := json.Marshal(payload)
 	if err != nil {
-		// config.Config is a plain value type; Marshal cannot fail on it.
-		panic(fmt.Sprintf("exp: marshal cell key: %v", err))
+		// Only non-finite floats (which validation rejects) can defeat
+		// Marshal; hash a deterministic textual form of the (all-value)
+		// key instead so CellID is total and never panics on garbage.
+		b = []byte(fmt.Sprintf("%#v", k))
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:8])
@@ -116,7 +240,6 @@ type Scheduler struct {
 	progMu    sync.Mutex
 	mu        sync.Mutex
 	cells     map[cellKey]*cell
-	workloads map[string]*smcore.Workload
 	results   ResultCache
 	simulated atomic.Int64
 	hits      atomic.Int64
@@ -161,9 +284,8 @@ func WithProgress(w io.Writer) Option {
 // NewScheduler builds an experiment engine.
 func NewScheduler(opts ...Option) *Scheduler {
 	s := &Scheduler{
-		workers:   runtime.GOMAXPROCS(0),
-		cells:     make(map[cellKey]*cell),
-		workloads: trace.Workloads(),
+		workers: runtime.GOMAXPROCS(0),
+		cells:   make(map[cellKey]*cell),
 	}
 	for _, o := range opts {
 		o(s)
@@ -183,24 +305,50 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
-// Run executes (or recalls) one simulation. If the cell is already being
-// simulated by another goroutine, Run waits for that result rather than
-// duplicating the work.
+// Run executes (or recalls) one preset-benchmark simulation. If the cell
+// is already being simulated by another goroutine, Run waits for that
+// result rather than duplicating the work.
 func (s *Scheduler) Run(cfg config.Config, bench string) (core.Metrics, error) {
-	return s.RunContext(context.Background(), cfg, bench)
+	return s.RunJobContext(context.Background(), BenchJob(cfg, bench))
 }
 
-// RunContext is Run with cancellation: it returns ctx.Err() if ctx is done
-// before the work starts, and stops waiting on another goroutine's
-// in-flight cell when ctx is canceled. A simulation this call itself has
-// begun is not aborted mid-flight — the cycle engine is not preemptible —
-// so cancellation is effective for queued (not-yet-started) work, which is
-// exactly what gpusimd's DELETE /v1/jobs/{id} needs.
+// RunSpec executes (or recalls) one inline-spec simulation. A spec equal
+// to a registered benchmark (labels aside) shares that benchmark's cell.
+func (s *Scheduler) RunSpec(cfg config.Config, sp trace.Spec) (core.Metrics, error) {
+	return s.RunJobContext(context.Background(), SpecJob(cfg, sp))
+}
+
+// RunContext is Run with cancellation; see RunJobContext.
 func (s *Scheduler) RunContext(ctx context.Context, cfg config.Config, bench string) (core.Metrics, error) {
+	return s.RunJobContext(ctx, BenchJob(cfg, bench))
+}
+
+// RunJob executes (or recalls) one simulation cell.
+func (s *Scheduler) RunJob(j Job) (core.Metrics, error) {
+	return s.RunJobContext(context.Background(), j)
+}
+
+// RunJobContext is RunJob with cancellation: it returns ctx.Err() if ctx
+// is done before the work starts, and stops waiting on another
+// goroutine's in-flight cell when ctx is canceled. A simulation this call
+// itself has begun is not aborted mid-flight — the cycle engine is not
+// preemptible — so cancellation is effective for queued (not-yet-started)
+// work, which is exactly what gpusimd's DELETE /v1/jobs/{id} needs.
+func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Metrics{}, err
 	}
-	j := Job{Config: cfg, Bench: bench}
+	// Fail fast on jobs that could never simulate, BEFORE touching the
+	// memo: validation errors need no memoization (re-validating is
+	// cheap), and keeping garbage out of s.cells means a key containing
+	// a non-finite float — which no map lookup would ever match again —
+	// cannot leak an unreachable cell per call.
+	if err := j.Config.Validate(); err != nil {
+		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+	}
+	if err := j.Workload.Validate(); err != nil {
+		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+	}
 	key := j.key()
 	s.mu.Lock()
 	c, ok := s.cells[key]
@@ -234,20 +382,28 @@ func (s *Scheduler) RunContext(ctx context.Context, cfg config.Config, bench str
 	return c.m, c.err
 }
 
+// simulate runs one cell for real. Workload construction goes through
+// the error-returning spec path and the configuration through
+// config.Validate, so malformed user input — an inline spec or config a
+// daemon accepted over the wire — surfaces as a job error, never a panic.
 func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
-	wl, ok := s.workloads[j.Bench]
-	if !ok {
-		return core.Metrics{}, fmt.Errorf("exp: unknown benchmark %q (known: %v)", j.Bench, trace.Names())
+	if err := j.Config.Validate(); err != nil {
+		return core.Metrics{}, fmt.Errorf("exp: %w", err)
 	}
+	wl, err := j.Workload.Build()
+	if err != nil {
+		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+	}
+	label := j.Workload.Label()
 	s.simulated.Add(1)
 	m, err := core.RunWorkload(j.Config, wl)
 	if err != nil {
-		return m, fmt.Errorf("exp: %s on %s: %w", j.Bench, j.Config.Name, err)
+		return m, fmt.Errorf("exp: %s on %s: %w", label, j.Config.Name, err)
 	}
 	if m.Truncated {
-		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", j.Bench, j.Config.Name, m.Cycles)
+		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", label, j.Config.Name, m.Cycles)
 	}
-	s.logf("ran %s on %s (%d cycles)\n", j.Bench, j.Config.Name, m.Cycles)
+	s.logf("ran %s on %s (%d cycles)\n", label, j.Config.Name, m.Cycles)
 	return m, nil
 }
 
@@ -297,7 +453,7 @@ func (s *Scheduler) RunJobs(jobs []Job) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				_, errs[i] = s.Run(uniq[i].Config, uniq[i].Bench)
+				_, errs[i] = s.RunJob(uniq[i])
 			}
 		}()
 	}
@@ -314,32 +470,19 @@ func (s *Scheduler) RunJobs(jobs []Job) error {
 	return nil
 }
 
-// fig3Config builds the Fig. 3 design point for one fixed L1-miss
-// latency. Both JobsFor and Fig3 go through it so their cache keys agree.
-func fig3Config(lat int) config.Config {
-	cfg := config.FixedL1MissLatency(lat)
-	cfg.Name = fmt.Sprintf("fixed-lat-%d", lat)
-	return cfg
-}
-
-// fig11Config builds the Fig. 11 design point for one core clock. Both
-// JobsFor and Fig11 go through it so their cache keys agree.
-func fig11Config(mhz float64) config.Config {
-	cfg := config.WithCoreClock(config.Baseline(), mhz)
-	cfg.Name = fmt.Sprintf("core-%gMHz", mhz)
-	return cfg
-}
-
 // JobsFor expands the requested report sections (nil or empty = all) into
 // the deduplicated list of simulation cells they need, in deterministic
 // paper order. Sections that need no simulation (tableI, tableIII, area)
-// contribute nothing.
+// contribute nothing. Derived design points (Fig. 3's fixed latencies,
+// Fig. 11's core clocks) come from the shared config builders, so the
+// cells scheduled here and the cells the figure assemblers request carry
+// the same names and memo keys.
 func JobsFor(sections []string) []Job {
 	want := sectionSet(sections)
 	var jobs []Job
 	addAll := func(cfg config.Config, benches []string) {
 		for _, b := range benches {
-			jobs = append(jobs, Job{Config: cfg, Bench: b})
+			jobs = append(jobs, BenchJob(cfg, b))
 		}
 	}
 
@@ -357,7 +500,7 @@ func JobsFor(sections []string) []Job {
 	if want["fig3"] {
 		addAll(config.Baseline(), Fig3Benches())
 		for _, lat := range Fig3Latencies {
-			addAll(fig3Config(lat), Fig3Benches())
+			addAll(config.FixedL1MissLatency(lat), Fig3Benches())
 		}
 	}
 	if want["fig10"] {
@@ -368,7 +511,7 @@ func JobsFor(sections []string) []Job {
 	if want["fig11"] {
 		addAll(config.Baseline(), Fig11Benches())
 		for _, mhz := range Fig11Clocks {
-			addAll(fig11Config(mhz), Fig11Benches())
+			addAll(config.WithCoreClock(config.Baseline(), mhz), Fig11Benches())
 		}
 	}
 	if want["fig12"] {

@@ -21,9 +21,9 @@ func engineReport(t *testing.T, workers int) []byte {
 	s := NewScheduler(WithWorkers(workers))
 	var jobs []Job
 	for _, b := range benches {
-		jobs = append(jobs, Job{Config: config.Baseline(), Bench: b})
+		jobs = append(jobs, BenchJob(config.Baseline(), b))
 		for _, lat := range lats {
-			jobs = append(jobs, Job{Config: fig3Config(lat), Bench: b})
+			jobs = append(jobs, BenchJob(config.FixedL1MissLatency(lat), b))
 		}
 	}
 	if err := s.RunJobs(jobs); err != nil {
@@ -52,9 +52,9 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestRunJobsDeduplicatesSharedCells(t *testing.T) {
 	s := NewScheduler(WithWorkers(4))
 	jobs := []Job{
-		{Config: config.Baseline(), Bench: "leukocyte"},
-		{Config: config.Baseline(), Bench: "leukocyte"}, // duplicate in the slice
-		{Config: config.InfiniteBW(), Bench: "leukocyte"},
+		BenchJob(config.Baseline(), "leukocyte"),
+		BenchJob(config.Baseline(), "leukocyte"), // duplicate in the slice
+		BenchJob(config.InfiniteBW(), "leukocyte"),
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		t.Fatal(err)
@@ -105,8 +105,8 @@ func TestConcurrentRunSimulatesOnce(t *testing.T) {
 func TestRunJobsReportsFirstErrorInJobOrder(t *testing.T) {
 	s := NewScheduler(WithWorkers(4))
 	jobs := []Job{
-		{Config: config.Baseline(), Bench: "bogus-a"},
-		{Config: config.Baseline(), Bench: "bogus-b"},
+		BenchJob(config.Baseline(), "bogus-a"),
+		BenchJob(config.Baseline(), "bogus-b"),
 	}
 	err := s.RunJobs(jobs)
 	if err == nil || !strings.Contains(err.Error(), "bogus-a") {
@@ -126,10 +126,10 @@ func TestJobsForDeduplicatesAndOrders(t *testing.T) {
 		if j.Config.Name != "baseline" {
 			t.Fatalf("unexpected config %q", j.Config.Name)
 		}
-		if seen[j.Bench] {
-			t.Fatalf("duplicate cell for %q", j.Bench)
+		if seen[j.Workload.Bench] {
+			t.Fatalf("duplicate cell for %q", j.Workload.Bench)
 		}
-		seen[j.Bench] = true
+		seen[j.Workload.Bench] = true
 	}
 	// Simulation-free sections expand to nothing.
 	if jobs := JobsFor([]string{"tableI", "tableIII", "area"}); len(jobs) != 0 {
@@ -140,7 +140,7 @@ func TestJobsForDeduplicatesAndOrders(t *testing.T) {
 	keys := map[cellKey]bool{}
 	for _, j := range all {
 		if keys[j.key()] {
-			t.Fatalf("duplicate job %s/%s in full expansion", j.Config.Name, j.Bench)
+			t.Fatalf("duplicate job %s/%s in full expansion", j.Config.Name, j.Workload.Label())
 		}
 		keys[j.key()] = true
 	}
@@ -155,11 +155,11 @@ func TestJobsForMatchesFigureCacheKeys(t *testing.T) {
 		cfg     config.Config
 		bench   string
 	}{
-		{"fig3", fig3Config(Fig3Latencies[3]), Fig3Benches()[0]},
-		{"fig11", fig11Config(Fig11Clocks[0]), Fig11Benches()[0]},
+		{"fig3", config.FixedL1MissLatency(Fig3Latencies[3]), Fig3Benches()[0]},
+		{"fig11", config.WithCoreClock(config.Baseline(), Fig11Clocks[0]), Fig11Benches()[0]},
 		{"fig12", config.AsymmetricOnly(), Benches()[0]},
 	} {
-		want := Job{Config: tc.cfg, Bench: tc.bench}.key()
+		want := BenchJob(tc.cfg, tc.bench).key()
 		found := false
 		for _, j := range JobsFor([]string{tc.section}) {
 			if j.key() == want {
@@ -245,9 +245,9 @@ func TestProgressSinkIsSerialized(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewScheduler(WithWorkers(4), WithProgress(&buf))
 	jobs := []Job{
-		{Config: config.Baseline(), Bench: "leukocyte"},
-		{Config: config.InfiniteBW(), Bench: "leukocyte"},
-		{Config: config.InfiniteDRAM(), Bench: "leukocyte"},
+		BenchJob(config.Baseline(), "leukocyte"),
+		BenchJob(config.InfiniteBW(), "leukocyte"),
+		BenchJob(config.InfiniteDRAM(), "leukocyte"),
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		t.Fatal(err)

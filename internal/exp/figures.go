@@ -135,7 +135,7 @@ func (s *Scheduler) Fig3(benches []string, lats []int) ([]Fig3Point, error) {
 			return nil, err
 		}
 		for _, lat := range lats {
-			m, err := s.Run(fig3Config(lat), b)
+			m, err := s.Run(config.FixedL1MissLatency(lat), b)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+)
+
+// SweepResult is the metrics grid of Scheduler.Sweep: Cells[w][c] holds
+// the metrics of Workloads[w] on Configs[c].
+type SweepResult struct {
+	Configs   []string         `json:"configs"`
+	Workloads []string         `json:"workloads"`
+	Cells     [][]core.Metrics `json:"cells"`
+}
+
+// Speedups returns, for each workload row, the wall-clock speedup of
+// every configuration column relative to the baseline column (index
+// baseCol).
+func (r *SweepResult) Speedups(baseCol int) [][]float64 {
+	out := make([][]float64, len(r.Cells))
+	for w, row := range r.Cells {
+		out[w] = make([]float64, len(row))
+		for c := range row {
+			out[w][c] = row[c].Speedup(row[baseCol])
+		}
+	}
+	return out
+}
+
+// Sweep runs the configurations × workloads cross product on the worker
+// pool and assembles the full metrics grid. Workloads mix preset
+// benchmark names and inline specs freely, so a sweep can cover workload
+// axes (coalescing degree, TLP, working-set size, sharing, ...) exactly
+// like architecture axes. Cells that collapse to the same identity —
+// within the sweep or against the memo cache — simulate once; every ref
+// and config is validated before any simulation starts.
+func (s *Scheduler) Sweep(cfgs []config.Config, workloads []WorkloadRef) (*SweepResult, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("exp: sweep needs at least one configuration")
+	}
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("exp: sweep needs at least one workload")
+	}
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("exp: sweep config %d: %w", i, err)
+		}
+	}
+	for i, ref := range workloads {
+		if err := ref.Validate(); err != nil {
+			return nil, fmt.Errorf("exp: sweep workload %d: %w", i, err)
+		}
+	}
+
+	res := &SweepResult{
+		Configs:   make([]string, len(cfgs)),
+		Workloads: make([]string, len(workloads)),
+		Cells:     make([][]core.Metrics, len(workloads)),
+	}
+	var jobs []Job
+	for w, ref := range workloads {
+		res.Workloads[w] = ref.Label()
+		for _, cfg := range cfgs {
+			jobs = append(jobs, Job{Config: cfg, Workload: ref})
+		}
+	}
+	for c, cfg := range cfgs {
+		res.Configs[c] = cfg.Name
+	}
+	if err := s.RunJobs(jobs); err != nil {
+		return nil, err
+	}
+	// Assembly is serial and hits only the memo cache, so the grid is
+	// deterministic for any worker count. Each job's labels are restamped
+	// so a cell shared with a differently-named twin still reports this
+	// sweep's names.
+	for w, ref := range workloads {
+		res.Cells[w] = make([]core.Metrics, len(cfgs))
+		for c, cfg := range cfgs {
+			m, err := s.RunJob(Job{Config: cfg, Workload: ref})
+			if err != nil {
+				return nil, err
+			}
+			m.Config = cfg.Name
+			m.Benchmark = ref.Label()
+			res.Cells[w][c] = m
+		}
+	}
+	return res, nil
+}

@@ -65,7 +65,7 @@ func TestRunContextStopsWaitingOnCancel(t *testing.T) {
 	s := NewScheduler()
 	// Plant an in-flight cell that never completes, as if another
 	// goroutine were mid-simulation.
-	j := Job{Config: config.Baseline(), Bench: "dwt2d"}
+	j := BenchJob(config.Baseline(), "dwt2d")
 	s.mu.Lock()
 	s.cells[j.key()] = &cell{done: make(chan struct{})}
 	s.mu.Unlock()
@@ -73,7 +73,7 @@ func TestRunContextStopsWaitingOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := s.RunContext(ctx, j.Config, j.Bench)
+		_, err := s.RunJobContext(ctx, j)
 		errc <- err
 	}()
 	cancel()

@@ -96,7 +96,7 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 	data, err := json.Marshal(cacheEntry{
 		Schema:     cacheSchema,
 		SimVersion: core.SimVersion,
-		Bench:      j.Bench,
+		Bench:      j.Workload.Label(),
 		Config:     j.Config.Name,
 		Metrics:    m,
 	})

@@ -82,8 +82,8 @@ func TestDiskCacheIgnoresCorruptEntries(t *testing.T) {
 	}
 	// Plant garbage under the exact cell path and make sure Get treats it
 	// as a miss instead of failing or returning junk.
-	j := exp.Job{Config: config.Baseline(), Bench: testBench}
-	path := filepath.Join(dir, cellID(j.Config, j.Bench)+".json")
+	j := exp.BenchJob(config.Baseline(), testBench)
+	path := filepath.Join(dir, cellID(j.Config, j.Workload)+".json")
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestDiskCacheRejectsOtherSimVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := exp.Job{Config: config.Baseline(), Bench: testBench}
+	j := exp.BenchJob(config.Baseline(), testBench)
 	cache.Put(j, core.Metrics{Benchmark: testBench, Cycles: 42})
 	if _, ok := cache.Get(j); !ok {
 		t.Fatal("fresh entry missed")

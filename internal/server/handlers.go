@@ -19,7 +19,7 @@ import (
 //	GET    /v1/jobs           list jobs in submission order
 //	GET    /v1/jobs/{id}      poll one job
 //	DELETE /v1/jobs/{id}      cancel a queued job
-//	POST   /v1/sweeps         submit a config×bench cross product
+//	POST   /v1/sweeps         submit a config×workload cross product
 //	GET    /v1/benchmarks     benchmark names (Table II order)
 //	GET    /v1/configs        preset names (sorted)
 func (s *Server) Handler() http.Handler {
@@ -69,12 +69,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("decode job spec: %v", err))
 		return
 	}
-	cfg, err := s.resolveSpec(spec)
+	cfg, ref, err := s.resolveSpec(spec)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	j, created, err := s.submit(spec, cfg)
+	j, created, err := s.submit(spec, cfg, ref)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -123,13 +123,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("decode sweep request: %v", err))
 		return
 	}
-	if len(req.Benches) == 0 {
-		writeError(w, errBadRequest("sweep: benches is required"))
+	if len(req.Benches)+len(req.InlineSpecs) == 0 {
+		writeError(w, errBadRequest("sweep: one of benches or inlineSpecs is required"))
 		return
 	}
 	if len(req.Configs)+len(req.InlineConfigs) == 0 {
 		writeError(w, errBadRequest("sweep: one of configs or inlineConfigs is required"))
 		return
+	}
+
+	// The workload axis of the cross product: preset benchmark names
+	// followed by inline specs.
+	workloads := make([]api.JobSpec, 0, len(req.Benches)+len(req.InlineSpecs))
+	for _, b := range req.Benches {
+		workloads = append(workloads, api.JobSpec{Bench: b})
+	}
+	for i := range req.InlineSpecs {
+		workloads = append(workloads, api.JobSpec{InlineSpec: &req.InlineSpecs[i]})
 	}
 
 	// Resolve every cell up front so a malformed corner of the cross
@@ -138,17 +148,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var cells []resolvedCell
 	seen := make(map[string]bool)
 	addConfig := func(spec api.JobSpec) error {
-		for _, b := range req.Benches {
+		for _, wl := range workloads {
 			sp := spec
-			sp.Bench = b
-			cfg, err := s.resolveSpec(sp)
+			sp.Bench, sp.InlineSpec = wl.Bench, wl.InlineSpec
+			cfg, ref, err := s.resolveSpec(sp)
 			if err != nil {
 				return err
 			}
 			requested++
-			if id := cellID(cfg, b); !seen[id] {
+			if id := cellID(cfg, ref); !seen[id] {
 				seen[id] = true
-				cells = append(cells, resolvedCell{id: id, spec: sp, cfg: cfg})
+				cells = append(cells, resolvedCell{id: id, spec: sp, cfg: cfg, ref: ref})
 			}
 		}
 		return nil

@@ -1,9 +1,10 @@
 // Package server implements gpusimd: an HTTP daemon that wraps the
 // experiment engine (exp.Scheduler) behind an async job API.
 //
-// Jobs are (configuration, benchmark) cells, content-addressed so
-// duplicate submissions — within a sweep, across clients, or across the
-// daemon's lifetime — share one simulation. A bounded queue feeds a
+// Jobs are (configuration, workload) cells — preset names or fully
+// inline config/spec values — content-addressed so duplicate submissions
+// — within a sweep, across clients, or across the daemon's lifetime —
+// share one simulation. A bounded queue feeds a
 // worker pool; the scheduler's memo cache serves repeats in-memory, and an
 // optional disk cache (Options.CacheDir) persists results across
 // restarts. Queued jobs can be canceled; Shutdown drains in-flight cells.
@@ -57,6 +58,7 @@ type Options struct {
 type job struct {
 	api.Job
 	cfg    config.Config
+	ref    exp.WorkloadRef
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -161,7 +163,7 @@ func (s *Server) worker() {
 		j.StartedAt = &now
 		s.mu.Unlock()
 
-		m, err := s.sched.RunContext(j.ctx, j.cfg, j.Spec.Bench)
+		m, err := s.sched.RunJobContext(j.ctx, exp.Job{Config: j.cfg, Workload: j.ref})
 
 		s.mu.Lock()
 		done := time.Now()
@@ -170,9 +172,10 @@ func (s *Server) worker() {
 			j.State = api.JobFailed
 			j.Error = err.Error()
 		} else {
-			// The memo and disk caches may have simulated this silicon
-			// under a different preset label; the job answers with its own.
+			// The memo and disk caches may have simulated this cell under
+			// different config/workload labels; the job answers with its own.
 			m.Config = j.cfg.Name
+			m.Benchmark = j.ref.Label()
 			j.State = api.JobDone
 			j.Metrics = &m
 		}
@@ -182,8 +185,8 @@ func (s *Server) worker() {
 
 // cellID content-addresses one simulation cell, delegating to the
 // scheduler's own memo-cell identity so the two can never diverge.
-func cellID(cfg config.Config, bench string) string {
-	return exp.Job{Config: cfg, Bench: bench}.CellID()
+func cellID(cfg config.Config, ref exp.WorkloadRef) string {
+	return exp.Job{Config: cfg, Workload: ref}.CellID()
 }
 
 // httpError carries a status code out of the submit/resolve helpers.
@@ -198,41 +201,51 @@ func errBadRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// resolveSpec validates a JobSpec and returns the concrete configuration.
-func (s *Server) resolveSpec(spec api.JobSpec) (config.Config, error) {
-	if spec.Bench == "" {
-		return config.Config{}, errBadRequest("spec: bench is required (known: %v)", trace.Names())
+// resolveSpec validates a JobSpec and returns the concrete configuration
+// and workload reference. Every rejection is a 400 carrying validation
+// detail; nothing a client sends can reach a panicking build path.
+func (s *Server) resolveSpec(spec api.JobSpec) (config.Config, exp.WorkloadRef, error) {
+	var ref exp.WorkloadRef
+	switch {
+	case spec.Bench != "" && spec.InlineSpec != nil:
+		return config.Config{}, ref, errBadRequest("spec: bench and inlineSpec are mutually exclusive")
+	case spec.Bench == "" && spec.InlineSpec == nil:
+		return config.Config{}, ref, errBadRequest("spec: one of bench or inlineSpec is required (known benchmarks: %v)", trace.Names())
+	case spec.InlineSpec != nil:
+		ref = exp.SpecRef(*spec.InlineSpec)
+	default:
+		ref = exp.BenchRef(spec.Bench)
 	}
-	if !trace.Exists(spec.Bench) {
-		return config.Config{}, errBadRequest("spec: unknown benchmark %q (known: %v)", spec.Bench, trace.Names())
+	if err := ref.Validate(); err != nil {
+		return config.Config{}, ref, errBadRequest("spec: %v", err)
 	}
 	switch {
 	case spec.Config != "" && spec.InlineConfig != nil:
-		return config.Config{}, errBadRequest("spec: config and inlineConfig are mutually exclusive")
+		return config.Config{}, ref, errBadRequest("spec: config and inlineConfig are mutually exclusive")
 	case spec.Config != "":
 		cfg, err := config.ByName(spec.Config)
 		if err != nil {
-			return config.Config{}, errBadRequest("spec: %v", err)
+			return config.Config{}, ref, errBadRequest("spec: %v", err)
 		}
-		return cfg, nil
+		return cfg, ref, nil
 	case spec.InlineConfig != nil:
 		cfg := *spec.InlineConfig
 		if cfg.Name == "" {
 			cfg.Name = "inline"
 		}
 		if err := cfg.Validate(); err != nil {
-			return config.Config{}, errBadRequest("spec: %v", err)
+			return config.Config{}, ref, errBadRequest("spec: %v", err)
 		}
-		return cfg, nil
+		return cfg, ref, nil
 	default:
-		return config.Config{}, errBadRequest("spec: one of config or inlineConfig is required")
+		return config.Config{}, ref, errBadRequest("spec: one of config or inlineConfig is required")
 	}
 }
 
 // submit enqueues one resolved cell, deduplicating against the job table.
 // It returns the job and true if this call created or re-enqueued it.
-func (s *Server) submit(spec api.JobSpec, cfg config.Config) (*job, bool, error) {
-	id := cellID(cfg, spec.Bench)
+func (s *Server) submit(spec api.JobSpec, cfg config.Config, ref exp.WorkloadRef) (*job, bool, error) {
+	id := cellID(cfg, ref)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
@@ -255,6 +268,7 @@ func (s *Server) submit(spec api.JobSpec, cfg config.Config) (*job, bool, error)
 			SubmittedAt: time.Now(),
 		},
 		cfg: cfg,
+		ref: ref,
 	}
 	if err := s.enqueueLocked(j); err != nil {
 		return nil, false, err
@@ -287,6 +301,7 @@ type resolvedCell struct {
 	id   string
 	spec api.JobSpec
 	cfg  config.Config
+	ref  exp.WorkloadRef
 }
 
 // submitSweep enqueues a deduplicated sweep atomically: capacity for
@@ -313,7 +328,7 @@ func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
 		j, ok := s.jobs[c.id]
 		if !ok || j.State == api.JobCanceled {
 			if !ok {
-				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cfg: c.cfg}
+				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cfg: c.cfg, ref: c.ref}
 			}
 			if err := s.enqueueLocked(j); err != nil {
 				return nil, err // draining flipped, or capacity bug

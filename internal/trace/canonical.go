@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// defaultStridePages is the co-prime line stride Build substitutes when a
+// PatStrided spec leaves StridePages zero.
+const defaultStridePages = 97
+
+// Canonical returns the spec in canonical form: Build's implicit defaults
+// are made explicit and fields the address generator never reads under
+// this spec's pattern and instruction mix are zeroed. Two specs with
+// equal canonical forms produce identical request streams instruction for
+// instruction, so different spellings of the same workload — zero vs.
+// explicit defaults, leftover geometry from an edited pattern — collapse
+// to one value. SpecID (and therefore every memo cell, job ID and
+// disk-cache entry keyed on it) hashes exactly this form.
+func (s Spec) Canonical() Spec {
+	c := s
+	if c.LinesPerAccess < 1 {
+		c.LinesPerAccess = 1
+	}
+	// The independent-filler count is clamped to the light-ALU budget at
+	// build time; out-of-range DepDist spellings are the same program.
+	if c.DepDist < 0 {
+		c.DepDist = 0
+	}
+	if c.DepDist > c.ALUPerIter {
+		c.DepDist = c.ALUPerIter
+	}
+	if c.PadCodeInsts < 0 {
+		c.PadCodeInsts = 0
+	}
+	// Store windowing only applies while stores exist and the window is
+	// positive.
+	if c.StoresPerIter <= 0 || c.StoreWindowLines < 0 {
+		c.StoreWindowLines = 0
+	}
+	// The hot shared region is only reachable through SharedFrac.
+	if c.SharedFrac == 0 {
+		c.SharedKB = 0
+	}
+	switch c.Pattern {
+	case PatStrided:
+		if c.StridePages == 0 {
+			c.StridePages = defaultStridePages
+		}
+	default:
+		c.StridePages = 0
+	}
+	if c.Pattern == PatStream {
+		c.WorkingSetKB = 0 // streams allocate fresh lines, no working set
+		if c.SharedFrac == 0 {
+			// Pure streams index by (iteration, slot, warp) alone; the
+			// hash seed is only consulted for hot-region diversion and
+			// the randomized patterns.
+			c.Seed = 0
+		}
+	}
+	if c.LoadsPerIter == 0 {
+		// With no loads the address generator only ever runs its store
+		// path, which consults none of the load-pattern geometry or the
+		// hash seed.
+		c.Pattern = PatStream
+		c.LinesPerAccess = 1
+		c.StridePages = 0
+		c.WorkingSetKB = 0
+		c.SharedKB = 0
+		c.SharedFrac = 0
+		c.Seed = 0
+	}
+	return c
+}
+
+// Identity returns the canonical spec with its provenance labels (Name,
+// Suite) cleared — the exact value SpecID hashes. Labels are excluded
+// from workload identity for the same reason config.Config.Name is
+// excluded from cell identity: a renamed copy of the same kernel must
+// share its simulation results. Experiment engines use Identity as a
+// comparable memo key so job identity and SpecID can never diverge.
+func (s Spec) Identity() Spec {
+	id := s.Canonical()
+	id.Name, id.Suite = "", ""
+	return id
+}
+
+// SpecID returns a stable, content-addressed identifier of the workload:
+// a hash over the canonical JSON of Identity. Semantically identical
+// specs — field order, zero-value defaults and labels aside — share an
+// ID; any change that alters the generated request stream changes it.
+func (s Spec) SpecID() string {
+	id := s.Identity()
+	b, err := json.Marshal(id)
+	if err != nil {
+		// Only non-finite SharedFrac values (which Validate rejects) can
+		// defeat Marshal; hash a deterministic textual form instead so
+		// SpecID is total and never panics on garbage input.
+		b = []byte(fmt.Sprintf("%#v", id))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"gpumembw/internal/smcore"
+)
+
+// liveSpec returns a spec in which every identity-bearing field affects
+// the generated request stream, so perturbing any of them must change
+// the SpecID.
+func liveSpec() Spec {
+	return Spec{
+		Name: "live", Suite: "Test",
+		WarpsPerCore: 24, Iters: 10,
+		LoadsPerIter: 4, StoresPerIter: 2, ALUPerIter: 20, HeavyPerIter: 1,
+		DepDist: 5, Pattern: PatStrided,
+		LinesPerAccess: 2, StridePages: 101, WorkingSetKB: 256,
+		SharedKB: 32, SharedFrac: 0.5,
+		StoreWindowLines: 16, PadCodeInsts: 8,
+		Seed: 7,
+	}
+}
+
+// TestSpecIDGolden pins the content-address schema: these hashes may only
+// change together with a core.SimVersion bump, because disk caches and
+// job IDs are keyed on them.
+func TestSpecIDGolden(t *testing.T) {
+	mm, err := SpecByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"mm", mm, "ed064fff0ce8bb07"},
+		{"live", liveSpec(), "025fc4c8d6200cd7"},
+	} {
+		if got := tc.spec.SpecID(); got != tc.want {
+			t.Errorf("%s: SpecID = %q, want %q (cell-identity schema changed — bump core.SimVersion)", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSpecIDExcludesLabels(t *testing.T) {
+	a := liveSpec()
+	b := a
+	b.Name, b.Suite = "renamed", "Rodinia"
+	if a.SpecID() != b.SpecID() {
+		t.Fatal("renaming a spec changed its identity")
+	}
+}
+
+// equivalentPairs enumerates different spellings of the same workload:
+// zero values vs. explicit build-time defaults, and leftover fields the
+// pattern or instruction mix never reads.
+func equivalentPairs() []struct {
+	name string
+	a, b Spec
+} {
+	stream := Spec{Name: "s", Iters: 4, LoadsPerIter: 2, ALUPerIter: 4, Pattern: PatStream, Seed: 3}
+	strided := Spec{Name: "s", Iters: 4, LoadsPerIter: 2, ALUPerIter: 4, Pattern: PatStrided, WorkingSetKB: 64, Seed: 3}
+	pairs := []struct {
+		name string
+		a, b Spec
+	}{}
+	add := func(name string, a, b Spec) {
+		pairs = append(pairs, struct {
+			name string
+			a, b Spec
+		}{name, a, b})
+	}
+
+	a, b := stream, stream
+	b.LinesPerAccess = 1
+	add("lines-per-access 0 vs 1", a, b)
+
+	a, b = strided, strided
+	b.StridePages = defaultStridePages
+	add("stride 0 vs default 97", a, b)
+
+	a, b = stream, stream
+	a.WorkingSetKB = 640
+	add("stream ignores WorkingSetKB", a, b)
+
+	a, b = stream, stream
+	a.SharedKB = 64 // SharedFrac stays 0: hot region unreachable
+	add("SharedKB without SharedFrac", a, b)
+
+	a, b = stream, stream
+	a.StoreWindowLines = 32 // no stores: window never applies
+	add("StoreWindowLines without stores", a, b)
+
+	a, b = stream, stream
+	a.DepDist = 100 // clamped to the light-ALU budget at build time
+	b.DepDist = 4
+	add("DepDist clamped to ALUPerIter", a, b)
+
+	a, b = stream, stream
+	a.DepDist = -7 // clamped to zero at build time
+	add("negative DepDist is zero", a, b)
+
+	a, b = stream, stream
+	a.Seed = 99 // pure streams never consult the hash seed
+	add("stream ignores Seed", a, b)
+
+	a = Spec{Name: "st", Iters: 4, StoresPerIter: 2, ALUPerIter: 2, Pattern: PatTiled, WorkingSetKB: 64, LinesPerAccess: 4, Seed: 9}
+	b = Spec{Name: "st", Iters: 4, StoresPerIter: 2, ALUPerIter: 2}
+	add("store-only body ignores load geometry", a, b)
+
+	return pairs
+}
+
+func TestSpecIDZeroValueInvariance(t *testing.T) {
+	for _, tc := range equivalentPairs() {
+		if tc.a.SpecID() != tc.b.SpecID() {
+			t.Errorf("%s: IDs differ (%s vs %s)", tc.name, tc.a.SpecID(), tc.b.SpecID())
+		}
+	}
+}
+
+// TestEquivalentSpecsBuildIdenticalWorkloads backs the canonicalization
+// claim with behavior: specs that share an ID must generate the same
+// program and the same address stream.
+func TestEquivalentSpecsBuildIdenticalWorkloads(t *testing.T) {
+	for _, tc := range equivalentPairs() {
+		wa, err := tc.a.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		wb, err := tc.b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(wa.Program.Body) != len(wb.Program.Body) {
+			t.Errorf("%s: body lengths differ (%d vs %d)", tc.name, len(wa.Program.Body), len(wb.Program.Body))
+			continue
+		}
+		var ba, bb []uint64
+		for inst, in := range wa.Program.Body {
+			if in.Kind != smcore.OpLoad && in.Kind != smcore.OpStore {
+				continue
+			}
+			for coreID := 0; coreID < 2; coreID++ {
+				for iter := 0; iter < 3; iter++ {
+					ba = wa.Addr(ba, coreID, 5, iter, inst)
+					bb = wb.Addr(bb, coreID, 5, iter, inst)
+				}
+			}
+		}
+		if !reflect.DeepEqual(ba, bb) {
+			t.Errorf("%s: address streams differ", tc.name)
+		}
+	}
+}
+
+// TestSpecIDDistinguishesEveryField perturbs each Spec field of a fully
+// live spec and checks the identity moves — no knob that can change the
+// request stream may be silently excluded from the content address.
+func TestSpecIDDistinguishesEveryField(t *testing.T) {
+	base := liveSpec()
+	baseID := base.SpecID()
+	v := reflect.ValueOf(base)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		if f.Name == "Name" || f.Name == "Suite" {
+			continue // provenance labels, excluded by design
+		}
+		mut := base
+		mv := reflect.ValueOf(&mut).Elem().Field(i)
+		switch mv.Kind() {
+		case reflect.Int:
+			mv.SetInt(mv.Int() + 1)
+		case reflect.Uint8, reflect.Uint64:
+			mv.SetUint(mv.Uint() + 1)
+		case reflect.Float64:
+			mv.SetFloat(mv.Float() + 0.1)
+		default:
+			t.Fatalf("unhandled field kind %v for %s — extend this test", mv.Kind(), f.Name)
+		}
+		if mut.SpecID() == baseID {
+			t.Errorf("perturbing %s did not change the SpecID", f.Name)
+		}
+	}
+}
+
+// TestSpecIDJSONKeyOrderInvariance covers the wire path: the same inline
+// spec serialized with different key orders must land on one identity.
+func TestSpecIDJSONKeyOrderInvariance(t *testing.T) {
+	docA := `{"Name":"w","Iters":4,"LoadsPerIter":2,"ALUPerIter":4,"Pattern":"strided","WorkingSetKB":64,"Seed":3}`
+	docB := `{"Seed":3,"WorkingSetKB":64,"Pattern":"strided","ALUPerIter":4,"LoadsPerIter":2,"Iters":4,"Name":"w"}`
+	var a, b Spec
+	if err := json.Unmarshal([]byte(docA), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(docB), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.SpecID() != b.SpecID() {
+		t.Fatal("JSON key order changed the SpecID")
+	}
+}
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	for p := PatStream; p <= PatTiled; p++ {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Pattern
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %s -> %v", p, data, got)
+		}
+	}
+	var byNumber Pattern
+	if err := json.Unmarshal([]byte("2"), &byNumber); err != nil || byNumber != PatRandomWS {
+		t.Fatalf("numeric pattern = %v, %v", byNumber, err)
+	}
+	var bad Pattern
+	if err := json.Unmarshal([]byte(`"zigzag"`), &bad); err == nil {
+		t.Fatal("unknown pattern name accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	sp, err := SpecByName("mm")
+	if err != nil || sp.Name != "mm" {
+		t.Fatalf("SpecByName(mm) = %+v, %v", sp, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestNegativeDepDistBuildsBoundedBody guards the build-time clamp: an
+// arbitrarily negative DepDist must not inflate the remaining-ALU budget
+// (alusLeft -= indep) into a huge program — the OOM a hostile inline
+// spec could otherwise trigger in the daemon past the body-size cap.
+func TestNegativeDepDistBuildsBoundedBody(t *testing.T) {
+	spec := Spec{
+		Name: "hostile", Iters: 1,
+		LoadsPerIter: 1, ALUPerIter: 1, DepDist: -1_000_000,
+		Pattern: PatStream,
+	}
+	wl, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(wl.Program.Body); n > 2 {
+		t.Fatalf("body = %d insts, want 2 (negative DepDist inflated the ALU budget)", n)
+	}
+}
+
+func TestValidateRejectsHostileSpecs(t *testing.T) {
+	ok := Spec{Name: "ok", Iters: 1, LoadsPerIter: 1, ALUPerIter: 1, Pattern: PatStream}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"unknown pattern", func(s *Spec) { s.Pattern = 99; s.WorkingSetKB = 64 }},
+		{"negative working set", func(s *Spec) { s.WorkingSetKB = -1 }},
+		{"negative stride", func(s *Spec) { s.StridePages = -5 }},
+		{"negative warps", func(s *Spec) { s.WarpsPerCore = -1 }},
+		{"oversized body", func(s *Spec) { s.PadCodeInsts = maxBodyInsts + 1 }},
+		{"over-coalesced", func(s *Spec) { s.LinesPerAccess = 33 }},
+		{"NaN shared fraction", func(s *Spec) { s.SharedKB, s.SharedFrac = 16, math.NaN() }},
+		{"shared fraction above 1", func(s *Spec) { s.SharedKB, s.SharedFrac = 16, 1.5 }},
+		{"negative lines per access", func(s *Spec) { s.LinesPerAccess = -3 }},
+		{"overflowing body sum", func(s *Spec) { s.ALUPerIter = math.MaxInt64 / 2; s.PadCodeInsts = math.MaxInt64 / 2 }},
+	} {
+		s := ok
+		tc.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -15,7 +15,10 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"gpumembw/internal/smcore"
@@ -58,6 +61,45 @@ func (p Pattern) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParsePattern is the inverse of Pattern.String.
+func ParsePattern(s string) (Pattern, error) {
+	for p := PatStream; p <= PatTiled; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown pattern %q (known: stream, strided, random-ws, hot-shared, tiled)", s)
+}
+
+// MarshalJSON encodes known patterns by name ("stream", "strided", ...)
+// so spec files stay readable; out-of-range values fall back to their
+// numeric form rather than failing, keeping Spec always marshalable.
+func (p Pattern) MarshalJSON() ([]byte, error) {
+	if p > PatTiled {
+		return json.Marshal(uint8(p))
+	}
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts either a pattern name or its numeric value.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		v, err := ParsePattern(name)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("trace: pattern must be a name or a number, got %s", data)
+	}
+	*p = Pattern(n)
+	return nil
 }
 
 // Spec parameterizes one synthetic benchmark.
@@ -117,7 +159,7 @@ type memSlot struct {
 
 // Build compiles the spec into a runnable workload.
 func (s Spec) Build() (*smcore.Workload, error) {
-	if err := s.validate(); err != nil {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	body, slots := s.buildBody()
@@ -133,7 +175,7 @@ func (s Spec) Build() (*smcore.Workload, error) {
 	}
 	stride := uint64(s.StridePages)
 	if stride == 0 {
-		stride = 97 // default co-prime stride in lines
+		stride = defaultStridePages // Canonical mirrors this default
 	}
 	seed := s.Seed ^ 0x9e3779b97f4a7c15
 
@@ -209,25 +251,72 @@ func (s Spec) MustBuild() *smcore.Workload {
 	return w
 }
 
-func (s Spec) validate() error {
+// ReadSpecFile loads one workload spec from a JSON file, or from stdin
+// when path is "-" — the shared loader behind every CLI's -spec flag, so
+// the tools can never drift in what spec files they accept. The spec is
+// parsed, not validated; validation happens where the spec is used.
+func ReadSpecFile(path string) (Spec, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	var spec Spec
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// maxBodyInsts bounds one loop iteration's instruction count (body plus
+// code padding). The largest paper benchmark needs ~700 instructions for
+// its L1I-thrashing study; the bound leaves two orders of magnitude of
+// headroom while keeping a hostile inline spec from allocating an
+// arbitrarily large program in the daemon.
+const maxBodyInsts = 1 << 16
+
+// Validate reports an error if the spec cannot produce a well-formed
+// workload. Every Build goes through it, so servers accepting inline
+// specs get the same detailed rejection a library caller sees.
+func (s Spec) Validate() error {
 	switch {
 	case s.Name == "":
 		return fmt.Errorf("spec has no name")
 	case s.Iters <= 0:
 		return fmt.Errorf("%s: Iters must be positive", s.Name)
+	case s.WarpsPerCore < 0:
+		return fmt.Errorf("%s: WarpsPerCore must be non-negative (0 means the configuration's maximum)", s.Name)
 	case s.LoadsPerIter < 0 || s.StoresPerIter < 0 || s.ALUPerIter < 0 || s.HeavyPerIter < 0:
 		return fmt.Errorf("%s: negative instruction counts", s.Name)
 	case s.LoadsPerIter+s.StoresPerIter+s.ALUPerIter+s.HeavyPerIter == 0:
 		return fmt.Errorf("%s: empty body", s.Name)
 	case s.LoadsPerIter > 24:
 		return fmt.Errorf("%s: at most 24 loads per iteration (register budget)", s.Name)
+	// Cap each count individually BEFORE summing: two near-MaxInt counts
+	// would wrap the sum negative and sail under the aggregate cap.
+	case s.StoresPerIter > maxBodyInsts || s.ALUPerIter > maxBodyInsts ||
+		s.HeavyPerIter > maxBodyInsts || s.PadCodeInsts > maxBodyInsts:
+		return fmt.Errorf("%s: body exceeds %d instructions per iteration", s.Name, maxBodyInsts)
+	case s.LoadsPerIter+s.StoresPerIter+s.ALUPerIter+s.HeavyPerIter+max(s.PadCodeInsts, 0) > maxBodyInsts:
+		return fmt.Errorf("%s: body exceeds %d instructions per iteration", s.Name, maxBodyInsts)
+	case s.Pattern > PatTiled:
+		return fmt.Errorf("%s: unknown pattern %d (known: stream, strided, random-ws, hot-shared, tiled)", s.Name, uint8(s.Pattern))
+	case s.LinesPerAccess > 32:
+		return fmt.Errorf("%s: at most 32 lines per access (one per thread of a warp)", s.Name)
+	case s.LinesPerAccess < 0 || s.WorkingSetKB < 0 || s.SharedKB < 0 || s.StridePages < 0:
+		return fmt.Errorf("%s: negative access geometry", s.Name)
 	case (s.Pattern == PatRandomWS || s.Pattern == PatHotShared || s.Pattern == PatTiled || s.Pattern == PatStrided) && s.WorkingSetKB <= 0:
 		return fmt.Errorf("%s: pattern %v needs WorkingSetKB", s.Name, s.Pattern)
 	case s.Pattern == PatHotShared && s.SharedKB <= 0:
 		return fmt.Errorf("%s: PatHotShared needs SharedKB", s.Name)
 	case s.SharedFrac > 0 && s.SharedKB <= 0:
 		return fmt.Errorf("%s: SharedFrac needs SharedKB", s.Name)
-	case s.SharedFrac < 0 || s.SharedFrac > 1:
+	case !(s.SharedFrac >= 0 && s.SharedFrac <= 1): // rejects NaN too
 		return fmt.Errorf("%s: SharedFrac out of range", s.Name)
 	}
 	return nil
@@ -250,8 +339,14 @@ func (s Spec) buildBody() ([]smcore.Inst, map[int]memSlot) {
 		body = append(body, smcore.Inst{Kind: smcore.OpLoad, Dest: int8(1 + l), Src1: none, Src2: none})
 	}
 	alusLeft := s.ALUPerIter
-	// Independent filler between loads and consumers.
+	// Independent filler between loads and consumers, clamped to
+	// [0, ALUPerIter]: out-of-range DepDist spellings build the same
+	// program as their clamped value (Canonical relies on this, and an
+	// unclamped negative value would inflate alusLeft below).
 	indep := s.DepDist
+	if indep < 0 {
+		indep = 0
+	}
 	if indep > alusLeft {
 		indep = alusLeft
 	}

@@ -336,12 +336,25 @@ func Exists(name string) bool {
 	return false
 }
 
-// ByName builds the named benchmark.
-func ByName(name string) (*smcore.Workload, error) {
+// SpecByName returns the named Table II benchmark as its workload spec —
+// the registry behind every place a benchmark name is accepted. Callers
+// can use the returned Spec as a starting point for custom workloads:
+// copy it, change the axes under study (coalescing, TLP, working set,
+// sharing, ...), and run it anywhere an inline spec is accepted.
+func SpecByName(name string) (Spec, error) {
 	for _, b := range Table() {
 		if b.Spec.Name == name {
-			return b.Spec.Build()
+			return b.Spec, nil
 		}
 	}
-	return nil, fmt.Errorf("trace: unknown benchmark %q (known: %v)", name, Names())
+	return Spec{}, fmt.Errorf("trace: unknown benchmark %q (known: %v)", name, Names())
+}
+
+// ByName builds the named benchmark.
+func ByName(name string) (*smcore.Workload, error) {
+	spec, err := SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
 }

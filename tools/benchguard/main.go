@@ -19,6 +19,14 @@
 // packages to keep that unlikely. Pass -raw to compare absolute ns/op
 // instead (same-machine baselines).
 //
+// Benchmarks may carry job labels as sub-benchmark names
+// ("BenchmarkSimulatorThroughput/bench=ii", ".../spec=custom"); each
+// labelled entry is parsed and compared independently, with only the
+// trailing -GOMAXPROCS suffix stripped. A baseline entry whose benchmark
+// has since been split into labelled sub-benchmarks is reported as SPLIT
+// (its coverage moved, not vanished) instead of failing as MISSING;
+// refresh the baseline to adopt the labelled names.
+//
 // Refresh the committed baseline after an intentional performance change
 // by replacing BENCH.json with the parse output.
 package main
@@ -176,6 +184,19 @@ func cmdParse(args []string) {
 	}
 }
 
+// subBenchmarks returns the sorted labelled entries under name
+// ("BenchmarkFoo" -> "BenchmarkFoo/bench=ii", ...).
+func subBenchmarks(benchmarks map[string]Result, name string) []string {
+	var subs []string
+	for n := range benchmarks {
+		if strings.HasPrefix(n, name+"/") {
+			subs = append(subs, n)
+		}
+	}
+	sort.Strings(subs)
+	return subs
+}
+
 func readFile(path string) File {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -237,6 +258,14 @@ func cmdCompare(args []string) {
 		b := base.Benchmarks[n]
 		c, ok := cur.Benchmarks[n]
 		if !ok {
+			// A benchmark refactored into labelled sub-benchmarks still
+			// has coverage under "<name>/..."; there is no like-for-like
+			// ratio to check, so report the split without failing.
+			if split := subBenchmarks(cur.Benchmarks, n); len(split) > 0 {
+				fmt.Printf("%-34s %14.1f %14s %8s  SPLIT into %s (refresh the baseline)\n",
+					n, b.NsPerOp, "-", "-", strings.Join(split, ", "))
+				continue
+			}
 			fmt.Printf("%-34s %14.1f %14s %8s  MISSING\n", n, b.NsPerOp, "-", "-")
 			failed = true
 			continue
