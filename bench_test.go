@@ -296,8 +296,12 @@ func BenchmarkTableIII_AreaModel(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed on the
 // baseline configuration (cycles simulated per wall second), once for a
-// Table II benchmark and once for a custom inline workload spec going
-// through the full first-class spec path (validate, canonicalize, build).
+// Table II benchmark, once for a custom inline workload spec going
+// through the full first-class spec path (validate, canonicalize,
+// build), and once for a patched hardware configuration going through
+// the full first-class config path (patch application, validation,
+// canonicalization, ConfigID hashing) — the guard against regressions
+// in Canonical/ConfigID on the inline-config build path.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.Run("bench=ii", func(b *testing.B) {
 		wl, err := gpumembw.WorkloadByName("ii")
@@ -318,6 +322,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		benchThroughput(b, func() (gpumembw.Metrics, error) {
 			return gpumembw.RunSpec(config.Baseline(), spec)
+		})
+	})
+	b.Run("config=patched", func(b *testing.B) {
+		patch := gpumembw.ConfigPatch{
+			Base:  "baseline",
+			Delta: []byte(`{"L1":{"MSHREntries":64,"MissQueueEntries":16}}`),
+		}
+		benchThroughput(b, func() (gpumembw.Metrics, error) {
+			return gpumembw.RunPatch(patch, "ii")
 		})
 	})
 }

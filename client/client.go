@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gpumembw/internal/api"
+	"gpumembw/internal/config"
 	"gpumembw/internal/trace"
 )
 
@@ -28,8 +29,8 @@ import (
 type (
 	// Job is the server's view of one submitted simulation cell.
 	Job = api.Job
-	// JobSpec names one cell: a preset name or inline config, plus a
-	// workload (benchmark name or inline WorkloadSpec).
+	// JobSpec names one cell: a preset name, inline config or config
+	// patch, plus a workload (benchmark name or inline WorkloadSpec).
 	JobSpec = api.JobSpec
 	// JobState is the job lifecycle state.
 	JobState = api.JobState
@@ -42,6 +43,12 @@ type (
 	// WorkloadSpec is an inline synthetic-kernel spec for
 	// JobSpec.InlineSpec / SweepRequest.InlineSpecs.
 	WorkloadSpec = trace.Spec
+	// HardwareConfig is a full inline hardware configuration for
+	// JobSpec.InlineConfig / SweepRequest.InlineConfigs.
+	HardwareConfig = config.Config
+	// ConfigPatch is a sparse mitigation-knob overlay on a named preset
+	// for JobSpec.ConfigPatch / SweepRequest.ConfigPatches.
+	ConfigPatch = config.Patch
 )
 
 // Job lifecycle states.
@@ -195,13 +202,28 @@ func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 	return list.Benchmarks, nil
 }
 
-// Configs lists preset names, sorted (GET /v1/configs).
-func (c *Client) Configs(ctx context.Context) ([]string, error) {
+// Configs lists every preset as its full canonical configuration,
+// sorted by name (GET /v1/configs) — the starting point for authoring
+// inline configs and patches against a remote daemon.
+func (c *Client) Configs(ctx context.Context) ([]HardwareConfig, error) {
 	var list api.ConfigList
 	if err := c.do(ctx, http.MethodGet, "/v1/configs", nil, &list); err != nil {
 		return nil, err
 	}
 	return list.Configs, nil
+}
+
+// ConfigNames lists the preset names accepted by JobSpec.Config, sorted.
+func (c *Client) ConfigNames(ctx context.Context) ([]string, error) {
+	configs, err := c.Configs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(configs))
+	for i, cfg := range configs {
+		names[i] = cfg.Name
+	}
+	return names, nil
 }
 
 // Wait polls the job every poll interval (default 200ms when <= 0) until

@@ -1,16 +1,20 @@
 // Command bwexplore runs custom design-space explorations over BOTH axes
-// of the simulator's design space: pick the memory levels to scale and a
-// scaling factor (the architecture axis), and optionally sweep workload
-// knobs — coalescing degree, thread-level parallelism, working-set size —
-// as spec variants derived from a named benchmark (the workload axis).
-// Every (config, workload) cell runs once on the experiment engine's
-// worker pool through the shared sweep API; the report shows per-workload
-// speedups over the baseline plus the estimated area cost.
+// of the simulator's design space: the architecture axis — whole memory
+// levels scaled by a factor (-levels/-factor), or the paper's Table III
+// mitigation knobs swept directly (-mshr, -missq, -l2banks, -dram-scale)
+// — and optionally the workload axis — coalescing degree, thread-level
+// parallelism, working-set size as spec variants derived from a named
+// benchmark. Every (config, workload) cell runs once on the experiment
+// engine's worker pool through the shared sweep API; the report shows
+// per-workload speedups over the baseline for every configuration column
+// plus the estimated area cost.
 //
 // Usage:
 //
 //	bwexplore -levels l2 -factor 4
 //	bwexplore -levels l1,l2 -factor 2 -bench mm,sc,lbm -j 8
+//	bwexplore -mshr 64,128 -missq 32 -bench mm,sc
+//	bwexplore -l2banks 24,48 -dram-scale 2,4 -base mm -coalesce 1,8
 //	bwexplore -levels l2 -factor 4 -base mm -coalesce 1,4,8 -tlp 6,24,48
 //	bwexplore -levels dram -factor 4 -base nn -ws 64,512,4096
 package main
@@ -33,6 +37,10 @@ import (
 func main() {
 	levels := flag.String("levels", "l2", "comma-separated levels to scale: l1,l2,dram")
 	factor := flag.Int("factor", 4, "scaling factor for the selected levels")
+	mshr := flag.String("mshr", "", "comma-separated L1 MSHR entry counts to sweep (Table III mitigation)")
+	missq := flag.String("missq", "", "comma-separated L1+L2 miss-queue depths to sweep (Table III mitigation)")
+	l2banks := flag.String("l2banks", "", "comma-separated L2 bank counts to sweep (Table III mitigation)")
+	dramScale := flag.String("dram-scale", "", "comma-separated DRAM bandwidth scale factors to sweep (Table III mitigation)")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all 19)")
 	base := flag.String("base", "", "benchmark whose spec seeds workload-axis variants")
 	coalesce := flag.String("coalesce", "", "comma-separated lines-per-access values to sweep (needs -base)")
@@ -53,7 +61,26 @@ func main() {
 	defer profiles.Stop()
 	defer profiles.ExitOnSignal(nil)()
 
-	cfg := scaledConfig(*levels, *factor)
+	hwAxes := *mshr != "" || *missq != "" || *l2banks != "" || *dramScale != ""
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if hwAxes && (explicit["levels"] || explicit["factor"]) {
+		fmt.Fprintln(os.Stderr, "bwexplore: -levels/-factor and the mitigation axes (-mshr/-missq/-l2banks/-dram-scale) are mutually exclusive")
+		os.Exit(2)
+	}
+
+	var cols []config.Config
+	var err error
+	if hwAxes {
+		cols, err = mitigationAxis(*mshr, *missq, *l2banks, *dramScale)
+	} else {
+		cols = []config.Config{scaledConfig(*levels, *factor)}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cols = append([]config.Config{gpumembw.Baseline()}, cols...)
 
 	refs, err := workloadAxis(*base, *benches, *coalesce, *tlp, *ws)
 	if err != nil {
@@ -61,10 +88,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	// One sweep call covers the whole grid: both configurations × every
-	// workload, deduplicated and simulated concurrently on the pool.
+	// One sweep call covers the whole grid: every configuration column ×
+	// every workload, deduplicated and simulated concurrently on the pool.
 	s := exp.NewScheduler(exp.WithWorkers(*workers), exp.WithProgress(os.Stderr))
-	res, err := s.Sweep([]config.Config{gpumembw.Baseline(), cfg}, refs)
+	res, err := s.Sweep(exp.SweepConfigs(cols), refs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		profiles.Stop() // os.Exit skips the deferred call
@@ -72,18 +99,111 @@ func main() {
 	}
 
 	speedups := res.Speedups(0)
-	fmt.Printf("%-24s %10s\n", "workload", "speedup")
-	sum := 0.0
-	for w, name := range res.Workloads {
-		fmt.Printf("%-24s %9.2fx\n", name, speedups[w][1])
-		sum += speedups[w][1]
+	fmt.Printf("%-24s", "workload")
+	for _, name := range res.Configs[1:] {
+		fmt.Printf(" %14s", name)
 	}
-	fmt.Printf("%-24s %9.2fx\n", "AVG", sum/float64(len(res.Workloads)))
+	fmt.Println()
+	sums := make([]float64, len(res.Configs))
+	for w, name := range res.Workloads {
+		fmt.Printf("%-24s", name)
+		for c := 1; c < len(res.Configs); c++ {
+			fmt.Printf(" %13.2fx", speedups[w][c])
+			sums[c] += speedups[w][c]
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-24s", "AVG")
+	for c := 1; c < len(res.Configs); c++ {
+		fmt.Printf(" %13.2fx", sums[c]/float64(len(res.Workloads)))
+	}
+	fmt.Println()
 
 	baseCfg := config.Baseline()
-	est := area.Compare(&baseCfg, &cfg)
-	fmt.Printf("\narea: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",
-		est.StorageKB, est.CrossbarMM2, est.TotalMM2, 100*est.OverheadFrac)
+	for _, cfg := range cols[1:] {
+		est := area.Compare(&baseCfg, &cfg)
+		fmt.Printf("\narea %s: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",
+			cfg.Name, est.StorageKB, est.CrossbarMM2, est.TotalMM2, 100*est.OverheadFrac)
+	}
+}
+
+// mitigationAxis expands the Table III mitigation knobs into config
+// columns: the cross product of the provided axes applied to the
+// baseline. -mshr scales L1 MSHR entries, -missq the L1 and L2 miss
+// queues together (the paper scales both levels' queues in one step),
+// -l2banks the L2 bank count (crossbar ports scale with it), and
+// -dram-scale the DRAM scheduler queue, banks and bus width by a factor.
+func mitigationAxis(mshr, missq, l2banks, dramScale string) ([]config.Config, error) {
+	parse := func(s, name string) ([]int, error) {
+		if s == "" {
+			return []int{0}, nil // 0 = axis unset, keep baseline
+		}
+		var vals []int
+		for _, p := range cliutil.SplitCSV(s) {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("bwexplore: -%s: %w", name, err)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("bwexplore: -%s values must be positive, got %d", name, v)
+			}
+			vals = append(vals, v)
+		}
+		return vals, nil
+	}
+	mshrVals, err := parse(mshr, "mshr")
+	if err != nil {
+		return nil, err
+	}
+	missqVals, err := parse(missq, "missq")
+	if err != nil {
+		return nil, err
+	}
+	bankVals, err := parse(l2banks, "l2banks")
+	if err != nil {
+		return nil, err
+	}
+	dramVals, err := parse(dramScale, "dram-scale")
+	if err != nil {
+		return nil, err
+	}
+	var cols []config.Config
+	for _, m := range mshrVals {
+		for _, q := range missqVals {
+			for _, b := range bankVals {
+				for _, d := range dramVals {
+					cfg := gpumembw.Baseline()
+					var segs []string
+					if m > 0 {
+						cfg.L1.MSHREntries = m
+						segs = append(segs, fmt.Sprintf("mshr%d", m))
+					}
+					if q > 0 {
+						cfg.L1.MissQueueEntries = q
+						cfg.L2.MissQueueEntries = q
+						segs = append(segs, fmt.Sprintf("missq%d", q))
+					}
+					if b > 0 {
+						cfg.L2.NumBanks = b
+						segs = append(segs, fmt.Sprintf("l2b%d", b))
+					}
+					if d > 0 {
+						config.ScaleDRAM(&cfg, d)
+						segs = append(segs, fmt.Sprintf("dram%dx", d))
+					}
+					if len(segs) == 0 {
+						continue // all axes unset for this combination
+					}
+					cfg.Name = strings.Join(segs, "/")
+					if err := cfg.Validate(); err != nil {
+						return nil, err
+					}
+					cols = append(cols, cfg)
+				}
+			}
+		}
+	}
+	return cols, nil
 }
 
 // scaledConfig derives the architecture-axis design point: the baseline
@@ -95,22 +215,11 @@ func scaledConfig(levels string, factor int) config.Config {
 	for _, level := range strings.Split(levels, ",") {
 		switch strings.TrimSpace(level) {
 		case "l1":
-			cfg.L1.MissQueueEntries *= factor
-			cfg.L1.MSHREntries *= factor
-			cfg.Core.MemPipelineWidth *= factor
+			config.ScaleL1(&cfg, factor)
 		case "l2":
-			cfg.L2.MissQueueEntries *= factor
-			cfg.L2.ResponseQueueEntries *= factor
-			cfg.L2.MSHREntries *= factor
-			cfg.L2.AccessQueueEntries *= factor
-			cfg.L2.DataPortBytes *= factor
-			cfg.Icnt.ReqFlitBytes *= factor
-			cfg.Icnt.ReplyFlitBytes *= factor
-			cfg.L2.NumBanks *= factor
+			config.ScaleL2(&cfg, factor)
 		case "dram":
-			cfg.DRAM.SchedQueueEntries *= factor
-			cfg.DRAM.BanksPerChip *= factor
-			cfg.DRAM.BusWidthBits *= factor
+			config.ScaleDRAM(&cfg, factor)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown level %q (want l1, l2 or dram)\n", level)
 			os.Exit(2)

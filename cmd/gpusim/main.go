@@ -1,13 +1,18 @@
 // Command gpusim runs one workload on one memory-hierarchy configuration
 // and prints the full metric set the paper measures, as text or JSON.
 // The workload is a Table II benchmark name (-bench) or any custom
-// workload spec as JSON (-spec) — see README.md "Custom workloads".
+// workload spec as JSON (-spec); the configuration is a preset name
+// (-config), a full config or patch document (-config-file), and/or
+// knob=value overrides (-set) — see README.md "Custom workloads" and
+// "Custom hardware configs".
 //
 // Usage:
 //
 //	gpusim -bench mm -config baseline
 //	gpusim -bench mm -config L2-4x -json
 //	gpusim -spec custom.json -config baseline -json
+//	gpusim -bench mm -config-file mitigated.json
+//	gpusim -bench mm -config baseline -set l1.mshr_entries=128 -set l1.miss_queue_entries=32
 //	gpusim -bench mm -cpuprofile p.out
 //	gpusim -list
 package main
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"gpumembw"
+	"gpumembw/cmd/internal/cliutil"
 	"gpumembw/internal/prof"
 	"gpumembw/internal/trace"
 )
@@ -28,17 +34,22 @@ func main() {
 	bench := flag.String("bench", "mm", "benchmark name (see -list)")
 	specPath := flag.String("spec", "", "path to a workload spec JSON (\"-\" for stdin); overrides -bench")
 	cfgName := flag.String("config", "baseline", "configuration preset (see -list)")
+	cfgFile := flag.String("config-file", "", "path to a config or patch JSON (\"-\" for stdin); overrides -config")
+	var sets cliutil.StringList
+	flag.Var(&sets, "set", "knob=value config override, e.g. l1.mshr_entries=128 (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the metrics as JSON")
 	list := flag.Bool("list", false, "list benchmarks and configurations")
 	profiles := prof.AddFlags()
 	flag.Parse()
-	if *specPath != "" {
-		benchSet := false
-		flag.Visit(func(f *flag.Flag) { benchSet = benchSet || f.Name == "bench" })
-		if benchSet {
-			fmt.Fprintln(os.Stderr, "gpusim: -bench and -spec are mutually exclusive")
-			os.Exit(2)
-		}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *specPath != "" && explicit["bench"] {
+		fmt.Fprintln(os.Stderr, "gpusim: -bench and -spec are mutually exclusive")
+		os.Exit(2)
+	}
+	if *cfgFile != "" && explicit["config"] {
+		fmt.Fprintln(os.Stderr, "gpusim: -config and -config-file are mutually exclusive")
+		os.Exit(2)
 	}
 
 	if err := profiles.Start(); err != nil {
@@ -60,16 +71,16 @@ func main() {
 		return
 	}
 
-	cfg, err := gpumembw.ConfigByName(*cfgName)
+	cref, err := configRef(*cfgName, *cfgFile, sets)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
 
-	// A single cell still goes through the engine so workload validation,
-	// labels and metrics assembly happen in one place — the same place the
-	// daemon and the sweep tools use, which is what keeps `gpusim -json`
-	// byte-identical to their output for the same cell.
+	// A single cell still goes through the engine so config/workload
+	// validation, labels and metrics assembly happen in one place — the
+	// same place the daemon and the sweep tools use, which is what keeps
+	// `gpusim -json` byte-identical to their output for the same cell.
 	s := gpumembw.NewScheduler()
 	ref := gpumembw.BenchRef(*bench)
 	if *specPath != "" {
@@ -81,7 +92,7 @@ func main() {
 		ref = gpumembw.SpecRef(spec)
 	}
 	start := time.Now()
-	m, err := s.RunJob(gpumembw.Job{Config: cfg, Workload: ref})
+	m, err := s.RunJob(gpumembw.Job{Config: cref, Workload: ref})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		profiles.Stop() // os.Exit skips the deferred call
@@ -126,5 +137,22 @@ func main() {
 	fmt.Printf("icnt util      req %.1f%%  reply %.1f%%\n", 100*m.ReqNetUtil, 100*m.ReplyNetUtil)
 	if m.Truncated {
 		fmt.Println("WARNING: run truncated by MaxCycles")
+	}
+}
+
+// configRef assembles the configuration reference from -config,
+// -config-file and -set through the shared cliutil resolution, so
+// gpusim and gpusimctl resolve every spelling to the same cell.
+func configRef(name, file string, sets []string) (gpumembw.ConfigRef, error) {
+	preset, cfg, patch, err := cliutil.ResolveConfigFlags(name, file, sets)
+	switch {
+	case err != nil:
+		return gpumembw.ConfigRef{}, err
+	case cfg != nil:
+		return gpumembw.InlineConfig(*cfg), nil
+	case patch != nil:
+		return gpumembw.PatchRef(*patch), nil
+	default:
+		return gpumembw.PresetRef(preset), nil
 	}
 }

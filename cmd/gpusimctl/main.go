@@ -6,17 +6,20 @@
 //	gpusimctl [-addr URL] <command> [flags]
 //
 //	gpusimctl submit -config baseline -bench mm -wait
-//	gpusimctl submit -config-json cfg.json -bench mm -wait -metrics
+//	gpusimctl submit -config-file cfg.json -bench mm -wait -metrics
+//	gpusimctl submit -config baseline -set l1.mshr_entries=128 -bench mm -wait
 //	gpusimctl submit -config baseline -spec custom.json -wait -metrics
 //	gpusimctl get <job-id>
 //	gpusimctl wait <job-id>
 //	gpusimctl cancel <job-id>
 //	gpusimctl list
 //	gpusimctl sweep -configs baseline,L2-4x -benches mm,sc -wait
+//	gpusimctl sweep -configs baseline -set l1.mshr_entries=128 -benches mm -wait
+//	gpusimctl sweep -configs baseline -config-file patch.json -benches mm -wait
 //	gpusimctl sweep -configs baseline -spec a.json -spec b.json -wait
 //	gpusimctl stats [-json]
 //	gpusimctl benchmarks
-//	gpusimctl configs
+//	gpusimctl configs [-json]
 //	gpusimctl health
 //
 // The daemon address comes from -addr, or the GPUSIMD_ADDR environment
@@ -30,9 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strings"
 	"time"
 
 	"gpumembw/client"
@@ -90,13 +91,7 @@ func main() {
 			fmt.Println(n)
 		}
 	case "configs":
-		names, err := c.Configs(ctx)
-		if err != nil {
-			fatal(err)
-		}
-		for _, n := range names {
-			fmt.Println(n)
-		}
+		cmdConfigs(ctx, c, args)
 	case "health":
 		if err := c.Health(ctx); err != nil {
 			fatal(err)
@@ -137,6 +132,13 @@ func specConfig(s client.JobSpec) string {
 			return s.InlineConfig.Name
 		}
 		return "inline"
+	}
+	if s.ConfigPatch != nil {
+		base := s.ConfigPatch.Base
+		if base == "" {
+			base = "baseline"
+		}
+		return base + "-patched"
 	}
 	return "?"
 }
@@ -184,7 +186,9 @@ func finishJob(ctx context.Context, c *client.Client, j *client.Job, wait bool, 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	cfgName := fs.String("config", "", "configuration preset name (see `gpusimctl configs`)")
-	cfgJSON := fs.String("config-json", "", "path to a full inline config JSON (\"-\" for stdin)")
+	cfgFile := fs.String("config-file", "", "path to a config or patch JSON (\"-\" for stdin)")
+	var sets cliutil.StringList
+	fs.Var(&sets, "set", "knob=value config override, e.g. l1.mshr_entries=128 (repeatable)")
 	bench := fs.String("bench", "", "benchmark name (see `gpusimctl benchmarks`)")
 	specJSON := fs.String("spec", "", "path to an inline workload spec JSON (\"-\" for stdin)")
 	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
@@ -193,17 +197,9 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 	asJSON := fs.Bool("json", false, "print the job as JSON")
 	fs.Parse(args)
 
-	spec := client.JobSpec{Config: *cfgName, Bench: *bench}
-	if *cfgJSON != "" {
-		data, err := readFileOrStdin(*cfgJSON)
-		if err != nil {
-			fatal(err)
-		}
-		var cfg config.Config
-		if err := json.Unmarshal(data, &cfg); err != nil {
-			fatal(fmt.Errorf("parse %s: %w", *cfgJSON, err))
-		}
-		spec.InlineConfig = &cfg
+	spec := client.JobSpec{Bench: *bench}
+	if err := fillConfig(&spec, *cfgName, *cfgFile, sets); err != nil {
+		fatal(err)
 	}
 	if *specJSON != "" {
 		wl, err := readSpecFile(*specJSON)
@@ -219,6 +215,22 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 	finishJob(ctx, c, j, *wait, *poll, *metricsOnly, *asJSON)
 }
 
+// fillConfig assembles the configuration half of a JobSpec from
+// -config, -config-file and -set through the shared cliutil resolution,
+// so gpusimctl ships exactly the form gpusim resolves locally and both
+// tools land every spelling on the same cell.
+func fillConfig(spec *client.JobSpec, name, file string, sets []string) error {
+	if file != "" && name != "" {
+		return fmt.Errorf("-config and -config-file are mutually exclusive")
+	}
+	preset, cfg, patch, err := cliutil.ResolveConfigFlags(name, file, sets)
+	if err != nil {
+		return err
+	}
+	spec.Config, spec.InlineConfig, spec.ConfigPatch = preset, cfg, patch
+	return nil
+}
+
 // readSpecFile loads one inline workload spec from a JSON file or stdin
 // via the shared trace loader, so gpusimctl and gpusim accept exactly
 // the same spec files.
@@ -230,17 +242,24 @@ func readSpecFile(path string) (*client.WorkloadSpec, error) {
 	return &wl, nil
 }
 
-// specPaths collects a repeatable -spec flag.
-type specPaths []string
-
-func (p *specPaths) String() string     { return strings.Join(*p, ",") }
-func (p *specPaths) Set(v string) error { *p = append(*p, v); return nil }
-
-func readFileOrStdin(path string) ([]byte, error) {
-	if path == "-" {
-		return io.ReadAll(os.Stdin)
+// cmdConfigs lists the daemon's presets: names by default, full
+// canonical Config JSON with -json (the raw GET /v1/configs payload —
+// the starting point for authoring -config-file documents).
+func cmdConfigs(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("configs", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the full canonical config of every preset as JSON")
+	fs.Parse(args)
+	configs, err := c.Configs(ctx)
+	if err != nil {
+		fatal(err)
 	}
-	return os.ReadFile(path)
+	if *asJSON {
+		printJSON(configs)
+		return
+	}
+	for _, cfg := range configs {
+		fmt.Println(cfg.Name)
+	}
 }
 
 func cmdGet(ctx context.Context, c *client.Client, args []string, wait bool) {
@@ -283,16 +302,45 @@ func cmdList(ctx context.Context, c *client.Client) {
 func cmdSweep(ctx context.Context, c *client.Client, args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	configs := fs.String("configs", "", "comma-separated preset names")
+	var cfgFiles cliutil.StringList
+	fs.Var(&cfgFiles, "config-file", "path to a config or patch JSON to add to the config axis (repeatable)")
+	var sets cliutil.StringList
+	fs.Var(&sets, "set", "knob=value: add a patched variant of every -configs preset to the axis (repeatable)")
 	benches := fs.String("benches", "", "comma-separated benchmarks (default: all, unless -spec is given)")
-	var specs specPaths
+	var specs cliutil.StringList
 	fs.Var(&specs, "spec", "path to an inline workload spec JSON (repeatable)")
 	wait := fs.Bool("wait", false, "block until every job reaches a terminal state")
 	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -wait")
 	fs.Parse(args)
-	if *configs == "" {
-		fatal(fmt.Errorf("sweep: -configs is required"))
+	if *configs == "" && len(cfgFiles) == 0 {
+		fatal(fmt.Errorf("sweep: one of -configs or -config-file is required"))
 	}
 	req := client.SweepRequest{Configs: cliutil.SplitCSV(*configs)}
+	for _, path := range cfgFiles {
+		cfg, patch, err := config.ReadConfigFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg != nil {
+			req.InlineConfigs = append(req.InlineConfigs, *cfg)
+		} else {
+			req.ConfigPatches = append(req.ConfigPatches, *patch)
+		}
+	}
+	if len(sets) > 0 {
+		// -set sweeps a mitigation delta against its unpatched bases: each
+		// -configs preset contributes a patched twin column.
+		if len(req.Configs) == 0 {
+			fatal(fmt.Errorf("sweep: -set needs -configs presets to patch"))
+		}
+		delta, err := config.DeltaFromSets(sets)
+		if err != nil {
+			fatal(err)
+		}
+		for _, base := range req.Configs {
+			req.ConfigPatches = append(req.ConfigPatches, client.ConfigPatch{Base: base, Delta: delta})
+		}
+	}
 	for _, path := range specs {
 		wl, err := readSpecFile(path)
 		if err != nil {

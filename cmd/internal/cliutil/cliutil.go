@@ -2,7 +2,12 @@
 // command-line tools, so their flag semantics cannot drift apart.
 package cliutil
 
-import "strings"
+import (
+	"encoding/json"
+	"strings"
+
+	"gpumembw/internal/config"
+)
 
 // SplitCSV splits a comma-separated flag value, trimming whitespace and
 // dropping empty items.
@@ -15,4 +20,55 @@ func SplitCSV(s string) []string {
 		}
 	}
 	return out
+}
+
+// StringList collects a repeatable string flag (flag.Value), e.g. the
+// -set and -spec flags of gpusim/gpusimctl.
+type StringList []string
+
+// String implements flag.Value.
+func (l *StringList) String() string { return strings.Join(*l, ",") }
+
+// Set implements flag.Value.
+func (l *StringList) Set(v string) error { *l = append(*l, v); return nil }
+
+// ResolveConfigFlags resolves the -config/-config-file/-set flag trio
+// shared by gpusim and gpusimctl into exactly one configuration form —
+// a preset name, a full inline config, or a patch — with ONE set of
+// semantics, so the two tools provably land every spelling on the same
+// simulation cell: a full config document takes the -set overrides
+// applied locally; a patch document, or a bare preset name with -set
+// knobs, stays a patch with the -set delta merged on top (base
+// resolution stays wherever the value is consumed — locally in gpusim,
+// daemon-side for gpusimctl). Callers reject -config/-config-file
+// conflicts before calling; file takes precedence here.
+func ResolveConfigFlags(name, file string, sets []string) (preset string, cfg *config.Config, patch *config.Patch, err error) {
+	var setDelta json.RawMessage
+	if len(sets) > 0 {
+		if setDelta, err = config.DeltaFromSets(sets); err != nil {
+			return "", nil, nil, err
+		}
+	}
+	if file != "" {
+		cfg, patch, err = config.ReadConfigFile(file)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		if cfg != nil {
+			if err = config.ApplyDelta(cfg, setDelta); err != nil {
+				return "", nil, nil, err
+			}
+			return "", cfg, nil, nil
+		}
+		if setDelta != nil {
+			if patch.Delta, err = config.MergeDeltas(patch.Delta, setDelta); err != nil {
+				return "", nil, nil, err
+			}
+		}
+		return "", nil, patch, nil
+	}
+	if setDelta != nil {
+		return "", nil, &config.Patch{Base: name, Delta: setDelta}, nil
+	}
+	return name, nil, nil, nil
 }

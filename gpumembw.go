@@ -23,6 +23,16 @@
 // the ideal memory systems of Table II (InfiniteBW, InfiniteDRAM), the
 // fixed-latency sweep of Fig. 3, and an HBM-class DRAM.
 //
+// Nor are configurations limited to those presets: a Config is a
+// first-class value accepted everywhere a preset name is — validated,
+// canonicalized and content-addressed (ConfigID) — and the paper's
+// Table III mitigations (more MSHRs, deeper miss queues, more L2 banks,
+// scaled DRAM) are one ConfigPatch away:
+//
+//	cfg, _ := gpumembw.ConfigByName("baseline")
+//	cfg.Name, cfg.L1.MSHREntries = "baseline-mshr128", 128
+//	m, err := gpumembw.RunConfig(cfg, "mm")
+//
 // Workloads are not limited to the paper's 19 benchmarks: a WorkloadSpec
 // is a first-class value accepted everywhere a benchmark name is, so any
 // scenario between the canned points — a different coalescing degree,
@@ -129,7 +139,8 @@ func Run(cfg Config, wl *Workload) (Metrics, error) {
 type Scheduler = exp.Scheduler
 
 // Job is one (configuration, workload) simulation cell for
-// Scheduler.RunJobs. Build one with BenchJob or SpecJob.
+// Scheduler.RunJobs. Build one with BenchJob or SpecJob, or assemble
+// refs directly for the preset-name and patch forms.
 type Job = exp.Job
 
 // WorkloadRef names a job's workload: a Table II benchmark by name, or
@@ -137,6 +148,18 @@ type Job = exp.Job
 // registered benchmark (labels aside) is the same workload — it shares
 // the benchmark's simulation cell.
 type WorkloadRef = exp.WorkloadRef
+
+// ConfigRef names a job's hardware configuration: a preset by name, a
+// full inline Config, or a mitigation-knob ConfigPatch on a preset. A
+// config or patch that resolves to a preset's canonical identity is the
+// same hardware — it shares the preset's simulation cell.
+type ConfigRef = exp.ConfigRef
+
+// ConfigPatch is a sparse overlay on a named preset — the paper's
+// Table III mitigations (more MSHRs, deeper miss queues, more L2 banks,
+// scaled DRAM) as small JSON diffs, e.g.
+// {"base":"baseline","L1":{"MSHREntries":128}}.
+type ConfigPatch = config.Patch
 
 // SweepResult is the metrics grid returned by Sweep and
 // Scheduler.Sweep.
@@ -147,6 +170,19 @@ func BenchRef(name string) WorkloadRef { return exp.BenchRef(name) }
 
 // SpecRef wraps an inline workload spec for a WorkloadRef.
 func SpecRef(sp WorkloadSpec) WorkloadRef { return exp.SpecRef(sp) }
+
+// PresetRef names a configuration preset for a ConfigRef.
+func PresetRef(name string) ConfigRef { return exp.PresetRef(name) }
+
+// InlineConfig wraps a full inline configuration for a ConfigRef.
+func InlineConfig(cfg Config) ConfigRef { return exp.InlineConfig(cfg) }
+
+// PatchRef wraps a mitigation-knob patch for a ConfigRef.
+func PatchRef(p ConfigPatch) ConfigRef { return exp.PatchRef(p) }
+
+// SweepConfigs wraps plain config values as inline refs for Sweep's
+// config axis.
+func SweepConfigs(cfgs []Config) []ConfigRef { return exp.SweepConfigs(cfgs) }
 
 // BenchJob builds a preset-benchmark job.
 func BenchJob(cfg Config, bench string) Job { return exp.BenchJob(cfg, bench) }
@@ -204,11 +240,30 @@ func RunSpec(cfg Config, sp WorkloadSpec) (Metrics, error) {
 }
 
 // Sweep runs the configurations × workloads cross product on a fresh
-// engine with GOMAXPROCS workers and returns the metrics grid. For
-// repeated sweeps that should share a memo cache, use
-// NewScheduler().Sweep directly.
-func Sweep(cfgs []Config, workloads []WorkloadRef) (*SweepResult, error) {
+// engine with GOMAXPROCS workers and returns the metrics grid. Both
+// axes take refs: mix preset names, inline values and config patches
+// freely (wrap plain config values with SweepConfigs). For repeated
+// sweeps that should share a memo cache, use NewScheduler().Sweep
+// directly.
+func Sweep(cfgs []ConfigRef, workloads []WorkloadRef) (*SweepResult, error) {
 	return exp.NewScheduler().Sweep(cfgs, workloads)
+}
+
+// RunConfig validates and simulates a benchmark on an arbitrary inline
+// configuration — the hardware twin of RunSpec, for design points the
+// presets never enumerated. The returned Metrics are identical to any
+// other entry point's for the same (config, workload) cell: a scheduler
+// memo hit, a daemon job and `gpusim -config-file` all share
+// content-addressed cell identity (Config.ConfigID).
+func RunConfig(cfg Config, bench string) (Metrics, error) {
+	return exp.NewScheduler().Run(cfg, bench)
+}
+
+// RunPatch applies a mitigation-knob patch to its base preset and
+// simulates a benchmark on the result — the one-call path for the
+// paper's Table III mitigation ladder.
+func RunPatch(p ConfigPatch, bench string) (Metrics, error) {
+	return exp.NewScheduler().RunJob(Job{Config: exp.PatchRef(p), Workload: exp.BenchRef(bench)})
 }
 
 // Configs returns every named configuration preset the paper evaluates.

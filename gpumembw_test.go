@@ -136,7 +136,7 @@ func TestSpecByNameAndSweepFacade(t *testing.T) {
 	variant.Name = "leukocyte-lowtlp"
 	variant.WarpsPerCore = 8
 	res, err := gpumembw.Sweep(
-		[]gpumembw.Config{gpumembw.Baseline()},
+		gpumembw.SweepConfigs([]gpumembw.Config{gpumembw.Baseline()}),
 		[]gpumembw.WorkloadRef{gpumembw.BenchRef("leukocyte"), gpumembw.SpecRef(variant)},
 	)
 	if err != nil {

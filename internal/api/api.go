@@ -3,22 +3,25 @@
 //
 // All routes live under the "/v1" prefix (plus the unversioned GET
 // /healthz). A job is one (configuration, workload) simulation cell. Both
-// halves are first-class values: the configuration is a preset name or a
-// full inline config.Config, and the workload is a Table II benchmark
-// name or a full inline trace.Spec. The job ID is content-addressed — a
-// hash of the configuration value (name excluded) and the workload
-// spec's canonical identity (labels excluded, benchmark names resolved
-// to their registered specs) — so resubmitting a cell, submitting it
-// under a different label with identical parameters, or spelling a
-// preset benchmark as an equivalent inline spec all land on the same
-// job. Cancellation (DELETE /v1/jobs/{id}) therefore affects every
-// client that submitted that cell.
+// halves are first-class values: the configuration is a preset name, a
+// full inline config.Config, or a mitigation-knob config.Patch on a
+// named preset, and the workload is a Table II benchmark name or a full
+// inline trace.Spec. The job ID is content-addressed — a hash of the
+// configuration's canonical identity (config.Config.Identity: name
+// excluded, mode-dead fields zeroed, preset names and patches resolved)
+// and the workload spec's canonical identity (labels excluded, benchmark
+// names resolved to their registered specs) — so resubmitting a cell,
+// submitting it under a different label with identical parameters, or
+// spelling a preset config or benchmark as an equivalent inline value
+// all land on the same job. Cancellation (DELETE /v1/jobs/{id})
+// therefore affects every client that submitted that cell.
 //
 // Errors are returned as an Error payload with a non-2xx status: 400 for
 // malformed specs (the body carries config.Validate / trace.Spec.Validate
-// detail and, for unknown names, the list of valid ones), 404 for unknown
-// job IDs, 409 for canceling a job that already started, and 503 when the
-// bounded queue is full or the daemon is draining.
+// / patch-application detail and, for unknown names, the list of valid
+// ones), 404 for unknown job IDs, 409 for canceling a job that already
+// started, and 503 when the bounded queue is full or the daemon is
+// draining.
 package api
 
 import (
@@ -59,16 +62,20 @@ func (s JobState) Terminal() bool {
 }
 
 // JobSpec names one simulation cell. Exactly one of Config (a preset
-// name, see GET /v1/configs) or InlineConfig (a full config.Config value,
-// validated server-side with config.Validate) must be set, and likewise
-// exactly one of Bench (a Table II benchmark name, see GET
+// name, see GET /v1/configs), InlineConfig (a full config.Config value,
+// validated server-side with config.Validate) or ConfigPatch (a sparse
+// mitigation-knob overlay on a named preset, e.g.
+// {"base":"baseline","L1":{"MSHREntries":128}}) must be set, and
+// likewise exactly one of Bench (a Table II benchmark name, see GET
 // /v1/benchmarks) or InlineSpec (a full trace.Spec value, validated
 // server-side with trace.Spec.Validate; an empty Name defaults to
-// "custom"). An inline spec equal to a registered benchmark (labels
-// aside) resolves to the benchmark's cell.
+// "custom"). An inline config or patch that resolves to a preset's
+// canonical identity, or an inline spec equal to a registered benchmark
+// (labels aside), lands on the preset's cell.
 type JobSpec struct {
 	Config       string         `json:"config,omitempty"`
 	InlineConfig *config.Config `json:"inlineConfig,omitempty"`
+	ConfigPatch  *config.Patch  `json:"configPatch,omitempty"`
 	Bench        string         `json:"bench,omitempty"`
 	InlineSpec   *trace.Spec    `json:"inlineSpec,omitempty"`
 }
@@ -97,16 +104,17 @@ type JobList struct {
 }
 
 // SweepRequest (POST /v1/sweeps) expands the cross product of its
-// configurations (Configs ∪ InlineConfigs) and workloads (Benches ∪
-// InlineSpecs) into jobs, so one request can sweep workload axes —
-// coalescing degree × TLP of inline spec variants against one config —
-// exactly like architecture axes. At least one configuration and one
-// workload are required. Cells that collapse to the same
-// content-addressed ID — within the sweep or against jobs already known
-// to the daemon — are submitted once.
+// configurations (Configs ∪ InlineConfigs ∪ ConfigPatches) and workloads
+// (Benches ∪ InlineSpecs) into jobs, so one request can sweep hardware
+// axes — the paper's Table III mitigation ladder as a list of patches
+// against any workload — exactly like workload axes. At least one
+// configuration and one workload are required. Cells that collapse to
+// the same content-addressed ID — within the sweep or against jobs
+// already known to the daemon — are submitted once.
 type SweepRequest struct {
 	Configs       []string        `json:"configs,omitempty"`
 	InlineConfigs []config.Config `json:"inlineConfigs,omitempty"`
+	ConfigPatches []config.Patch  `json:"configPatches,omitempty"`
 	Benches       []string        `json:"benches,omitempty"`
 	InlineSpecs   []trace.Spec    `json:"inlineSpecs,omitempty"`
 }
@@ -143,9 +151,12 @@ type BenchmarkList struct {
 	Benchmarks []string `json:"benchmarks"`
 }
 
-// ConfigList is the response of GET /v1/configs (sorted preset names).
+// ConfigList is the response of GET /v1/configs: every preset as its
+// full canonical config.Config value (config.Config.Canonical — defaults
+// explicit, mode-dead fields zeroed), sorted by name, so clients can
+// author inline configs and patches without guessing field names.
 type ConfigList struct {
-	Configs []string `json:"configs"`
+	Configs []config.Config `json:"configs"`
 }
 
 // Health is the response of GET /healthz.

@@ -1,0 +1,95 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the configuration in canonical form: fields the
+// simulator never consults under this configuration's mode are zeroed.
+// Two configurations with equal canonical forms assemble behaviorally
+// identical GPUs, so different spellings of the same silicon — a
+// fixed-latency design point dragging along the baseline's L2 and DRAM
+// tables, a P∞ config with leftover crossbar buffers — collapse to one
+// value. ConfigID (and therefore every memo cell, job ID and disk-cache
+// entry keyed on it) hashes exactly this form.
+//
+// The zeroing map mirrors core.New and smcore.NewCore field by field:
+//
+//   - ModeNormal runs the full hierarchy; only the ideal-mode latencies
+//     (FixedL1MissLatency, IdealL2HitLatency, IdealMemLatency) are dead,
+//     plus either the FR-FCFS machinery (when DRAM.Infinite replaces the
+//     channel with a fixed-latency pipe) or InfiniteLatency (when it
+//     does not).
+//   - ModeInfiniteBW removes every structural limit: the L1 miss path
+//     (MSHRs, miss queue, response FIFO), the crossbars and the DRAM are
+//     never built; of the L2 only the functional tag-array geometry
+//     backing the latency oracle remains.
+//   - ModeFixedL1MissLat services every L1 miss at a constant latency:
+//     everything beyond the L1 is dead. L2.LineBytes survives only
+//     because Validate ties it to the live L1 line size.
+func (c Config) Canonical() Config {
+	out := c
+	switch c.Mode {
+	case ModeNormal:
+		out.FixedL1MissLatency = 0
+		out.IdealL2HitLatency, out.IdealMemLatency = 0, 0
+		if c.DRAM.Infinite {
+			out.DRAM.Timing = DRAMTiming{}
+			out.DRAM.SchedQueueEntries = 0
+			out.DRAM.ReturnQueueEntries = 0
+			out.DRAM.BanksPerChip = 0
+			out.DRAM.RowBytes = 0
+			out.DRAM.CtrlLatency = 0
+		} else {
+			out.DRAM.InfiniteLatency = 0
+		}
+	case ModeInfiniteBW:
+		out.FixedL1MissLatency = 0
+		out.L1.MSHREntries, out.L1.MSHRMaxMerge = 0, 0
+		out.L1.MissQueueEntries, out.L1.ResponseFIFO = 0, 0
+		out.Icnt = IcntConfig{}
+		out.L2 = L2Config{SizeBytes: c.L2.SizeBytes, LineBytes: c.L2.LineBytes, Ways: c.L2.Ways}
+		out.DRAM = DRAMConfig{}
+	case ModeFixedL1MissLat:
+		out.IdealL2HitLatency, out.IdealMemLatency = 0, 0
+		out.L1.MSHREntries, out.L1.MSHRMaxMerge = 0, 0
+		out.L1.MissQueueEntries, out.L1.ResponseFIFO = 0, 0
+		out.Icnt = IcntConfig{}
+		out.L2 = L2Config{LineBytes: c.L2.LineBytes}
+		out.DRAM = DRAMConfig{}
+	}
+	return out
+}
+
+// Identity returns the canonical configuration with its provenance label
+// (Name) cleared — the exact value ConfigID hashes. The name is excluded
+// from hardware identity for the same reason trace.Spec's labels are
+// excluded from workload identity: a renamed copy of the same silicon
+// must share its simulation results. Experiment engines use Identity as
+// a comparable memo key so job identity and ConfigID can never diverge.
+func (c Config) Identity() Config {
+	id := c.Canonical()
+	id.Name = ""
+	return id
+}
+
+// ConfigID returns a stable, content-addressed identifier of the
+// hardware configuration: a hash over the canonical JSON of Identity.
+// Semantically identical configurations — names, mode-dead leftovers
+// and JSON key order aside — share an ID; any change that alters what
+// the assembled GPU simulates changes it.
+func (c Config) ConfigID() string {
+	id := c.Identity()
+	b, err := json.Marshal(id)
+	if err != nil {
+		// Only non-finite clock values (which Validate rejects) can defeat
+		// Marshal; hash a deterministic textual form instead so ConfigID
+		// is total and never panics on garbage input.
+		b = []byte(fmt.Sprintf("%#v", id))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}

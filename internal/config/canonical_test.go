@@ -1,0 +1,295 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestConfigIDGolden pins the content-address schema for every preset
+// (plus the two parameterized builders): these hashes may only change
+// together with a core.SimVersion bump, because disk caches and job IDs
+// are keyed on them.
+func TestConfigIDGolden(t *testing.T) {
+	golden := []struct {
+		name string
+		want string
+	}{
+		{"All-4x", "52f6ac910015fe5b"},
+		{"DRAM-4x", "13fda137c6aef050"},
+		{"HBM", "13fda137c6aef050"}, // = DRAM-4x renamed: same silicon, same ID
+		{"L1+L2-4x", "758c4a7dadbd939e"},
+		{"L1-4x", "07946919daf7c360"},
+		{"L2+DRAM-4x", "7dfb231ddd570fda"},
+		{"L2-4x", "b22010dfd670bf11"},
+		{"P-dram", "7391d3db15013bfe"},
+		{"P-inf", "fed63a17e0a89ed2"},
+		{"asymmetric-16+48-only", "e15df1e5a4fcf1ed"},
+		{"baseline", "34a43fc5d8c9d06c"},
+		{"cost-effective-16+48", "8a271fe936d0cf0a"},
+		{"cost-effective-16+68", "15d8bc05c1bc30de"},
+		{"cost-effective-32+52", "366374f45e594b83"},
+	}
+	if presets := Names(); len(presets) != len(golden) {
+		t.Fatalf("%d presets but %d golden IDs — pin the new preset here", len(presets), len(golden))
+	}
+	for _, tc := range golden {
+		c, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.ConfigID(); got != tc.want {
+			t.Errorf("%s: ConfigID = %q, want %q (cell-identity schema changed — bump core.SimVersion)", tc.name, got, tc.want)
+		}
+	}
+	if got := FixedL1MissLatency(300).ConfigID(); got != "5f479015e93f3a10" {
+		t.Errorf("fixed-lat-300: ConfigID = %q (cell-identity schema changed — bump core.SimVersion)", got)
+	}
+	if got := WithCoreClock(Baseline(), 1600).ConfigID(); got != "e71a748fde6f3168" {
+		t.Errorf("baseline-core-1600MHz: ConfigID = %q (cell-identity schema changed — bump core.SimVersion)", got)
+	}
+}
+
+func TestConfigIDExcludesName(t *testing.T) {
+	a := Baseline()
+	b := a
+	b.Name = "renamed"
+	if a.ConfigID() != b.ConfigID() {
+		t.Fatal("renaming a config changed its identity")
+	}
+}
+
+// modeDeadPairs enumerates different spellings of the same silicon:
+// leftover values in fields the configuration's mode never consults.
+func modeDeadPairs() []struct {
+	name string
+	a, b Config
+} {
+	var pairs []struct {
+		name string
+		a, b Config
+	}
+	add := func(name string, a, b Config) {
+		pairs = append(pairs, struct {
+			name string
+			a, b Config
+		}{name, a, b})
+	}
+
+	a, b := Baseline(), Baseline()
+	a.FixedL1MissLatency = 777 // only ModeFixedL1MissLat reads it
+	add("normal ignores FixedL1MissLatency", a, b)
+
+	a, b = Baseline(), Baseline()
+	a.IdealL2HitLatency, a.IdealMemLatency = 1, 2 // only ModeInfiniteBW reads them
+	add("normal ignores ideal latencies", a, b)
+
+	a, b = Baseline(), Baseline()
+	a.DRAM.InfiniteLatency = 1234 // dead unless DRAM.Infinite
+	add("finite DRAM ignores InfiniteLatency", a, b)
+
+	a, b = InfiniteDRAM(), InfiniteDRAM()
+	a.DRAM.Timing.RCD = 99 // P_DRAM bypasses the FR-FCFS machinery
+	a.DRAM.SchedQueueEntries = 1
+	a.DRAM.BanksPerChip = 3
+	add("infinite DRAM ignores FR-FCFS knobs", a, b)
+
+	a, b = InfiniteBW(), InfiniteBW()
+	a.Icnt.ReqFlitBytes = 1 // P∞ never builds the crossbars
+	a.L1.MSHREntries = 7    // ...or the L1 miss path
+	a.DRAM.SchedQueueEntries = 3
+	a.L2.NumBanks = 24 // only the functional tag-array geometry is live
+	add("P-inf ignores the bandwidth hierarchy", a, b)
+
+	a, b = FixedL1MissLatency(300), FixedL1MissLatency(300)
+	a.L2.MSHREntries = 5 // everything beyond the L1 is dead
+	a.Icnt.ReplyFlitBytes = 96
+	a.DRAM.BusWidthBits = 768
+	a.IdealMemLatency = 9
+	add("fixed-lat ignores the hierarchy", a, b)
+
+	return pairs
+}
+
+func TestConfigIDModeDeadInvariance(t *testing.T) {
+	for _, tc := range modeDeadPairs() {
+		if tc.a.ConfigID() != tc.b.ConfigID() {
+			t.Errorf("%s: IDs differ (%s vs %s)", tc.name, tc.a.ConfigID(), tc.b.ConfigID())
+		}
+	}
+}
+
+// TestCanonicalOfValidConfigValidates: canonicalization must never turn
+// a valid configuration invalid, or twin detection would reject configs
+// the simulator accepts.
+func TestCanonicalOfValidConfigValidates(t *testing.T) {
+	for name, c := range Presets() {
+		canon := c.Canonical()
+		if err := canon.Validate(); err != nil {
+			t.Errorf("%s: canonical form invalid: %v", name, err)
+		}
+		if canon.ConfigID() != c.ConfigID() {
+			t.Errorf("%s: canonicalization is not idempotent for identity", name)
+		}
+	}
+	for _, c := range []Config{FixedL1MissLatency(120), WithCoreClock(Baseline(), 1600)} {
+		canon := c.Canonical()
+		if err := canon.Validate(); err != nil {
+			t.Errorf("%s: canonical form invalid: %v", c.Name, err)
+		}
+	}
+}
+
+// liveFieldExemptions lists Config fields that are dead under the
+// baseline's ModeNormal and are covered by the mode-specific checks
+// below instead.
+var liveFieldExemptions = map[string]bool{
+	"Name":                 true, // label, excluded by design
+	"FixedL1MissLatency":   true,
+	"IdealL2HitLatency":    true,
+	"IdealMemLatency":      true,
+	"DRAM.InfiniteLatency": true,
+}
+
+// TestConfigIDDistinguishesEveryLiveField perturbs each leaf field of
+// the baseline configuration and checks the identity moves — no knob
+// that can change the simulated hardware may be silently excluded from
+// the content address. Mode-dead fields are exercised under the mode
+// that reads them.
+func TestConfigIDDistinguishesEveryLiveField(t *testing.T) {
+	base := Baseline()
+	baseID := base.ConfigID()
+	var walk func(v reflect.Value, path string)
+	walk = func(v reflect.Value, path string) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			name := f.Name
+			if path != "" {
+				name = path + "." + f.Name
+			}
+			fv := v.Field(i)
+			if fv.Kind() == reflect.Struct {
+				walk(fv, name)
+				continue
+			}
+			if liveFieldExemptions[name] {
+				continue
+			}
+			mut := base
+			mv := reflect.ValueOf(&mut).Elem()
+			for _, seg := range splitPath(name) {
+				mv = mv.FieldByName(seg)
+			}
+			switch mv.Kind() {
+			case reflect.Int, reflect.Int64:
+				mv.SetInt(mv.Int() + 1)
+			case reflect.Uint8:
+				mv.SetUint(mv.Uint() + 1)
+			case reflect.Float64:
+				mv.SetFloat(mv.Float() + 0.5)
+			case reflect.Bool:
+				mv.SetBool(!mv.Bool())
+			case reflect.String:
+				mv.SetString(mv.String() + "x")
+			default:
+				t.Fatalf("unhandled field kind %v for %s — extend this test", mv.Kind(), name)
+			}
+			if mut.ConfigID() == baseID {
+				t.Errorf("perturbing %s did not change the ConfigID", name)
+			}
+		}
+	}
+	walk(reflect.ValueOf(base), "")
+
+	// The exempted fields must move the ID under the mode that reads them.
+	fl := FixedL1MissLatency(300)
+	fl2 := FixedL1MissLatency(301)
+	if fl.ConfigID() == fl2.ConfigID() {
+		t.Error("FixedL1MissLatency excluded from fixed-lat identity")
+	}
+	pinf, pinf2 := InfiniteBW(), InfiniteBW()
+	pinf2.IdealL2HitLatency++
+	if pinf.ConfigID() == pinf2.ConfigID() {
+		t.Error("IdealL2HitLatency excluded from P-inf identity")
+	}
+	pinf2 = InfiniteBW()
+	pinf2.IdealMemLatency++
+	if pinf.ConfigID() == pinf2.ConfigID() {
+		t.Error("IdealMemLatency excluded from P-inf identity")
+	}
+	pdram, pdram2 := InfiniteDRAM(), InfiniteDRAM()
+	pdram2.DRAM.InfiniteLatency++
+	if pdram.ConfigID() == pdram2.ConfigID() {
+		t.Error("InfiniteLatency excluded from P-dram identity")
+	}
+}
+
+func splitPath(path string) []string {
+	var segs []string
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i == len(path) || path[i] == '.' {
+			segs = append(segs, path[start:i])
+			start = i + 1
+		}
+	}
+	return segs
+}
+
+// TestConfigIDJSONKeyOrderInvariance covers the wire path: the same
+// inline config serialized with different key orders must land on one
+// identity.
+func TestConfigIDJSONKeyOrderInvariance(t *testing.T) {
+	full, err := json.Marshal(Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Config
+	if err := json.Unmarshal(full, &a); err != nil {
+		t.Fatal(err)
+	}
+	// Re-serialize through a generic map (which re-orders keys) and parse
+	// again: the identity must survive the round trip.
+	var m map[string]any
+	if err := json.Unmarshal(full, &m); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Config
+	if err := json.Unmarshal(reordered, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.ConfigID() != b.ConfigID() {
+		t.Fatal("JSON key order changed the ConfigID")
+	}
+	if a.ConfigID() != Baseline().ConfigID() {
+		t.Fatal("JSON round trip changed the ConfigID")
+	}
+}
+
+func TestModeJSONRoundTrip(t *testing.T) {
+	for m := ModeNormal; m <= ModeFixedL1MissLat; m++ {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Mode
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %v -> %s -> %v", m, data, got)
+		}
+	}
+	var byNumber Mode
+	if err := json.Unmarshal([]byte("1"), &byNumber); err != nil || byNumber != ModeInfiniteBW {
+		t.Fatalf("numeric mode = %v, %v", byNumber, err)
+	}
+	var bad Mode
+	if err := json.Unmarshal([]byte(`"turbo"`), &bad); err == nil {
+		t.Fatal("unknown mode name accepted")
+	}
+}

@@ -141,27 +141,44 @@ func HBM() Config {
 	return c
 }
 
-func scaleL1(c *Config) {
-	c.L1.MissQueueEntries *= ScaleFactor
-	c.L1.MSHREntries *= ScaleFactor
-	c.Core.MemPipelineWidth *= ScaleFactor
+func scaleL1(c *Config) { ScaleL1(c, ScaleFactor) }
+
+func scaleL2(c *Config) { ScaleL2(c, ScaleFactor) }
+
+func scaleDRAM(c *Config) { ScaleDRAM(c, ScaleFactor) }
+
+// ScaleL1, ScaleL2 and ScaleDRAM scale one memory level's Table III
+// knobs by factor — the single definition of what "scaling a level"
+// means, shared by the Fig. 10 presets above and the design-space CLIs,
+// so a CLI-scaled level with the preset's factor is the content-
+// addressed twin of the preset.
+
+// ScaleL1 scales the L1 knobs: miss queue, MSHRs, memory pipeline width.
+func ScaleL1(c *Config, factor int) {
+	c.L1.MissQueueEntries *= factor
+	c.L1.MSHREntries *= factor
+	c.Core.MemPipelineWidth *= factor
 }
 
-func scaleL2(c *Config) {
-	c.L2.MissQueueEntries *= ScaleFactor
-	c.L2.ResponseQueueEntries *= ScaleFactor
-	c.L2.MSHREntries *= ScaleFactor
-	c.L2.AccessQueueEntries *= ScaleFactor
-	c.L2.DataPortBytes *= ScaleFactor
-	c.Icnt.ReqFlitBytes *= ScaleFactor
-	c.Icnt.ReplyFlitBytes *= ScaleFactor
-	c.L2.NumBanks *= ScaleFactor
+// ScaleL2 scales the L2 knobs: every queue, MSHRs, data port, crossbar
+// flits, and the bank count (each bank owns a crossbar port).
+func ScaleL2(c *Config, factor int) {
+	c.L2.MissQueueEntries *= factor
+	c.L2.ResponseQueueEntries *= factor
+	c.L2.MSHREntries *= factor
+	c.L2.AccessQueueEntries *= factor
+	c.L2.DataPortBytes *= factor
+	c.Icnt.ReqFlitBytes *= factor
+	c.Icnt.ReplyFlitBytes *= factor
+	c.L2.NumBanks *= factor
 }
 
-func scaleDRAM(c *Config) {
-	c.DRAM.SchedQueueEntries *= ScaleFactor
-	c.DRAM.BanksPerChip *= ScaleFactor
-	c.DRAM.BusWidthBits *= ScaleFactor
+// ScaleDRAM scales the DRAM bandwidth knobs: scheduler queue, banks per
+// chip, bus width.
+func ScaleDRAM(c *Config, factor int) {
+	c.DRAM.SchedQueueEntries *= factor
+	c.DRAM.BanksPerChip *= factor
+	c.DRAM.BusWidthBits *= factor
 }
 
 // costEffectiveBase applies the Type '=' knobs of Table III's cost-effective

@@ -2,16 +2,30 @@ package config
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Presets returns every named configuration preset the paper evaluates,
-// keyed by name: the Table I baseline, the 4×-scaled points of Fig. 10,
-// HBM, the cost-effective asymmetric crossbars of Fig. 12, and the ideal
-// memory systems of Table II. The parameterized builders
-// (FixedL1MissLatency, WithCoreClock) are not presets and are excluded.
-func Presets() map[string]Config {
+// presets caches the built preset map: ByName sits on hot submit paths
+// (once per daemon job), and rebuilding all 14 structs per lookup is
+// pure waste. The cached map is never handed out directly — Presets
+// clones it — so no caller can mutate another's view.
+var presets = sync.OnceValue(buildPresets)
+
+// presetNames caches the sorted name list alongside.
+var presetNames = sync.OnceValue(func() []string {
+	m := presets()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+})
+
+func buildPresets() map[string]Config {
 	list := []Config{
 		Baseline(), ScaledL1(), ScaledL2(), ScaledDRAM(),
 		ScaledL1L2(), ScaledL2DRAM(), ScaledAll(), HBM(),
@@ -25,21 +39,25 @@ func Presets() map[string]Config {
 	return out
 }
 
+// Presets returns every named configuration preset the paper evaluates,
+// keyed by name: the Table I baseline, the 4×-scaled points of Fig. 10,
+// HBM, the cost-effective asymmetric crossbars of Fig. 12, and the ideal
+// memory systems of Table II. The parameterized builders
+// (FixedL1MissLatency, WithCoreClock) are not presets and are excluded.
+// The returned map is the caller's to mutate.
+func Presets() map[string]Config {
+	return maps.Clone(presets())
+}
+
 // Names returns the preset names accepted by ByName, sorted.
 func Names() []string {
-	presets := Presets()
-	names := make([]string, 0, len(presets))
-	for n := range presets {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return append([]string(nil), presetNames()...)
 }
 
 // ByName returns the named preset. Unknown names are an error that lists
 // the valid ones.
 func ByName(name string) (Config, error) {
-	if c, ok := Presets()[name]; ok {
+	if c, ok := presets()[name]; ok {
 		return c, nil
 	}
 	return Config{}, fmt.Errorf("config: unknown config %q (known: %s)", name, strings.Join(Names(), ", "))

@@ -20,7 +20,12 @@ import (
 //
 // sim-4: cells are keyed on {config, canonical workload-spec identity}
 // (inline WorkloadSpec support) instead of {config, benchmark name}.
-const SimVersion = "ispass17-sim-4"
+//
+// sim-5: the config half is keyed on the canonical config identity
+// (config.Config.Identity — mode-dead fields zeroed, Name excluded,
+// Mode serialized by name) instead of the raw config value, so inline
+// configs and patches that are twins of a preset share its cell.
+const SimVersion = "ispass17-sim-5"
 
 // Metrics aggregates every quantity the paper reports for one simulation.
 type Metrics struct {

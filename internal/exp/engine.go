@@ -37,6 +37,136 @@ func SpecRef(sp trace.Spec) WorkloadRef { return WorkloadRef{Spec: &sp} }
 // the "inline" default for unnamed inline configurations.
 const defaultSpecName = "custom"
 
+// defaultConfigName labels inline configurations submitted without a name.
+const defaultConfigName = "inline"
+
+// ConfigRef names the configuration of a Job — the exact twin of
+// WorkloadRef on the hardware axis. Exactly one of Preset (a registered
+// preset name), Config (a full inline config.Config) or Patch (a sparse
+// overlay on a preset) is set. Preset names resolve to their registered
+// config.Config and patches to their applied result, and cell identity
+// hashes the resolved configuration's canonical form
+// (config.Config.Identity), so a preset named "baseline", an inline copy
+// of the baseline and a {"base":"baseline"} patch are the *same*
+// hardware — they share one memo cell, one CellID and one disk-cache
+// entry.
+type ConfigRef struct {
+	Preset string         `json:"preset,omitempty"`
+	Config *config.Config `json:"config,omitempty"`
+	Patch  *config.Patch  `json:"patch,omitempty"`
+}
+
+// PresetRef names a registered configuration preset by name.
+func PresetRef(name string) ConfigRef { return ConfigRef{Preset: name} }
+
+// InlineConfig wraps a full inline configuration (the value is copied).
+func InlineConfig(cfg config.Config) ConfigRef { return ConfigRef{Config: &cfg} }
+
+// PatchRef wraps a mitigation-knob overlay on a named preset.
+func PatchRef(p config.Patch) ConfigRef { return ConfigRef{Patch: &p} }
+
+// named returns the ref's inline config with the unnamed-inline default
+// applied.
+func (r ConfigRef) named() config.Config {
+	cfg := *r.Config
+	if cfg.Name == "" {
+		cfg.Name = defaultConfigName
+	}
+	return cfg
+}
+
+// refCount counts how many of the ref's three forms are set.
+func (r ConfigRef) refCount() int {
+	n := 0
+	if r.Preset != "" {
+		n++
+	}
+	if r.Config != nil {
+		n++
+	}
+	if r.Patch != nil {
+		n++
+	}
+	return n
+}
+
+// Label returns the configuration's display name: the preset name, the
+// inline config's name (or the unnamed-inline default), or the patch's
+// applied name ("<base>-patched" unless the delta renames it).
+func (r ConfigRef) Label() string {
+	switch {
+	case r.Preset != "":
+		return r.Preset
+	case r.Config != nil:
+		return r.named().Name
+	case r.Patch != nil:
+		if cfg, err := r.Patch.Apply(); err == nil {
+			return cfg.Name
+		}
+		base := r.Patch.Base
+		if base == "" {
+			base = "baseline"
+		}
+		return base + "-patched"
+	}
+	return ""
+}
+
+// Validate rejects refs that name no configuration, name more than one
+// kind, name an unknown preset, carry a patch that does not apply, or
+// resolve to a configuration config.Validate rejects. The error is
+// user-facing (server handlers return it as 400 detail).
+func (r ConfigRef) Validate() error {
+	cfg, err := r.Resolve()
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
+}
+
+// resolveConfig returns the ref's concrete configuration. ok is false
+// for the ref shapes that cannot name hardware at all — unknown preset
+// names, patches that fail to apply, refs naming several kinds or none —
+// so their memoized errors key on the raw ref spelling, never on a
+// config identity a valid job could share.
+func (r ConfigRef) resolveConfig() (config.Config, bool) {
+	cfg, err := r.Resolve()
+	return cfg, err == nil
+}
+
+// Resolve returns the concrete configuration through the error-returning
+// path — malformed refs produce an error a daemon can report, never a
+// panic.
+func (r ConfigRef) Resolve() (config.Config, error) {
+	if r.refCount() > 1 {
+		return config.Config{}, fmt.Errorf("preset, config and patch are mutually exclusive")
+	}
+	switch {
+	case r.Preset != "":
+		return config.ByName(r.Preset)
+	case r.Config != nil:
+		return r.named(), nil
+	case r.Patch != nil:
+		return r.Patch.Apply()
+	default:
+		return config.Config{}, fmt.Errorf("one of preset, config or patch is required (known presets: %v)", config.Names())
+	}
+}
+
+// rawKey returns the ref's unresolvable raw spelling for cell keying:
+// the preset name and, for patches, their canonical JSON form. Only
+// called for refs resolveConfig rejected.
+func (r ConfigRef) rawKey() (preset, patchRaw string) {
+	if r.Patch != nil {
+		if b, err := json.Marshal(r.Patch); err == nil {
+			patchRaw = string(b)
+		} else {
+			patchRaw = fmt.Sprintf("%#v", *r.Patch)
+		}
+	}
+	return r.Preset, patchRaw
+}
+
 // named returns the ref's spec with the unnamed-inline default applied.
 func (r WorkloadRef) named() trace.Spec {
 	sp := *r.Spec
@@ -104,74 +234,91 @@ func (r WorkloadRef) Build() (*smcore.Workload, error) {
 }
 
 // Job is one deduplicatable unit of simulation work: a (configuration,
-// workload) cell of the design space — a paper benchmark by name, or any
-// custom workload as an inline spec.
+// workload) cell of the design space. Both halves are first-class refs:
+// the configuration is a preset name, an inline config.Config or a
+// mitigation-knob Patch, and the workload is a paper benchmark by name
+// or any custom workload as an inline spec.
 type Job struct {
-	Config   config.Config
+	Config   ConfigRef
 	Workload WorkloadRef
 }
 
-// BenchJob builds the common preset-benchmark job.
+// BenchJob builds the common config-value × preset-benchmark job.
 func BenchJob(cfg config.Config, bench string) Job {
-	return Job{Config: cfg, Workload: BenchRef(bench)}
+	return Job{Config: InlineConfig(cfg), Workload: BenchRef(bench)}
 }
 
-// SpecJob builds an inline-spec job.
+// SpecJob builds a config-value × inline-spec job.
 func SpecJob(cfg config.Config, sp trace.Spec) Job {
-	return Job{Config: cfg, Workload: SpecRef(sp)}
+	return Job{Config: InlineConfig(cfg), Workload: SpecRef(sp)}
 }
 
-// cellKey identifies a cell for memoization. Both halves are plain value
-// types (comparable) covering every knob that affects the simulation:
-// two configs or specs that differ anywhere memoize separately, and
-// callers may mutate presets without renaming them. Labels alone are
-// excluded — config.Config.Name, and trace.Spec's Name/Suite via
-// Identity — so identical silicon or kernels under different labels
-// share one cell, and the cached Metrics may carry the labels of
-// whichever job simulated first. Preset benchmark names resolve to their
-// registered spec's identity; bench is set only for unknown names, whose
-// lookup error memoizes under the name itself.
+// cellKey identifies a cell for memoization. Every half is a plain value
+// type (comparable) covering every knob that affects the simulation:
+// two configs or specs that differ in any live field memoize separately,
+// and callers may mutate presets without renaming them. Labels and
+// mode-dead fields are excluded — config.Config via Identity, and
+// trace.Spec's Name/Suite via Identity — so identical silicon or kernels
+// under different labels share one cell, and the cached Metrics may
+// carry the labels of whichever job simulated first. Preset config and
+// benchmark names, and config patches, resolve to their concrete
+// identities; preset/patchRaw/bench are set only for unresolvable refs
+// (unknown names, patches that fail to apply), whose errors memoize
+// under the raw spelling itself.
 //
 // Refs that cannot simulate are kept out of valid cells: an INVALID
-// inline spec is keyed on its raw spelling (labels intact — raw specs
-// carry a name, canonical identities never do, so the key spaces are
-// disjoint). Canonicalization zeroes pattern-dead fields, so without
-// this split a spec invalid only in a dead field would alias its valid
-// twin's identity and poison that cell with a memoized error.
+// inline spec or config is keyed on its raw form (labels intact — raw
+// values carry a name, canonical identities never do, so the key spaces
+// are disjoint). Canonicalization zeroes pattern-/mode-dead fields, so
+// without this split a value invalid only in a dead field would alias
+// its valid twin's identity and poison that cell with a memoized error.
 type cellKey struct {
-	cfg   config.Config
-	bench string     // unknown benchmark names only
-	spec  trace.Spec // canonical workload identity; raw for invalid specs
+	preset   string        // unknown preset names only
+	patchRaw string        // unresolvable patches only (raw JSON spelling)
+	cfg      config.Config // canonical config identity; raw for invalid configs
+	bench    string        // unknown benchmark names only
+	spec     trace.Spec    // canonical workload identity; raw for invalid specs
 }
 
 func (j Job) key() cellKey {
-	cfg := j.Config
-	cfg.Name = ""
+	var k cellKey
+	cfg, ok := j.Config.resolveConfig()
+	switch {
+	case !ok:
+		k.preset, k.patchRaw = j.Config.rawKey()
+	case cfg.Validate() != nil:
+		k.cfg = cfg
+	default:
+		k.cfg = cfg.Identity()
+	}
 	sp, ok := j.Workload.resolve()
 	switch {
 	case !ok:
-		return cellKey{cfg: cfg, bench: j.Workload.Bench}
+		k.bench = j.Workload.Bench
 	case sp.Validate() != nil:
-		return cellKey{cfg: cfg, spec: sp}
+		k.spec = sp
 	default:
-		return cellKey{cfg: cfg, spec: sp.Identity()}
+		k.spec = sp.Identity()
 	}
+	return k
 }
 
 // CellID returns a stable, content-addressed identifier of the job's
 // memo cell: a hash over the canonical JSON of exactly the identity
-// key() memoizes on — the configuration with its name cleared plus the
-// workload's canonical spec identity (trace.Spec.Identity). gpusimd uses
-// it for job IDs and disk-cache filenames, so job identity and memo
-// identity can never diverge, and an inline spec equal to a preset
-// benchmark lands on the preset's cell.
+// key() memoizes on — the configuration's canonical identity
+// (config.Config.Identity) plus the workload's canonical spec identity
+// (trace.Spec.Identity). gpusimd uses it for job IDs and disk-cache
+// filenames, so job identity and memo identity can never diverge, and an
+// inline config or spec equal to a preset lands on the preset's cell.
 func (j Job) CellID() string {
 	k := j.key()
 	payload := struct {
-		Config config.Config `json:"config"`
-		Bench  string        `json:"bench,omitempty"`
-		Spec   *trace.Spec   `json:"spec,omitempty"`
-	}{Config: k.cfg, Bench: k.bench}
+		Config   config.Config `json:"config"`
+		Preset   string        `json:"preset,omitempty"`
+		PatchRaw string        `json:"patchRaw,omitempty"`
+		Bench    string        `json:"bench,omitempty"`
+		Spec     *trace.Spec   `json:"spec,omitempty"`
+	}{Config: k.cfg, Preset: k.preset, PatchRaw: k.patchRaw, Bench: k.bench}
 	if k.bench == "" {
 		payload.Spec = &k.spec
 	}
@@ -382,12 +529,17 @@ func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, err
 	return c.m, c.err
 }
 
-// simulate runs one cell for real. Workload construction goes through
-// the error-returning spec path and the configuration through
-// config.Validate, so malformed user input — an inline spec or config a
+// simulate runs one cell for real. The configuration resolves through
+// the error-returning ref path (preset lookup, patch application,
+// config.Validate) and the workload through the error-returning spec
+// path, so malformed user input — an inline spec, config or patch a
 // daemon accepted over the wire — surfaces as a job error, never a panic.
 func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
-	if err := j.Config.Validate(); err != nil {
+	cfg, err := j.Config.Resolve()
+	if err != nil {
+		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
 		return core.Metrics{}, fmt.Errorf("exp: %w", err)
 	}
 	wl, err := j.Workload.Build()
@@ -396,14 +548,14 @@ func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
 	}
 	label := j.Workload.Label()
 	s.simulated.Add(1)
-	m, err := core.RunWorkload(j.Config, wl)
+	m, err := core.RunWorkload(cfg, wl)
 	if err != nil {
-		return m, fmt.Errorf("exp: %s on %s: %w", label, j.Config.Name, err)
+		return m, fmt.Errorf("exp: %s on %s: %w", label, cfg.Name, err)
 	}
 	if m.Truncated {
-		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", label, j.Config.Name, m.Cycles)
+		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", label, cfg.Name, m.Cycles)
 	}
-	s.logf("ran %s on %s (%d cycles)\n", label, j.Config.Name, m.Cycles)
+	s.logf("ran %s on %s (%d cycles)\n", label, cfg.Name, m.Cycles)
 	return m, nil
 }
 

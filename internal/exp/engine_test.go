@@ -123,8 +123,8 @@ func TestJobsForDeduplicatesAndOrders(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, j := range jobs {
-		if j.Config.Name != "baseline" {
-			t.Fatalf("unexpected config %q", j.Config.Name)
+		if j.Config.Label() != "baseline" {
+			t.Fatalf("unexpected config %q", j.Config.Label())
 		}
 		if seen[j.Workload.Bench] {
 			t.Fatalf("duplicate cell for %q", j.Workload.Bench)
@@ -140,7 +140,7 @@ func TestJobsForDeduplicatesAndOrders(t *testing.T) {
 	keys := map[cellKey]bool{}
 	for _, j := range all {
 		if keys[j.key()] {
-			t.Fatalf("duplicate job %s/%s in full expansion", j.Config.Name, j.Workload.Label())
+			t.Fatalf("duplicate job %s/%s in full expansion", j.Config.Label(), j.Workload.Label())
 		}
 		keys[j.key()] = true
 	}

@@ -112,7 +112,7 @@ func TestMalformedJobsFailWithoutPanic(t *testing.T) {
 	// memoized error must key on the name, never on the spec's identity,
 	// or it would poison the valid spec's cell for later callers.
 	sp := leukSpec(t)
-	both := Job{Config: config.Baseline(), Workload: WorkloadRef{Bench: "leukocyte", Spec: &sp}}
+	both := Job{Config: InlineConfig(config.Baseline()), Workload: WorkloadRef{Bench: "leukocyte", Spec: &sp}}
 	if _, err := s.RunJob(both); err == nil {
 		t.Fatal("ref with both bench and spec accepted")
 	}
@@ -188,7 +188,7 @@ func TestSweepGridAndDedup(t *testing.T) {
 	variant := leukSpec(t)
 	variant.Name = "leukocyte-tlp12"
 	variant.WarpsPerCore = 12
-	cfgs := []config.Config{config.Baseline(), config.InfiniteBW()}
+	cfgs := SweepConfigs([]config.Config{config.Baseline(), config.InfiniteBW()})
 	workloads := []WorkloadRef{
 		BenchRef("leukocyte"),
 		SpecRef(leukSpec(t)), // same cell as the preset row
@@ -235,11 +235,11 @@ func TestSweepValidatesBeforeSimulating(t *testing.T) {
 	if _, err := s.Sweep(nil, []WorkloadRef{BenchRef("mm")}); err == nil {
 		t.Fatal("empty config axis accepted")
 	}
-	if _, err := s.Sweep([]config.Config{config.Baseline()}, nil); err == nil {
+	if _, err := s.Sweep(SweepConfigs([]config.Config{config.Baseline()}), nil); err == nil {
 		t.Fatal("empty workload axis accepted")
 	}
 	bad := trace.Spec{Name: "bad", Iters: 0}
-	_, err := s.Sweep([]config.Config{config.Baseline()}, []WorkloadRef{BenchRef("mm"), SpecRef(bad)})
+	_, err := s.Sweep(SweepConfigs([]config.Config{config.Baseline()}), []WorkloadRef{BenchRef("mm"), SpecRef(bad)})
 	if err == nil {
 		t.Fatal("malformed spec accepted")
 	}

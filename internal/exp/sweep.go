@@ -30,21 +30,23 @@ func (r *SweepResult) Speedups(baseCol int) [][]float64 {
 }
 
 // Sweep runs the configurations × workloads cross product on the worker
-// pool and assembles the full metrics grid. Workloads mix preset
-// benchmark names and inline specs freely, so a sweep can cover workload
-// axes (coalescing degree, TLP, working-set size, sharing, ...) exactly
-// like architecture axes. Cells that collapse to the same identity —
-// within the sweep or against the memo cache — simulate once; every ref
-// and config is validated before any simulation starts.
-func (s *Scheduler) Sweep(cfgs []config.Config, workloads []WorkloadRef) (*SweepResult, error) {
+// pool and assembles the full metrics grid. Both axes mix preset names
+// and inline values freely: configurations are ConfigRefs (preset names,
+// inline configs or mitigation-knob patches) and workloads are
+// WorkloadRefs (benchmark names or inline specs), so a sweep can cover
+// hardware axes (MSHR entries, miss-queue depth, L2 banking, DRAM
+// scaling, ...) exactly like workload axes. Cells that collapse to the
+// same identity — within the sweep or against the memo cache — simulate
+// once; every ref is validated before any simulation starts.
+func (s *Scheduler) Sweep(cfgs []ConfigRef, workloads []WorkloadRef) (*SweepResult, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("exp: sweep needs at least one configuration")
 	}
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("exp: sweep needs at least one workload")
 	}
-	for i, cfg := range cfgs {
-		if err := cfg.Validate(); err != nil {
+	for i, cref := range cfgs {
+		if err := cref.Validate(); err != nil {
 			return nil, fmt.Errorf("exp: sweep config %d: %w", i, err)
 		}
 	}
@@ -62,12 +64,12 @@ func (s *Scheduler) Sweep(cfgs []config.Config, workloads []WorkloadRef) (*Sweep
 	var jobs []Job
 	for w, ref := range workloads {
 		res.Workloads[w] = ref.Label()
-		for _, cfg := range cfgs {
-			jobs = append(jobs, Job{Config: cfg, Workload: ref})
+		for _, cref := range cfgs {
+			jobs = append(jobs, Job{Config: cref, Workload: ref})
 		}
 	}
-	for c, cfg := range cfgs {
-		res.Configs[c] = cfg.Name
+	for c, cref := range cfgs {
+		res.Configs[c] = cref.Label()
 	}
 	if err := s.RunJobs(jobs); err != nil {
 		return nil, err
@@ -78,15 +80,25 @@ func (s *Scheduler) Sweep(cfgs []config.Config, workloads []WorkloadRef) (*Sweep
 	// sweep's names.
 	for w, ref := range workloads {
 		res.Cells[w] = make([]core.Metrics, len(cfgs))
-		for c, cfg := range cfgs {
-			m, err := s.RunJob(Job{Config: cfg, Workload: ref})
+		for c, cref := range cfgs {
+			m, err := s.RunJob(Job{Config: cref, Workload: ref})
 			if err != nil {
 				return nil, err
 			}
-			m.Config = cfg.Name
+			m.Config = cref.Label()
 			m.Benchmark = ref.Label()
 			res.Cells[w][c] = m
 		}
 	}
 	return res, nil
+}
+
+// SweepConfigs wraps plain config values as inline refs — the
+// convenience for callers sweeping concrete config.Config values.
+func SweepConfigs(cfgs []config.Config) []ConfigRef {
+	refs := make([]ConfigRef, len(cfgs))
+	for i, cfg := range cfgs {
+		refs[i] = InlineConfig(cfg)
+	}
+	return refs
 }

@@ -97,7 +97,7 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 		Schema:     cacheSchema,
 		SimVersion: core.SimVersion,
 		Bench:      j.Workload.Label(),
-		Config:     j.Config.Name,
+		Config:     j.Config.Label(),
 		Metrics:    m,
 	})
 	if err != nil {

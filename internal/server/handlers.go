@@ -21,7 +21,7 @@ import (
 //	DELETE /v1/jobs/{id}      cancel a queued job
 //	POST   /v1/sweeps         submit a config×workload cross product
 //	GET    /v1/benchmarks     benchmark names (Table II order)
-//	GET    /v1/configs        preset names (sorted)
+//	GET    /v1/configs        full canonical preset configs (sorted by name)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -69,12 +69,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("decode job spec: %v", err))
 		return
 	}
-	cfg, ref, err := s.resolveSpec(spec)
+	cref, ref, err := s.resolveSpec(spec)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	j, created, err := s.submit(spec, cfg, ref)
+	j, created, err := s.submit(spec, cref, ref)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -127,8 +127,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("sweep: one of benches or inlineSpecs is required"))
 		return
 	}
-	if len(req.Configs)+len(req.InlineConfigs) == 0 {
-		writeError(w, errBadRequest("sweep: one of configs or inlineConfigs is required"))
+	if len(req.Configs)+len(req.InlineConfigs)+len(req.ConfigPatches) == 0 {
+		writeError(w, errBadRequest("sweep: one of configs, inlineConfigs or configPatches is required"))
 		return
 	}
 
@@ -151,14 +151,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, wl := range workloads {
 			sp := spec
 			sp.Bench, sp.InlineSpec = wl.Bench, wl.InlineSpec
-			cfg, ref, err := s.resolveSpec(sp)
+			cref, ref, err := s.resolveSpec(sp)
 			if err != nil {
 				return err
 			}
 			requested++
-			if id := cellID(cfg, ref); !seen[id] {
+			if id := cellID(cref, ref); !seen[id] {
 				seen[id] = true
-				cells = append(cells, resolvedCell{id: id, spec: sp, cfg: cfg, ref: ref})
+				cells = append(cells, resolvedCell{id: id, spec: sp, cref: cref, ref: ref})
 			}
 		}
 		return nil
@@ -171,6 +171,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := range req.InlineConfigs {
 		if err := addConfig(api.JobSpec{InlineConfig: &req.InlineConfigs[i]}); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	for i := range req.ConfigPatches {
+		if err := addConfig(api.JobSpec{ConfigPatch: &req.ConfigPatches[i]}); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -192,6 +198,14 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.BenchmarkList{Benchmarks: trace.Names()})
 }
 
+// handleConfigs serves every preset as its full canonical Config value
+// (sorted by name) so clients can author inline configs and patches
+// without guessing field names.
 func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, api.ConfigList{Configs: config.Names()})
+	presets := config.Presets()
+	list := api.ConfigList{Configs: make([]config.Config, 0, len(presets))}
+	for _, name := range config.Names() {
+		list.Configs = append(list.Configs, presets[name].Canonical())
+	}
+	writeJSON(w, http.StatusOK, list)
 }

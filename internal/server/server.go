@@ -57,7 +57,7 @@ type Options struct {
 // Server.mu; cancel aborts a queued job's context.
 type job struct {
 	api.Job
-	cfg    config.Config
+	cref   exp.ConfigRef
 	ref    exp.WorkloadRef
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -163,7 +163,7 @@ func (s *Server) worker() {
 		j.StartedAt = &now
 		s.mu.Unlock()
 
-		m, err := s.sched.RunJobContext(j.ctx, exp.Job{Config: j.cfg, Workload: j.ref})
+		m, err := s.sched.RunJobContext(j.ctx, exp.Job{Config: j.cref, Workload: j.ref})
 
 		s.mu.Lock()
 		done := time.Now()
@@ -174,7 +174,7 @@ func (s *Server) worker() {
 		} else {
 			// The memo and disk caches may have simulated this cell under
 			// different config/workload labels; the job answers with its own.
-			m.Config = j.cfg.Name
+			m.Config = j.cref.Label()
 			m.Benchmark = j.ref.Label()
 			j.State = api.JobDone
 			j.Metrics = &m
@@ -185,8 +185,8 @@ func (s *Server) worker() {
 
 // cellID content-addresses one simulation cell, delegating to the
 // scheduler's own memo-cell identity so the two can never diverge.
-func cellID(cfg config.Config, ref exp.WorkloadRef) string {
-	return exp.Job{Config: cfg, Workload: ref}.CellID()
+func cellID(cref exp.ConfigRef, ref exp.WorkloadRef) string {
+	return exp.Job{Config: cref, Workload: ref}.CellID()
 }
 
 // httpError carries a status code out of the submit/resolve helpers.
@@ -201,51 +201,53 @@ func errBadRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// resolveSpec validates a JobSpec and returns the concrete configuration
-// and workload reference. Every rejection is a 400 carrying validation
+// resolveSpec validates a JobSpec and returns the configuration and
+// workload references. Every rejection is a 400 carrying validation
 // detail; nothing a client sends can reach a panicking build path.
-func (s *Server) resolveSpec(spec api.JobSpec) (config.Config, exp.WorkloadRef, error) {
+func (s *Server) resolveSpec(spec api.JobSpec) (exp.ConfigRef, exp.WorkloadRef, error) {
+	var cref exp.ConfigRef
 	var ref exp.WorkloadRef
 	switch {
 	case spec.Bench != "" && spec.InlineSpec != nil:
-		return config.Config{}, ref, errBadRequest("spec: bench and inlineSpec are mutually exclusive")
+		return cref, ref, errBadRequest("spec: bench and inlineSpec are mutually exclusive")
 	case spec.Bench == "" && spec.InlineSpec == nil:
-		return config.Config{}, ref, errBadRequest("spec: one of bench or inlineSpec is required (known benchmarks: %v)", trace.Names())
+		return cref, ref, errBadRequest("spec: one of bench or inlineSpec is required (known benchmarks: %v)", trace.Names())
 	case spec.InlineSpec != nil:
 		ref = exp.SpecRef(*spec.InlineSpec)
 	default:
 		ref = exp.BenchRef(spec.Bench)
 	}
 	if err := ref.Validate(); err != nil {
-		return config.Config{}, ref, errBadRequest("spec: %v", err)
+		return cref, ref, errBadRequest("spec: %v", err)
+	}
+	set := 0
+	for _, has := range []bool{spec.Config != "", spec.InlineConfig != nil, spec.ConfigPatch != nil} {
+		if has {
+			set++
+		}
 	}
 	switch {
-	case spec.Config != "" && spec.InlineConfig != nil:
-		return config.Config{}, ref, errBadRequest("spec: config and inlineConfig are mutually exclusive")
+	case set > 1:
+		return cref, ref, errBadRequest("spec: config, inlineConfig and configPatch are mutually exclusive")
+	case set == 0:
+		return cref, ref, errBadRequest("spec: one of config, inlineConfig or configPatch is required (known configs: %v)", config.Names())
 	case spec.Config != "":
-		cfg, err := config.ByName(spec.Config)
-		if err != nil {
-			return config.Config{}, ref, errBadRequest("spec: %v", err)
-		}
-		return cfg, ref, nil
+		cref = exp.PresetRef(spec.Config)
 	case spec.InlineConfig != nil:
-		cfg := *spec.InlineConfig
-		if cfg.Name == "" {
-			cfg.Name = "inline"
-		}
-		if err := cfg.Validate(); err != nil {
-			return config.Config{}, ref, errBadRequest("spec: %v", err)
-		}
-		return cfg, ref, nil
+		cref = exp.InlineConfig(*spec.InlineConfig)
 	default:
-		return config.Config{}, ref, errBadRequest("spec: one of config or inlineConfig is required")
+		cref = exp.PatchRef(*spec.ConfigPatch)
 	}
+	if err := cref.Validate(); err != nil {
+		return cref, ref, errBadRequest("spec: %v", err)
+	}
+	return cref, ref, nil
 }
 
 // submit enqueues one resolved cell, deduplicating against the job table.
 // It returns the job and true if this call created or re-enqueued it.
-func (s *Server) submit(spec api.JobSpec, cfg config.Config, ref exp.WorkloadRef) (*job, bool, error) {
-	id := cellID(cfg, ref)
+func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRef) (*job, bool, error) {
+	id := cellID(cref, ref)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
@@ -267,8 +269,8 @@ func (s *Server) submit(spec api.JobSpec, cfg config.Config, ref exp.WorkloadRef
 			Spec:        spec,
 			SubmittedAt: time.Now(),
 		},
-		cfg: cfg,
-		ref: ref,
+		cref: cref,
+		ref:  ref,
 	}
 	if err := s.enqueueLocked(j); err != nil {
 		return nil, false, err
@@ -300,7 +302,7 @@ func (s *Server) enqueueLocked(j *job) error {
 type resolvedCell struct {
 	id   string
 	spec api.JobSpec
-	cfg  config.Config
+	cref exp.ConfigRef
 	ref  exp.WorkloadRef
 }
 
@@ -328,7 +330,7 @@ func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
 		j, ok := s.jobs[c.id]
 		if !ok || j.State == api.JobCanceled {
 			if !ok {
-				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cfg: c.cfg, ref: c.ref}
+				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cref: c.cref, ref: c.ref}
 			}
 			if err := s.enqueueLocked(j); err != nil {
 				return nil, err // draining flipped, or capacity bug

@@ -104,7 +104,7 @@ func TestEnumerationEndpoints(t *testing.T) {
 	if want := gpumembw.BenchmarkNames(); strings.Join(benches, ",") != strings.Join(want, ",") {
 		t.Fatalf("benchmarks = %v, want %v", benches, want)
 	}
-	configs, err := c.Configs(ctx)
+	configs, err := c.ConfigNames(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
