@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,10 +61,13 @@ const (
 	JobCanceled = api.JobCanceled
 )
 
-// APIError is a non-2xx daemon response.
+// APIError is a non-2xx daemon response. RetryAfter carries the
+// Retry-After header of a 429 (rate limit or per-client quota), when the
+// daemon sent one; zero otherwise.
 type APIError struct {
 	StatusCode int
 	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -124,7 +128,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.Unmarshal(data, &apiErr) != nil || apiErr.Error == "" {
 			apiErr.Error = strings.TrimSpace(string(data))
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+		e := &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return e
 	}
 	if out == nil {
 		return nil
@@ -133,6 +141,10 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // Health checks GET /healthz.
+// BaseURL returns the daemon address the client talks to (no trailing
+// slash), e.g. for scraping its /metrics endpoint directly.
+func (c *Client) BaseURL() string { return c.base }
+
 func (c *Client) Health(ctx context.Context) error {
 	var h api.Health
 	return c.do(ctx, http.MethodGet, "/healthz", nil, &h)

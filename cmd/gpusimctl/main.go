@@ -399,10 +399,24 @@ func cmdStats(ctx context.Context, c *client.Client, args []string) {
 	fmt.Printf("workers      %d\n", st.Workers)
 	fmt.Printf("queue        %d/%d\n", st.QueueDepth, st.QueueCap)
 	fmt.Printf("simulated    %d\n", st.Scheduler.Simulated)
+	fmt.Printf("sim cycles   %d\n", st.Scheduler.SimCycles)
 	fmt.Printf("memo hits    %d\n", st.Scheduler.CacheHits)
 	fmt.Printf("disk hits    %d\n", st.Scheduler.DiskHits)
 	if st.CacheDir != "" {
-		fmt.Printf("cache dir    %s (%d entries)\n", st.CacheDir, st.DiskCacheEntries)
+		fmt.Printf("cache dir    %s (%d entries, %d bytes", st.CacheDir, st.DiskCacheEntries, st.DiskCacheBytes)
+		if st.DiskCacheMaxBytes > 0 {
+			fmt.Printf(" of %d", st.DiskCacheMaxBytes)
+		}
+		fmt.Println(")")
+		if st.DiskCacheEvictions > 0 {
+			fmt.Printf("evictions    %d\n", st.DiskCacheEvictions)
+		}
+	}
+	if st.RateLimited > 0 {
+		fmt.Printf("rate limited %d\n", st.RateLimited)
+	}
+	if st.QuotaDenied > 0 {
+		fmt.Printf("quota denied %d\n", st.QuotaDenied)
 	}
 	for _, state := range []client.JobState{client.JobQueued, client.JobRunning, client.JobDone, client.JobFailed, client.JobCanceled} {
 		if n := st.Jobs[state]; n > 0 {

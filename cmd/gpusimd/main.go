@@ -9,7 +9,14 @@
 //	gpusimd                              # listen on :8372, GOMAXPROCS workers
 //	gpusimd -addr 127.0.0.1:9000 -j 4    # explicit listen address and workers
 //	gpusimd -cache-dir /var/cache/gpusim # persist results across restarts
+//	gpusimd -cache-max-bytes 64M         # bound the disk cache (LRU eviction)
 //	gpusimd -max-queue 256               # bound the job queue (503 beyond it)
+//	gpusimd -rate-limit 50 -rate-burst 100        # per-client 429 throttle
+//	gpusimd -max-inflight-per-client 64           # per-client job quota
+//
+// Operational state is scrapeable at GET /metrics (Prometheus text
+// format) and GET /v1/stats (JSON); the two reconcile exactly when the
+// daemon is quiescent.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new submissions get 503,
 // queued jobs are canceled, in-flight cells drain (up to 30s), and any
@@ -25,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"gpumembw/cmd/internal/cliutil"
 	"gpumembw/internal/prof"
 	"gpumembw/internal/server"
 )
@@ -33,10 +41,20 @@ func main() {
 	addr := flag.String("addr", ":8372", "listen address")
 	workers := flag.Int("j", 0, "simulation workers (default GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persist simulation results under this directory")
+	cacheMax := flag.String("cache-max-bytes", "0", "bound the disk cache (K/M/G suffixes; 0 = unbounded); LRU entries are evicted beyond it")
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "bound on the job queue")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client mutating requests per second (0 = unlimited); excess gets 429 + Retry-After")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = max(1, ceil(rate)))")
+	maxInflight := flag.Int("max-inflight-per-client", 0, "bound on one client's queued+running jobs (0 = unlimited); excess gets 429")
 	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
 	profiles := prof.AddFlags()
 	flag.Parse()
+
+	cacheMaxBytes, err := cliutil.ParseBytes(*cacheMax)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusimd: -cache-max-bytes:", err)
+		os.Exit(2)
+	}
 
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -45,10 +63,14 @@ func main() {
 	defer profiles.Stop()
 
 	opts := server.Options{
-		Workers:  *workers,
-		MaxQueue: *maxQueue,
-		CacheDir: *cacheDir,
-		ErrLog:   os.Stderr,
+		Workers:              *workers,
+		MaxQueue:             *maxQueue,
+		CacheDir:             *cacheDir,
+		CacheMaxBytes:        cacheMaxBytes,
+		RateLimit:            *rateLimit,
+		RateBurst:            *rateBurst,
+		MaxInflightPerClient: *maxInflight,
+		ErrLog:               os.Stderr,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -80,6 +102,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "gpusimd: listening on %s (%d workers, queue %d", *addr, srv.Stats().Workers, *maxQueue)
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, ", cache %s", *cacheDir)
+		if cacheMaxBytes > 0 {
+			fmt.Fprintf(os.Stderr, " capped at %d bytes", cacheMaxBytes)
+		}
+	}
+	if *rateLimit > 0 {
+		fmt.Fprintf(os.Stderr, ", rate limit %g/s", *rateLimit)
+	}
+	if *maxInflight > 0 {
+		fmt.Fprintf(os.Stderr, ", per-client inflight %d", *maxInflight)
 	}
 	fmt.Fprintln(os.Stderr, ")")
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -4,6 +4,8 @@ package cliutil
 
 import (
 	"encoding/json"
+	"fmt"
+	"strconv"
 	"strings"
 
 	"gpumembw/internal/config"
@@ -20,6 +22,38 @@ func SplitCSV(s string) []string {
 		}
 	}
 	return out
+}
+
+// ParseBytes parses a byte-size flag value: a non-negative integer with
+// an optional K/M/G suffix (binary, i.e. KiB/MiB/GiB; case-insensitive,
+// optional trailing B or iB). "0" means unbounded wherever the value is
+// a bound.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, suffix := range []struct {
+		tag string
+		mul int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(upper, suffix.tag) {
+			mult = suffix.mul
+			t = t[:len(t)-len(suffix.tag)]
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q: want a non-negative integer with optional K/M/G suffix", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // StringList collects a repeatable string flag (flag.Value), e.g. the

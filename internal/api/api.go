@@ -20,8 +20,13 @@
 // malformed specs (the body carries config.Validate / trace.Spec.Validate
 // / patch-application detail and, for unknown names, the list of valid
 // ones), 404 for unknown job IDs, 409 for canceling a job that already
-// started, and 503 when the bounded queue is full or the daemon is
-// draining.
+// finished, 429 with a Retry-After header when the per-client rate limit
+// or inflight quota rejects the request, and 503 when the bounded queue
+// is full or the daemon is draining.
+//
+// Operational visibility rides on GET /v1/stats (this package's Stats)
+// and GET /metrics (the same counters in Prometheus text form); the two
+// reconcile exactly whenever the daemon is quiescent.
 package api
 
 import (
@@ -51,8 +56,13 @@ const (
 	// The simulator is deterministic and the scheduler memoizes failures,
 	// so resubmitting the spec returns the same failed job.
 	JobFailed JobState = "failed"
-	// JobCanceled means the job was canceled while still queued.
-	// Resubmitting the same spec re-enqueues it.
+	// JobCanceled means the job was canceled while queued or running
+	// (DELETE /v1/jobs/{id}). A running job's simulation cannot be
+	// preempted mid-cell: the worker finishes it and its result still
+	// lands in the daemon's caches, but the job record stays canceled —
+	// consistently in GET /v1/jobs/{id} and /v1/stats alike.
+	// Resubmitting the same spec re-enqueues it (cheaply, if the cell
+	// already simulated).
 	JobCanceled JobState = "canceled"
 )
 
@@ -140,10 +150,21 @@ type Stats struct {
 	// Jobs counts the job table by state.
 	Jobs map[JobState]int `json:"jobs"`
 
-	// CacheDir and DiskCacheEntries describe the persistent result cache,
-	// when one is configured (-cache-dir).
-	CacheDir         string `json:"cacheDir,omitempty"`
-	DiskCacheEntries int    `json:"diskCacheEntries,omitempty"`
+	// RateLimited and QuotaDenied count requests rejected with 429 by the
+	// per-client rate limit and inflight quota respectively.
+	RateLimited int64 `json:"rateLimited"`
+	QuotaDenied int64 `json:"quotaDenied"`
+
+	// CacheDir and the DiskCache* fields describe the persistent result
+	// cache, when one is configured (-cache-dir). DiskCacheMaxBytes is 0
+	// for an unbounded cache; DiskCacheEvictions counts entries the size
+	// bound has evicted (eviction never changes results, only the cost of
+	// re-simulating an evicted cell).
+	CacheDir           string `json:"cacheDir,omitempty"`
+	DiskCacheEntries   int    `json:"diskCacheEntries,omitempty"`
+	DiskCacheBytes     int64  `json:"diskCacheBytes,omitempty"`
+	DiskCacheMaxBytes  int64  `json:"diskCacheMaxBytes,omitempty"`
+	DiskCacheEvictions int64  `json:"diskCacheEvictions,omitempty"`
 }
 
 // BenchmarkList is the response of GET /v1/benchmarks (Table II order).

@@ -1,0 +1,100 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzKnobSet drives the reflect-based -set knob path parser with
+// arbitrary assignments. Any input must either error or apply cleanly to
+// a baseline config — never panic inside the reflection walk.
+func FuzzKnobSet(f *testing.F) {
+	seeds := []string{
+		"L2.HitLatency=42",
+		"l2.hitlatency=42",
+		"DRAM.BandwidthGBs=900.5",
+		"L1.MSHREntries=128",
+		"NumCores=0",
+		"=1",
+		"L2.=3",
+		"L2..HitLatency=3",
+		"L2.HitLatency",
+		"L2.HitLatency=notanumber",
+		"Nope.Deep.Path=1",
+		"L2.HitLatency=999999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, assignment string) {
+		delta, err := DeltaFromSets([]string{assignment})
+		if err != nil {
+			return
+		}
+		cfg := Baseline()
+		if err := ApplyDelta(&cfg, delta); err != nil {
+			// DeltaFromSets accepted the path, so the delta is shaped like
+			// the config; value-range rejections are fine, panics are not.
+			return
+		}
+		// A config reached through the knob path must stay canonicalizable.
+		cfg.Canonical()
+
+		// The same assignment applied directly must agree with the delta
+		// route — the two spellings share one semantics.
+		direct := Baseline()
+		if err := direct.Set(assignment); err == nil {
+			if a, b := direct.Identity(), cfg.Identity(); a != b {
+				t.Errorf("Set and DeltaFromSets disagree for %q", assignment)
+			}
+		}
+	})
+}
+
+// FuzzConfigDoc feeds arbitrary bytes through ParseConfigDoc — the
+// decoder behind -config-file and every inline config/patch a client can
+// send. Outputs must either error or survive the full resolve pipeline.
+func FuzzConfigDoc(f *testing.F) {
+	seeds := []string{
+		`{"base":"baseline","L2":{"HitLatency":42}}`,
+		`{"base":"baseline"}`,
+		`{"base":"nope","L1":{"MSHREntries":1}}`,
+		`{"NumCores":16,"DRAM":{"BandwidthGBs":336}}`,
+		`{"base":"baseline","NumCores":"sixteen"}`,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"base":42}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, patch, err := ParseConfigDoc("fuzz", data)
+		if err != nil {
+			return
+		}
+		if cfg != nil {
+			if cfg.Validate() == nil {
+				cfg.Canonical()
+			}
+			return
+		}
+		if patch == nil {
+			t.Fatalf("ParseConfigDoc returned neither config, patch nor error for %q", data)
+		}
+		// Patch values must round-trip through their wire form...
+		wire, err := json.Marshal(*patch)
+		if err != nil {
+			t.Fatalf("accepted patch does not marshal: %v", err)
+		}
+		var back Patch
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("marshaled patch does not decode: %v\n%s", err, wire)
+		}
+		// ...and Apply must resolve or reject, never panic.
+		if applied, err := patch.Apply(); err == nil {
+			applied.Canonical()
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
+	"gpumembw/internal/metrics"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
 )
@@ -349,12 +350,15 @@ func dedupeJobs(jobs []Job) []Job {
 
 // Stats counts the scheduler's work: how many cells were actually
 // simulated, how many requests were served from the in-memory memo cache
-// (including requests that joined a simulation already in flight), and how
-// many were served by the optional second-level ResultCache.
+// (including requests that joined a simulation already in flight), how
+// many were served by the optional second-level ResultCache, and the
+// cumulative simulated GPU cycles (the numerator of the service's
+// sim-cycles/s throughput).
 type Stats struct {
 	Simulated int64 `json:"simulated"`
 	CacheHits int64 `json:"cacheHits"`
 	DiskHits  int64 `json:"diskHits"`
+	SimCycles int64 `json:"simCycles"`
 }
 
 // ResultCache is an optional second-level store consulted before a cell is
@@ -391,6 +395,7 @@ type Scheduler struct {
 	simulated atomic.Int64
 	hits      atomic.Int64
 	diskHits  atomic.Int64
+	simCycles atomic.Int64
 }
 
 // Option configures a Scheduler.
@@ -449,7 +454,27 @@ func (s *Scheduler) Stats() Stats {
 		Simulated: s.simulated.Load(),
 		CacheHits: s.hits.Load(),
 		DiskHits:  s.diskHits.Load(),
+		SimCycles: s.simCycles.Load(),
 	}
+}
+
+// RegisterMetrics exports the scheduler's counters on r under the given
+// family prefix (e.g. "gpusimd_scheduler_"). The counters are read at
+// scrape time from the same atomics Stats reports, so /metrics and
+// /v1/stats can never disagree about the scheduler.
+func (s *Scheduler) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+"simulated_total",
+		"Simulation cells actually run (memo and result-cache misses).",
+		func() float64 { return float64(s.simulated.Load()) })
+	r.CounterFunc(prefix+"memo_hits_total",
+		"Requests served by the in-memory memo cache, including joins of in-flight cells.",
+		func() float64 { return float64(s.hits.Load()) })
+	r.CounterFunc(prefix+"result_cache_hits_total",
+		"Requests served by the second-level result cache (gpusimd's disk spill).",
+		func() float64 { return float64(s.diskHits.Load()) })
+	r.CounterFunc(prefix+"sim_cycles_total",
+		"Cumulative simulated GPU cycles; rate() gives sim-cycles/s throughput.",
+		func() float64 { return float64(s.simCycles.Load()) })
 }
 
 // Run executes (or recalls) one preset-benchmark simulation. If the cell
@@ -549,6 +574,7 @@ func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
 	label := j.Workload.Label()
 	s.simulated.Add(1)
 	m, err := core.RunWorkload(cfg, wl)
+	s.simCycles.Add(m.Cycles)
 	if err != nil {
 		return m, fmt.Errorf("exp: %s on %s: %w", label, cfg.Name, err)
 	}

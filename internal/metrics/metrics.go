@@ -1,0 +1,387 @@
+// Package metrics is a dependency-free Prometheus-style instrumentation
+// registry: counters, gauges and histograms — optionally labelled, or
+// computed at scrape time from a callback — rendered in the Prometheus
+// text exposition format (version 0.0.4).
+//
+// It exists so gpusimd can serve GET /metrics (and exp.Scheduler can
+// export its counters) without pulling client_golang into a module that
+// otherwise has zero external dependencies. Only the small subset the
+// daemon needs is implemented, but that subset is implemented to the
+// format's letter: one HELP/TYPE header per family, cumulative
+// histogram buckets with a +Inf terminal, _sum/_count series, escaped
+// label values, and deterministic (sorted) output so scrapes diff
+// cleanly in tests.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's TYPE as exposed to scrapers.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Sample is one exposed series: a label-value tuple (parallel to the
+// family's label names) and its current value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// family is one named metric with its collection function. collect
+// returns the samples to expose at scrape time.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	collect func() []Sample
+	// histograms render themselves (buckets/_sum/_count).
+	writeTo func(w io.Writer) error
+}
+
+// Registry holds metric families and renders them for scraping.
+// All methods are safe for concurrent use; registration is expected at
+// construction time, scraping and updates at runtime.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family, panicking on duplicate names — duplicate
+// registration is a programming error, caught at daemon construction.
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", f.name))
+	}
+	r.families[f.name] = f
+}
+
+// Counter is a monotonically increasing int64 value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the exposition to stay a
+// well-formed counter; callers own that invariant).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers and returns an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{
+		name: name, help: help, kind: KindCounter,
+		collect: func() []Sample { return []Sample{{Value: float64(c.Value())}} },
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time
+// — the bridge for components (like exp.Scheduler) that already keep
+// their own atomic counters.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(&family{
+		name: name, help: help, kind: KindCounter,
+		collect: func() []Sample { return []Sample{{Value: f()}} },
+	})
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(&family{
+		name: name, help: help, kind: KindGauge,
+		collect: func() []Sample { return []Sample{{Value: f()}} },
+	})
+}
+
+// GaugeVecFunc registers a labelled gauge family computed at scrape
+// time: f returns one sample per live label tuple (gpusimd's
+// jobs-by-state gauge).
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, f func() []Sample) {
+	r.register(&family{name: name, help: help, kind: KindGauge, labels: labels, collect: f})
+}
+
+// CounterVec is a family of counters keyed by a label tuple.
+type CounterVec struct {
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Counter
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, kids: make(map[string]*Counter)}
+	r.register(&family{
+		name: name, help: help, kind: KindCounter, labels: labels,
+		collect: v.samples,
+	})
+	return v
+}
+
+// With returns (creating if needed) the child counter for the label
+// values, which must match the registered label names positionally.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[key]
+	if !ok {
+		c = &Counter{}
+		v.kids[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) samples() []Sample {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Sample, 0, len(v.kids))
+	for key, c := range v.kids {
+		out = append(out, Sample{Labels: strings.Split(key, "\x00"), Value: float64(c.Value())})
+	}
+	return out
+}
+
+// Histogram accumulates observations into fixed cumulative buckets. A
+// mutex (not per-bucket atomics) keeps every scrape's bucket/_sum/_count
+// view consistent — the exposition's own invariant (+Inf == _count) must
+// hold mid-load, and observations are per-HTTP-request, so contention is
+// negligible next to handler work.
+type Histogram struct {
+	buckets []float64 // upper bounds, ascending; +Inf is implicit
+	mu      sync.Mutex
+	counts  []int64
+	inf     int64
+	sum     float64
+	count   int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.buckets, v)
+	h.mu.Lock()
+	if idx < len(h.counts) {
+		h.counts[idx]++
+	} else {
+		h.inf++
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// snapshot returns (cumulative bucket counts, sum, count) atomically.
+func (h *Histogram) snapshot() ([]int64, float64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.buckets)+1)
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i]
+		cum[i] = acc
+	}
+	cum[len(h.buckets)] = acc + h.inf
+	return cum, h.sum, h.count
+}
+
+// HistogramVec is a family of histograms keyed by a label tuple, all
+// sharing one bucket layout.
+type HistogramVec struct {
+	name    string
+	labels  []string
+	buckets []float64
+	mu      sync.Mutex
+	kids    map[string]*Histogram
+}
+
+// DefBuckets is a latency layout in seconds spanning sub-millisecond
+// handler times out to multi-second simulation waits.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// HistogramVec registers and returns a labelled histogram family.
+// buckets must be ascending; nil selects DefBuckets.
+func (r *Registry) HistogramVec(name, help string, labels []string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not ascending", name))
+		}
+	}
+	v := &HistogramVec{name: name, labels: labels, buckets: buckets, kids: make(map[string]*Histogram)}
+	r.register(&family{
+		name: name, help: help, kind: KindHistogram, labels: labels,
+		writeTo: v.write,
+	})
+	return v
+}
+
+// With returns (creating if needed) the child histogram for the label
+// values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.kids[key]
+	if !ok {
+		h = &Histogram{buckets: v.buckets, counts: make([]int64, len(v.buckets))}
+		v.kids[key] = h
+	}
+	return h
+}
+
+// write renders the family body: per-child cumulative buckets with a
+// le="+Inf" terminal, then _sum and _count.
+func (v *HistogramVec) write(w io.Writer) error {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		kids[i] = v.kids[k]
+	}
+	v.mu.Unlock()
+
+	for i, key := range keys {
+		var values []string
+		if key != "" || len(v.labels) > 0 {
+			values = strings.Split(key, "\x00")
+		}
+		cum, sum, count := kids[i].snapshot()
+		for b, ub := range v.buckets {
+			if err := writeSample(w, v.name+"_bucket", append(append([]string{}, v.labels...), "le"), append(append([]string{}, values...), formatFloat(ub)), float64(cum[b])); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, v.name+"_bucket", append(append([]string{}, v.labels...), "le"), append(append([]string{}, values...), "+Inf"), float64(cum[len(v.buckets)])); err != nil {
+			return err
+		}
+		if err := writeSample(w, v.name+"_sum", v.labels, values, sum); err != nil {
+			return err
+		}
+		if err := writeSample(w, v.name+"_count", v.labels, values, float64(count)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by family name, samples sorted by label values, so output is
+// deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		if f.writeTo != nil {
+			if err := f.writeTo(w); err != nil {
+				return err
+			}
+			continue
+		}
+		samples := f.collect()
+		sort.Slice(samples, func(i, j int) bool {
+			return strings.Join(samples[i].Labels, "\x00") < strings.Join(samples[j].Labels, "\x00")
+		})
+		for _, s := range samples {
+			if err := writeSample(w, f.name, f.labels, s.Labels, s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one series line: name{label="value",...} value
+func writeSample(w io.Writer, name string, labels, values []string, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(values) > 0 {
+		sb.WriteByte('{')
+		for i, lv := range values {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(labels[i])
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(lv))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", sb.String(), formatFloat(v))
+	return err
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros, everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel applies the exposition format's label-value escaping.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp applies the exposition format's HELP escaping.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	c.Add(3)
+	r.GaugeFunc("queue_depth", "Queued jobs.", func() float64 { return 7 })
+	r.GaugeVecFunc("jobs", "Jobs by state.", []string{"state"}, func() []Sample {
+		return []Sample{{Labels: []string{"done"}, Value: 2}, {Labels: []string{"queued"}, Value: 1}}
+	})
+
+	out := string(render(t, r))
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		`jobs{state="done"} 2`,
+		`jobs{state="queued"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionIsDeterministicAndParses(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "endpoint", "code")
+	v.With("/v1/jobs", "200").Add(5)
+	v.With("/v1/jobs", "400").Inc()
+	v.With("/v1/stats", "200").Add(2)
+	h := r.HistogramVec("request_seconds", "Latency.", []string{"endpoint"}, []float64{0.01, 0.1, 1})
+	h.With("/v1/jobs").Observe(0.005)
+	h.With("/v1/jobs").Observe(0.5)
+	h.With("/v1/jobs").Observe(99)
+
+	a, b := render(t, r), render(t, r)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+
+	sc, err := Parse(a)
+	if err != nil {
+		t.Fatalf("self-render failed to parse: %v\n%s", err, a)
+	}
+	if got, ok := sc.Value("http_requests_total", "endpoint=/v1/jobs", "code=200"); !ok || got != 5 {
+		t.Fatalf("requests{jobs,200} = %v,%v want 5", got, ok)
+	}
+	if got := sc.Sum("http_requests_total"); got != 8 {
+		t.Fatalf("sum requests = %v, want 8", got)
+	}
+	// Histogram invariants: cumulative buckets, +Inf == count.
+	if got, ok := sc.Value("request_seconds_bucket", "endpoint=/v1/jobs", "le=+Inf"); !ok || got != 3 {
+		t.Fatalf("+Inf bucket = %v,%v want 3", got, ok)
+	}
+	if got, ok := sc.Value("request_seconds_count", "endpoint=/v1/jobs"); !ok || got != 3 {
+		t.Fatalf("count = %v,%v want 3", got, ok)
+	}
+	if got, ok := sc.Value("request_seconds_bucket", "endpoint=/v1/jobs", "le=0.01"); !ok || got != 1 {
+		t.Fatalf("0.01 bucket = %v,%v want 1", got, ok)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("weird_total", "Weird.", "path")
+	v.With(`a"b\c` + "\n").Inc()
+	out := render(t, r)
+	sc, err := Parse(out)
+	if err != nil {
+		t.Fatalf("escaped exposition failed to parse: %v\n%s", err, out)
+	}
+	want := `a"b\c` + "\n"
+	if got, ok := sc.Value("weird_total", "path="+want); !ok || got != 1 {
+		t.Fatalf("escaped label round trip: got %v,%v", got, ok)
+	}
+}
+
+func TestParseRejectsMalformedPages(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "orphan_total 3\n",
+		"bad value":             "# TYPE x counter\nx notafloat\n",
+		"unterminated labels":   "# TYPE x counter\nx{a=\"b\" 3\n",
+		"duplicate series":      "# TYPE x counter\nx 1\nx 2\n",
+		"unknown type":          "# TYPE x summary\nx 1\n",
+		"type after samples":    "# TYPE x counter\nx 1\n# TYPE x counter\n",
+		"histogram without inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\nh_sum 3\n",
+	}
+	for name, page := range cases {
+		if _, err := Parse([]byte(page)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, page)
+		}
+	}
+}
+
+func TestConcurrentObservationsRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.HistogramVec("h", "h", nil, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.With().Observe(float64(i) / 100)
+				if i%100 == 0 {
+					render(t, r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	sc, err := Parse(render(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := sc.Value("h_count"); !ok || got != 4000 {
+		t.Fatalf("histogram count = %v,%v want 4000", got, ok)
+	}
+}

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"bufio"
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
-	"sync/atomic"
+	"sync"
 
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
@@ -16,6 +19,14 @@ import (
 // cacheSchema versions the on-disk entry layout; entries written by an
 // incompatible daemon are ignored (and overwritten on the next Put).
 const cacheSchema = 1
+
+// journalName is the access-order journal kept next to the spill files:
+// one cell ID per line, most recent last. Replayed at startup so LRU
+// recency survives restarts; compacted when it grows past
+// journalCompactFactor times the entry count.
+const journalName = "lru.journal"
+
+const journalCompactFactor = 8
 
 // cacheEntry is one persisted simulation result. Like the scheduler's
 // memo cache, the stored metrics carry the config label of whichever job
@@ -31,32 +42,191 @@ type cacheEntry struct {
 	Metrics    core.Metrics `json:"metrics"`
 }
 
+// cacheRecord is the in-memory accounting for one spill file.
+type cacheRecord struct {
+	id   string
+	size int64
+}
+
 // diskCache persists one JSON file per simulation cell, named by the
 // cell's content hash, so a restarted daemon (same -cache-dir) serves
 // previously simulated cells without re-simulating. It implements
 // exp.ResultCache; I/O failures degrade to cache misses, reported once
 // per operation on errlog.
+//
+// When maxBytes > 0 the cache is bounded: entry sizes are accounted on
+// write and the least-recently-used entries are evicted until the total
+// fits. Recency is persisted in an append-only journal so a restart
+// evicts the same cold entries a long-lived daemon would. Eviction never
+// changes results — an evicted cell re-simulates to the byte-identical
+// payload (the determinism gate's promise) — it only costs time. The
+// bound is honored down to a floor of one entry: a single entry larger
+// than maxBytes is kept, because serving one cell beats serving none.
 type diskCache struct {
-	dir     string
-	errlog  io.Writer
-	entries atomic.Int64 // counted once at startup, bumped on new Puts
+	dir      string
+	errlog   io.Writer
+	maxBytes int64
+
+	mu           sync.Mutex
+	entries      map[string]*list.Element // cell ID -> *cacheRecord element
+	lru          *list.List               // front = most recently used
+	bytes        int64
+	evictions    int64
+	journal      *os.File
+	journalLines int
 }
 
-func newDiskCache(dir string, errlog io.Writer) (*diskCache, error) {
+func newDiskCache(dir string, maxBytes int64, errlog io.Writer) (*diskCache, error) {
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("server: invalid cache bound %d bytes: must be >= 0 (0 means unbounded)", maxBytes)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: create cache dir: %w", err)
 	}
-	c := &diskCache{dir: dir, errlog: errlog}
-	dirents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("server: read cache dir: %w", err)
+	c := &diskCache{
+		dir:      dir,
+		errlog:   errlog,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
 	}
-	for _, e := range dirents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			c.entries.Add(1)
-		}
+	if err := c.load(); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// load scans the spill directory, orders entries oldest-first by mtime,
+// then replays the access journal to recover true recency, evicts down
+// to the bound, and compacts the journal.
+func (c *diskCache) load() error {
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("server: read cache dir: %w", err)
+	}
+	type stat struct {
+		rec cacheRecord
+		mod int64
+	}
+	var stats []stat
+	for _, e := range dirents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			c.warnf("cache stat %s: %v", e.Name(), err)
+			continue
+		}
+		stats = append(stats, stat{
+			rec: cacheRecord{id: strings.TrimSuffix(e.Name(), ".json"), size: info.Size()},
+			mod: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].mod < stats[j].mod })
+	for _, st := range stats {
+		rec := st.rec
+		c.entries[rec.id] = c.lru.PushFront(&rec)
+		c.bytes += rec.size
+	}
+
+	// Replay the journal: each line promotes its cell to most-recent.
+	// Unknown IDs (entries later evicted or removed) are skipped.
+	jpath := filepath.Join(c.dir, journalName)
+	if f, err := os.Open(jpath); err == nil {
+		scanner := bufio.NewScanner(f)
+		for scanner.Scan() {
+			if el, ok := c.entries[strings.TrimSpace(scanner.Text())]; ok {
+				c.lru.MoveToFront(el)
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			c.warnf("cache journal read: %v", err)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		c.warnf("cache journal open: %v", err)
+	}
+
+	c.evictLocked()
+	if err := c.compactJournalLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// compactJournalLocked rewrites the journal as the current LRU order
+// (oldest first) and reopens it for appending. Callers hold c.mu (or own
+// the cache exclusively during load).
+func (c *diskCache) compactJournalLocked() error {
+	if c.journal != nil {
+		c.journal.Close()
+		c.journal = nil
+	}
+	jpath := filepath.Join(c.dir, journalName)
+	tmp, err := os.CreateTemp(c.dir, "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: cache journal: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	lines := 0
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		fmt.Fprintln(w, el.Value.(*cacheRecord).id)
+		lines++
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), jpath)
+		}
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache journal: %w", err)
+	}
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: cache journal: %w", err)
+	}
+	c.journal = f
+	c.journalLines = lines
+	return nil
+}
+
+// touchLocked promotes id to most-recent and records the access in the
+// journal, compacting when the journal outgrows the entry count.
+func (c *diskCache) touchLocked(id string, el *list.Element) {
+	c.lru.MoveToFront(el)
+	if c.journal != nil {
+		if _, err := fmt.Fprintln(c.journal, id); err != nil {
+			c.warnf("cache journal append: %v", err)
+		}
+		c.journalLines++
+		if c.journalLines > journalCompactFactor*max(c.lru.Len(), 128) {
+			if err := c.compactJournalLocked(); err != nil {
+				c.warnf("%v", err)
+			}
+		}
+	}
+}
+
+// evictLocked removes least-recently-used entries until the cache fits
+// its bound, keeping at least one entry. Callers hold c.mu.
+func (c *diskCache) evictLocked() {
+	if c.maxBytes == 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		rec := el.Value.(*cacheRecord)
+		if err := os.Remove(filepath.Join(c.dir, rec.id+".json")); err != nil && !os.IsNotExist(err) {
+			c.warnf("cache evict %s: %v", rec.id, err)
+		}
+		c.lru.Remove(el)
+		delete(c.entries, rec.id)
+		c.bytes -= rec.size
+		c.evictions++
+	}
 }
 
 func (c *diskCache) path(j exp.Job) string {
@@ -69,30 +239,41 @@ func (c *diskCache) warnf(format string, args ...any) {
 	}
 }
 
-// Get implements exp.ResultCache.
+// Get implements exp.ResultCache. Corrupt, truncated, zero-byte or
+// stale-versioned spill files are misses — the cell re-simulates and the
+// next Put overwrites the damage — never errors or poisoned results.
 func (c *diskCache) Get(j exp.Job) (core.Metrics, bool) {
-	data, err := os.ReadFile(c.path(j))
+	id := j.CellID()
+	data, err := os.ReadFile(filepath.Join(c.dir, id+".json"))
 	if err != nil {
 		if !os.IsNotExist(err) {
-			c.warnf("cache read %s: %v", c.path(j), err)
+			c.warnf("cache read %s: %v", id, err)
 		}
 		return core.Metrics{}, false
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Schema != cacheSchema {
-		c.warnf("cache entry %s ignored (schema %d, err %v)", c.path(j), e.Schema, err)
+		c.warnf("cache entry %s ignored (schema %d, err %v)", id, e.Schema, err)
 		return core.Metrics{}, false
 	}
 	if e.SimVersion != core.SimVersion {
-		c.warnf("cache entry %s ignored (simulator %q, running %q)", c.path(j), e.SimVersion, core.SimVersion)
+		c.warnf("cache entry %s ignored (simulator %q, running %q)", id, e.SimVersion, core.SimVersion)
 		return core.Metrics{}, false
 	}
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		c.touchLocked(id, el)
+	}
+	c.mu.Unlock()
 	return e.Metrics, true
 }
 
 // Put implements exp.ResultCache. The write is atomic (temp file +
-// rename) so a crashed daemon never leaves a truncated entry behind.
+// rename) so a crashed daemon never leaves a truncated entry behind;
+// size accounting and LRU eviction run under the cache lock after the
+// rename lands.
 func (c *diskCache) Put(j exp.Job, m core.Metrics) {
+	id := j.CellID()
 	data, err := json.Marshal(cacheEntry{
 		Schema:     cacheSchema,
 		SimVersion: core.SimVersion,
@@ -101,7 +282,7 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 		Metrics:    m,
 	})
 	if err != nil {
-		c.warnf("cache marshal %s: %v", c.path(j), err)
+		c.warnf("cache marshal %s: %v", id, err)
 		return
 	}
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
@@ -113,22 +294,64 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		c.warnf("cache write %s: %v %v", c.path(j), werr, cerr)
+		c.warnf("cache write %s: %v %v", id, werr, cerr)
 		return
 	}
-	path := c.path(j)
-	_, statErr := os.Stat(path)
+	path := filepath.Join(c.dir, id+".json")
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		c.warnf("cache rename %s: %v", path, err)
 		return
 	}
-	if os.IsNotExist(statErr) {
-		c.entries.Add(1)
+	size := int64(len(data))
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		rec := el.Value.(*cacheRecord)
+		c.bytes += size - rec.size
+		rec.size = size
+		c.touchLocked(id, el)
+	} else {
+		rec := &cacheRecord{id: id, size: size}
+		c.entries[id] = c.lru.PushFront(rec)
+		c.bytes += size
+		if c.journal != nil {
+			fmt.Fprintln(c.journal, id) //nolint:errcheck // advisory recency hint
+			c.journalLines++
+		}
 	}
+	c.evictLocked()
+	c.mu.Unlock()
 }
 
 // Len reports the number of persisted entries without touching the disk.
 func (c *diskCache) Len() int {
-	return int(c.entries.Load())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes reports the accounted size of all persisted entries.
+func (c *diskCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions reports how many entries the size bound has evicted.
+func (c *diskCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Close releases the journal handle (tests; the daemon holds it for life).
+func (c *diskCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Close()
+	c.journal = nil
+	return err
 }

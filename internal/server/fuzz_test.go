@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"gpumembw/internal/api"
+)
+
+// FuzzJobSpecDecode runs arbitrary request bodies through the exact
+// pipeline POST /v1/jobs uses: JSON decode into api.JobSpec, then
+// resolveSpec validation. The daemon's contract is reject-don't-panic —
+// any outcome but a clean 400-shaped error or a deterministic cell ID is
+// a bug a client could trigger remotely.
+func FuzzJobSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"config":"baseline","bench":"dwt2d"}`,
+		`{"config":"P-inf","bench":"leukocyte"}`,
+		`{"configPatch":{"base":"baseline","L1":{"MSHREntries":128}},"bench":"dwt2d"}`,
+		`{"config":"baseline","inlineSpec":{"Name":"t","Iters":1,"ALUPerIter":1}}`,
+		`{"inlineConfig":{"NumCores":16},"inlineSpec":{"Name":"t","Iters":1,"LoadsPerIter":1,"Pattern":"stream"}}`,
+		`{"config":"baseline"}`,
+		`{"bench":"dwt2d"}`,
+		`{"config":"baseline","inlineConfig":{},"bench":"dwt2d"}`,
+		`{"config":"nope","bench":"nope"}`,
+		`{"inlineSpec":{"Pattern":"tiled"},"configPatch":{"base":""}}`,
+		`{}`,
+		`null`,
+		`{"inlineSpec":{"SharedFrac":"NaN"}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec api.JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		cref, ref, err := resolveSpec(spec)
+		if err != nil {
+			var he *httpError
+			if !errors.As(err, &he) || he.status < 400 || he.status > 499 {
+				t.Errorf("resolveSpec rejection is not a 4xx httpError: %v", err)
+			}
+			return
+		}
+		id := cellID(cref, ref)
+		if id == "" {
+			t.Errorf("accepted spec produced an empty cell ID: %+v", spec)
+		}
+		// Resolution must be deterministic: the same wire bytes always
+		// land on the same content-addressed cell.
+		cref2, ref2, err := resolveSpec(spec)
+		if err != nil {
+			t.Errorf("second resolve of an accepted spec failed: %v", err)
+		} else if id2 := cellID(cref2, ref2); id2 != id {
+			t.Errorf("non-deterministic cell ID: %s vs %s for %s", id, id2, data)
+		}
+	})
+}

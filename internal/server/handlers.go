@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"gpumembw/internal/api"
 	"gpumembw/internal/config"
@@ -14,26 +16,33 @@ import (
 // Handler returns the daemon's route table:
 //
 //	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text exposition
 //	GET    /v1/stats          scheduler counters + queue gauges
 //	POST   /v1/jobs           submit one cell (api.JobSpec)
 //	GET    /v1/jobs           list jobs in submission order
 //	GET    /v1/jobs/{id}      poll one job
-//	DELETE /v1/jobs/{id}      cancel a queued job
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	POST   /v1/sweeps         submit a config×workload cross product
 //	GET    /v1/benchmarks     benchmark names (Table II order)
 //	GET    /v1/configs        full canonical preset configs (sorted by name)
+//
+// Every route is instrumented with per-endpoint request counters and
+// latency histograms; the mutating routes (submit, sweep, cancel) sit
+// behind the per-client rate limiter when one is configured, so polling
+// a throttled client's jobs stays cheap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs", s.limited(s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
+	mux.HandleFunc("POST /v1/sweeps", s.limited(s.handleSweep))
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	return mux
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -45,12 +54,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to its HTTP status (500 unless it is an
-// *httpError) and emits the api.Error payload.
+// *httpError) and emits the api.Error payload. A 429's retry hint rides
+// the standard Retry-After header, rounded up to whole seconds.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
 		status = he.status
+		if he.retryAfter > 0 {
+			secs := int64((he.retryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 	}
 	writeJSON(w, status, api.Error{Error: err.Error()})
 }
@@ -69,12 +86,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("decode job spec: %v", err))
 		return
 	}
-	cref, ref, err := s.resolveSpec(spec)
+	cref, ref, err := resolveSpec(spec)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	j, created, err := s.submit(spec, cref, ref)
+	j, created, err := s.submit(spec, cref, ref, clientKey(r))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -151,7 +168,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, wl := range workloads {
 			sp := spec
 			sp.Bench, sp.InlineSpec = wl.Bench, wl.InlineSpec
-			cref, ref, err := s.resolveSpec(sp)
+			cref, ref, err := resolveSpec(sp)
 			if err != nil {
 				return err
 			}
@@ -182,7 +199,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	jobs, err := s.submitSweep(cells)
+	jobs, err := s.submitSweep(cells, clientKey(r))
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// apiKeyHeader identifies a client independently of its network address.
+// When absent, the remote host (sans port) is the client key, so NATed
+// CLI users and sidecar proxies still get per-source fairness.
+const apiKeyHeader = "X-API-Key"
+
+// clientKey returns the quota/rate-limit identity of a request.
+func clientKey(r *http.Request) string {
+	if key := r.Header.Get(apiKeyHeader); key != "" {
+		return "key:" + key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// maxBuckets caps the limiter's per-client state so hostile clients
+// cycling API keys cannot grow it without bound; full (idle) buckets are
+// reclaimed first.
+const maxBuckets = 4096
+
+// bucket is one client's token-bucket state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a token-bucket rate limiter keyed by client: each client
+// accrues `rate` tokens per second up to `burst`, and each request
+// spends one. It is deliberately small — no goroutines, prune-on-use —
+// so the daemon carries no background work for idle clients.
+type limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// newLimiter builds a limiter granting rate requests/second with the
+// given burst (minimum 1).
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &limiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token for key if available. When denied, retryAfter
+// is the wait until the next token accrues — the Retry-After header the
+// 429 response carries.
+func (l *limiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneLocked drops clients whose buckets have refilled completely —
+// they have been idle at least burst/rate seconds and lose nothing by
+// starting fresh. Callers hold l.mu.
+func (l *limiter) pruneLocked(now time.Time) {
+	for key, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpumembw/internal/api"
 	"gpumembw/internal/config"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/metrics"
 	"gpumembw/internal/trace"
 )
 
@@ -47,6 +49,22 @@ type Options struct {
 	// so a restarted daemon serves previously simulated cells without
 	// re-simulating.
 	CacheDir string
+	// CacheMaxBytes bounds the disk cache's total payload size; 0 means
+	// unbounded, negative is an error. When the bound is exceeded the
+	// least-recently-used entries are evicted (down to a floor of one
+	// entry). Eviction never changes results, only re-simulation cost.
+	CacheMaxBytes int64
+	// RateLimit, when > 0, grants each client (X-API-Key header, else
+	// remote host) that many mutating requests per second; excess gets
+	// 429 with a Retry-After header. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst for RateLimit; 0 selects
+	// max(1, ceil(RateLimit)).
+	RateBurst int
+	// MaxInflightPerClient, when > 0, bounds how many queued+running
+	// jobs one client may own at once; excess submissions get 429.
+	// 0 disables the quota.
+	MaxInflightPerClient int
 	// Progress, when non-nil, receives one line per completed simulation.
 	Progress io.Writer
 	// ErrLog, when non-nil, receives disk-cache I/O warnings.
@@ -55,12 +73,21 @@ type Options struct {
 
 // job is the server-side job record. Mutable fields are guarded by
 // Server.mu; cancel aborts a queued job's context.
+//
+// gen counts enqueues: a worker captures it at pop and applies its
+// result only if the job has not since been canceled and re-enqueued
+// (in which case a newer run owns the record). owner/charged track the
+// per-client inflight quota — the client who enqueued pays until the
+// job reaches a terminal state, exactly once.
 type job struct {
 	api.Job
-	cref   exp.ConfigRef
-	ref    exp.WorkloadRef
-	ctx    context.Context
-	cancel context.CancelFunc
+	cref    exp.ConfigRef
+	ref     exp.WorkloadRef
+	ctx     context.Context
+	cancel  context.CancelFunc
+	gen     uint64
+	owner   string
+	charged bool
 }
 
 // Server owns the scheduler, the job table and the worker pool. Create
@@ -71,13 +98,23 @@ type Server struct {
 	maxQueue int
 	sched    *exp.Scheduler
 	cache    *diskCache
+	limiter  *limiter
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue and on drain
 	jobs     map[string]*job
-	order    []string // submission order for GET /v1/jobs
-	pending  []*job   // FIFO of queued jobs; state queued <=> in pending
+	order    []string       // submission order for GET /v1/jobs
+	pending  []*job         // FIFO of queued jobs; state queued <=> in pending
+	inflight map[string]int // client key -> queued+running jobs it owns
 	draining bool
+
+	running atomic.Int64 // workers currently inside a simulation
+
+	registry     *metrics.Registry
+	httpRequests *metrics.CounterVec
+	httpLatency  *metrics.HistogramVec
+	rateLimited  *metrics.Counter
+	quotaDenied  *metrics.Counter
 
 	wg sync.WaitGroup
 }
@@ -101,6 +138,15 @@ func newServer(opts Options) (*Server, error) {
 	if opts.MaxQueue < 0 {
 		return nil, fmt.Errorf("server: invalid queue bound %d: must be >= 0 (0 selects %d)", opts.MaxQueue, DefaultMaxQueue)
 	}
+	if opts.RateLimit < 0 {
+		return nil, fmt.Errorf("server: invalid rate limit %v: must be >= 0 (0 disables)", opts.RateLimit)
+	}
+	if opts.RateBurst < 0 {
+		return nil, fmt.Errorf("server: invalid rate burst %d: must be >= 0", opts.RateBurst)
+	}
+	if opts.MaxInflightPerClient < 0 {
+		return nil, fmt.Errorf("server: invalid per-client inflight bound %d: must be >= 0 (0 disables)", opts.MaxInflightPerClient)
+	}
 	maxQueue := opts.MaxQueue
 	if maxQueue == 0 {
 		maxQueue = DefaultMaxQueue
@@ -117,11 +163,13 @@ func newServer(opts Options) (*Server, error) {
 	var cache *diskCache
 	if opts.CacheDir != "" {
 		var err error
-		cache, err = newDiskCache(opts.CacheDir, opts.ErrLog)
+		cache, err = newDiskCache(opts.CacheDir, opts.CacheMaxBytes, opts.ErrLog)
 		if err != nil {
 			return nil, err
 		}
 		schedOpts = append(schedOpts, exp.WithResultCache(cache))
+	} else if opts.CacheMaxBytes != 0 {
+		return nil, errors.New("server: cache bound set without a cache dir")
 	}
 
 	s := &Server{
@@ -131,8 +179,13 @@ func newServer(opts Options) (*Server, error) {
 		sched:    exp.NewScheduler(schedOpts...),
 		cache:    cache,
 		jobs:     make(map[string]*job),
+		inflight: make(map[string]int),
+	}
+	if opts.RateLimit > 0 {
+		s.limiter = newLimiter(opts.RateLimit, opts.RateBurst)
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.initMetrics()
 	return s, nil
 }
 
@@ -143,8 +196,12 @@ func (s *Server) startWorkers() {
 	}
 }
 
-// worker pops queued jobs in FIFO order until drained. Cancellation
-// removes a job from pending directly, so every popped job is live.
+// worker pops queued jobs in FIFO order until drained. Cancellation of a
+// queued job removes it from pending directly, so every popped job is
+// live; cancellation of a running job flips its state under s.mu, and
+// the worker — which cannot preempt a simulation step — discards its
+// result for the job record on return (the memo and disk caches still
+// keep it, so a resubmission is nearly free).
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -159,13 +216,25 @@ func (s *Server) worker() {
 		j := s.pending[0]
 		s.pending = s.pending[1:]
 		j.State = api.JobRunning
+		gen := j.gen
 		now := time.Now()
 		j.StartedAt = &now
+		ctx := j.ctx
 		s.mu.Unlock()
 
-		m, err := s.sched.RunJobContext(j.ctx, exp.Job{Config: j.cref, Workload: j.ref})
+		s.running.Add(1)
+		m, err := s.sched.RunJobContext(ctx, exp.Job{Config: j.cref, Workload: j.ref})
+		s.running.Add(-1)
 
 		s.mu.Lock()
+		// Only the run that owns the record reports: if the job was
+		// canceled (and possibly re-enqueued) while we simulated, the
+		// canceled state the client observed must stand everywhere —
+		// GET /v1/jobs/{id} and /v1/stats alike.
+		if j.gen != gen || j.State != api.JobRunning {
+			s.mu.Unlock()
+			continue
+		}
 		done := time.Now()
 		j.FinishedAt = &done
 		if err != nil {
@@ -179,6 +248,7 @@ func (s *Server) worker() {
 			j.State = api.JobDone
 			j.Metrics = &m
 		}
+		s.releaseQuotaLocked(j)
 		s.mu.Unlock()
 	}
 }
@@ -189,10 +259,12 @@ func cellID(cref exp.ConfigRef, ref exp.WorkloadRef) string {
 	return exp.Job{Config: cref, Workload: ref}.CellID()
 }
 
-// httpError carries a status code out of the submit/resolve helpers.
+// httpError carries a status code out of the submit/resolve helpers;
+// retryAfter, when set, becomes a Retry-After header on the response.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	retryAfter time.Duration
+	msg        string
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -203,8 +275,9 @@ func errBadRequest(format string, args ...any) *httpError {
 
 // resolveSpec validates a JobSpec and returns the configuration and
 // workload references. Every rejection is a 400 carrying validation
-// detail; nothing a client sends can reach a panicking build path.
-func (s *Server) resolveSpec(spec api.JobSpec) (exp.ConfigRef, exp.WorkloadRef, error) {
+// detail; nothing a client sends can reach a panicking build path (the
+// wire-decoder fuzz target leans on exactly this property).
+func resolveSpec(spec api.JobSpec) (exp.ConfigRef, exp.WorkloadRef, error) {
 	var cref exp.ConfigRef
 	var ref exp.WorkloadRef
 	switch {
@@ -244,9 +317,53 @@ func (s *Server) resolveSpec(spec api.JobSpec) (exp.ConfigRef, exp.WorkloadRef, 
 	return cref, ref, nil
 }
 
+// quotaErrLocked reports whether owner may take on `extra` more inflight
+// jobs; callers hold s.mu.
+func (s *Server) quotaErrLocked(owner string, extra int) error {
+	if s.opts.MaxInflightPerClient <= 0 || extra == 0 {
+		return nil
+	}
+	if have := s.inflight[owner]; have+extra > s.opts.MaxInflightPerClient {
+		s.quotaDenied.Add(int64(extra))
+		return &httpError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: time.Second,
+			msg: fmt.Sprintf("server: client has %d jobs in flight and asked for %d more, over the per-client bound %d; wait for jobs to finish",
+				have, extra, s.opts.MaxInflightPerClient),
+		}
+	}
+	return nil
+}
+
+// chargeQuotaLocked makes owner pay for j until it reaches a terminal
+// state. Callers hold s.mu and have already passed quotaErrLocked.
+func (s *Server) chargeQuotaLocked(j *job, owner string) {
+	if j.charged { // re-enqueue raced a stale charge; never double-bill
+		s.releaseQuotaLocked(j)
+	}
+	j.owner = owner
+	j.charged = true
+	s.inflight[owner]++
+}
+
+// releaseQuotaLocked refunds j's owner exactly once, at the transition
+// to a terminal state (done, failed, canceled). Callers hold s.mu.
+func (s *Server) releaseQuotaLocked(j *job) {
+	if !j.charged {
+		return
+	}
+	j.charged = false
+	if n := s.inflight[j.owner]; n <= 1 {
+		delete(s.inflight, j.owner)
+	} else {
+		s.inflight[j.owner] = n - 1
+	}
+}
+
 // submit enqueues one resolved cell, deduplicating against the job table.
 // It returns the job and true if this call created or re-enqueued it.
-func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRef) (*job, bool, error) {
+// owner is the submitting client's quota identity.
+func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRef, owner string) (*job, bool, error) {
 	id := cellID(cref, ref)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -258,10 +375,17 @@ func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRe
 		if j.State != api.JobCanceled {
 			return j, false, nil
 		}
+		if err := s.quotaErrLocked(owner, 1); err != nil {
+			return nil, false, err
+		}
 		if err := s.enqueueLocked(j); err != nil {
 			return nil, false, err
 		}
+		s.chargeQuotaLocked(j, owner)
 		return j, true, nil
+	}
+	if err := s.quotaErrLocked(owner, 1); err != nil {
+		return nil, false, err
 	}
 	j := &job{
 		Job: api.Job{
@@ -275,6 +399,7 @@ func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRe
 	if err := s.enqueueLocked(j); err != nil {
 		return nil, false, err
 	}
+	s.chargeQuotaLocked(j, owner)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	return j, true, nil
@@ -293,6 +418,7 @@ func (s *Server) enqueueLocked(j *job) error {
 	j.Error = ""
 	j.StartedAt, j.FinishedAt = nil, nil
 	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.gen++
 	s.pending = append(s.pending, j)
 	s.cond.Signal()
 	return nil
@@ -306,11 +432,12 @@ type resolvedCell struct {
 	ref  exp.WorkloadRef
 }
 
-// submitSweep enqueues a deduplicated sweep atomically: capacity for
-// every cell that needs a queue slot is checked under one lock
-// acquisition, so the sweep either submits whole or rejects whole —
-// never leaving the client owning half its job IDs.
-func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
+// submitSweep enqueues a deduplicated sweep atomically: capacity — queue
+// slots and the client's inflight quota — for every cell that needs
+// enqueueing is checked under one lock acquisition, so the sweep either
+// submits whole or rejects whole — never leaving the client owning half
+// its job IDs. owner is the submitting client's quota identity.
+func (s *Server) submitSweep(cells []resolvedCell, owner string) ([]api.Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	needed := 0
@@ -325,6 +452,9 @@ func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
 			msg:    fmt.Sprintf("server: sweep needs %d queue slots, %d free (queue bound %d)", needed, free, s.maxQueue),
 		}
 	}
+	if err := s.quotaErrLocked(owner, needed); err != nil {
+		return nil, err
+	}
 	jobs := make([]api.Job, 0, len(cells))
 	for _, c := range cells {
 		j, ok := s.jobs[c.id]
@@ -335,6 +465,7 @@ func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
 			if err := s.enqueueLocked(j); err != nil {
 				return nil, err // draining flipped, or capacity bug
 			}
+			s.chargeQuotaLocked(j, owner)
 			if _, known := s.jobs[c.id]; !known {
 				s.jobs[c.id] = j
 				s.order = append(s.order, c.id)
@@ -345,7 +476,19 @@ func (s *Server) submitSweep(cells []resolvedCell) ([]api.Job, error) {
 	return jobs, nil
 }
 
-// cancel cancels a still-queued job. Running and finished jobs conflict.
+// cancelJob implements DELETE /v1/jobs/{id}. The state machine is pinned
+// by TestCancelStateMachine:
+//
+//	queued   -> canceled, 200; the queue slot frees immediately and the
+//	            cell never simulates.
+//	running  -> canceled, 200; the simulation is not preemptible, so the
+//	            worker finishes the cell (its result still lands in the
+//	            memo/disk caches) but the job record stays canceled — the
+//	            same state in GET /v1/jobs/{id} and in /v1/stats.
+//	canceled -> 200, idempotent.
+//	done     -> 409; completed work is immutable.
+//	failed   -> 409.
+//	unknown  -> 404.
 func (s *Server) cancelJob(id string) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -357,20 +500,30 @@ func (s *Server) cancelJob(id string) (*job, error) {
 	case api.JobQueued:
 		s.cancelQueuedLocked(j)
 		return j, nil
+	case api.JobRunning:
+		s.cancelLocked(j)
+		return j, nil
 	case api.JobCanceled:
 		return j, nil
 	default:
-		return nil, &httpError{status: http.StatusConflict, msg: fmt.Sprintf("server: job %q is %s, only queued jobs can be canceled", id, j.State)}
+		return nil, &httpError{status: http.StatusConflict, msg: fmt.Sprintf("server: job %q is %s, only queued or running jobs can be canceled", id, j.State)}
 	}
 }
 
-// cancelQueuedLocked marks j canceled and removes it from the pending
-// FIFO, freeing its queue slot immediately. Callers hold s.mu.
-func (s *Server) cancelQueuedLocked(j *job) {
+// cancelLocked marks j canceled, stamps its finish time, aborts its
+// context and refunds its owner's quota. Callers hold s.mu.
+func (s *Server) cancelLocked(j *job) {
 	j.State = api.JobCanceled
 	now := time.Now()
 	j.FinishedAt = &now
 	j.cancel()
+	s.releaseQuotaLocked(j)
+}
+
+// cancelQueuedLocked additionally removes j from the pending FIFO,
+// freeing its queue slot immediately. Callers hold s.mu.
+func (s *Server) cancelQueuedLocked(j *job) {
+	s.cancelLocked(j)
 	for i, p := range s.pending {
 		if p == j {
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
@@ -386,7 +539,9 @@ func (s *Server) snapshot(j *job) api.Job {
 	return j.Job
 }
 
-// Stats assembles the GET /v1/stats payload.
+// Stats assembles the GET /v1/stats payload. Every counter here is also
+// exported on /metrics from the same underlying source, so the two views
+// reconcile exactly at quiescence (the torture test's closing assertion).
 func (s *Server) Stats() api.Stats {
 	s.mu.Lock()
 	byState := make(map[api.JobState]int)
@@ -398,15 +553,20 @@ func (s *Server) Stats() api.Stats {
 	s.mu.Unlock()
 
 	st := api.Stats{
-		Scheduler:  s.sched.Stats(),
-		Workers:    s.workers,
-		QueueDepth: depth,
-		QueueCap:   capacity,
-		Jobs:       byState,
+		Scheduler:   s.sched.Stats(),
+		Workers:     s.workers,
+		QueueDepth:  depth,
+		QueueCap:    capacity,
+		Jobs:        byState,
+		RateLimited: s.rateLimited.Value(),
+		QuotaDenied: s.quotaDenied.Value(),
 	}
 	if s.cache != nil {
 		st.CacheDir = s.cache.dir
 		st.DiskCacheEntries = s.cache.Len()
+		st.DiskCacheBytes = s.cache.Bytes()
+		st.DiskCacheMaxBytes = s.cache.maxBytes
+		st.DiskCacheEvictions = s.cache.Evictions()
 	}
 	return st
 }

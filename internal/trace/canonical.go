@@ -40,9 +40,14 @@ func (s Spec) Canonical() Spec {
 	if c.StoresPerIter <= 0 || c.StoreWindowLines < 0 {
 		c.StoreWindowLines = 0
 	}
-	// The hot shared region is only reachable through SharedFrac.
+	// The hot shared region is only reachable through SharedFrac. With no
+	// diversion, PatHotShared's remaining case indexes the working set
+	// exactly like PatRandomWS, so the two spellings are one workload.
 	if c.SharedFrac == 0 {
 		c.SharedKB = 0
+		if c.Pattern == PatHotShared {
+			c.Pattern = PatRandomWS
+		}
 	}
 	switch c.Pattern {
 	case PatStrided:

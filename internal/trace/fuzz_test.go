@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePattern pins the pattern name round trip: any string either
+// rejects with an error or parses to a pattern whose String form is the
+// input. Run as a unit test it covers the committed seed corpus; run
+// with -fuzz it searches for panics.
+func FuzzParsePattern(f *testing.F) {
+	for p := PatStream; p <= PatTiled; p++ {
+		f.Add(p.String())
+	}
+	f.Add("")
+	f.Add("STREAM")
+	f.Add("stream ")
+	f.Add("random-ws\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Errorf("ParsePattern(%q) = %v, whose name is %q", s, p, p.String())
+		}
+	})
+}
+
+// FuzzSpecJSON feeds arbitrary documents through the Spec JSON decoder
+// and the validation/canonicalization pipeline every inline-spec request
+// traverses. The contract is reject-don't-panic: malformed input errors;
+// anything Validate accepts must canonicalize, keep validating, and
+// produce a stable SpecID.
+func FuzzSpecJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"Name":"t","Iters":1,"ALUPerIter":1}`,
+		`{"Name":"t","Iters":2,"WarpsPerCore":4,"LoadsPerIter":2,"ALUPerIter":3,"Pattern":"strided","WorkingSetKB":64,"StridePages":7}`,
+		`{"Name":"t","Iters":1,"LoadsPerIter":1,"Pattern":"hot-shared","WorkingSetKB":32,"SharedKB":8,"SharedFrac":0.5}`,
+		`{"Name":"t","Iters":1,"LoadsPerIter":1,"Pattern":99}`,
+		`{"Name":"t","Iters":1,"LoadsPerIter":1,"SharedFrac":1e309}`,
+		`{"Name":"t","Iters":-1}`,
+		`{"Pattern":"nope"}`,
+		`[1,2,3]`,
+		`{"Name":"t","Iters":9223372036854775807,"LoadsPerIter":9223372036854775807}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		// SpecID must be total — even on invalid specs it may not panic.
+		_ = s.SpecID()
+		if err := s.Validate(); err != nil {
+			return
+		}
+		c := s.Canonical()
+		if err := c.Validate(); err != nil {
+			t.Errorf("canonical form of a valid spec fails validation: %v\nspec: %+v", err, s)
+		}
+		if a, b := s.SpecID(), c.SpecID(); a != b {
+			t.Errorf("SpecID not canonicalization-invariant: %s vs %s\nspec: %+v", a, b, s)
+		}
+	})
+}

@@ -1,0 +1,463 @@
+// Command loadgen drives a running gpusimd daemon with sustained
+// concurrent traffic — a deterministic mix of single-cell submissions
+// (preset, inline-spec and config-patch cells), submit-then-wait chains,
+// sweeps and stats polls over a small content-addressed cell pool — and
+// reports latency percentiles and an error breakdown as JSON. It is the
+// CI load-smoke gate: exit status is nonzero when the p99 latency
+// exceeds -p99-max, when more than -max-5xx server errors occur, or when
+// -check-metrics finds /metrics and /v1/stats disagreeing at quiescence.
+//
+// Usage:
+//
+//	gpusimd -addr :8372 -cache-dir /tmp/cache -cache-max-bytes 2K &
+//	loadgen -addr http://127.0.0.1:8372 -n 2000 -c 32 \
+//	        -p99-max 1500ms -max-5xx 0 -check-metrics -out loadgen.json
+//
+// Rate-limited requests (429) back off per the daemon's Retry-After
+// header and retry; they are reported but do not fail the gate — the
+// throttle doing its job is not an error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gpumembw/client"
+	"gpumembw/internal/metrics"
+)
+
+// cell is one entry of the load population.
+type cell struct {
+	kind string // "preset", "inline", "patch"
+	spec client.JobSpec
+}
+
+// pool builds the mixed cell population. Inline specs are deliberately
+// tiny (one warp, a few instructions) so a multi-thousand-request run is
+// dominated by queueing, dedup and cache behavior, not simulation time.
+func pool() []cell {
+	tiny := func(i int) *client.WorkloadSpec {
+		return &client.WorkloadSpec{Name: fmt.Sprintf("load-%d", i), WarpsPerCore: 1, Iters: 1 + i, ALUPerIter: 1}
+	}
+	patch := func(delta string) *client.ConfigPatch {
+		return &client.ConfigPatch{Base: "baseline", Delta: json.RawMessage(delta)}
+	}
+	cells := []cell{
+		{"preset", client.JobSpec{Config: "baseline", Bench: "dwt2d"}},
+		{"patch", client.JobSpec{ConfigPatch: patch(`{"L1":{"MSHREntries":128}}`), Bench: "dwt2d"}},
+	}
+	for i := 0; i < 8; i++ {
+		cells = append(cells, cell{"inline", client.JobSpec{Config: "baseline", InlineSpec: tiny(i)}})
+	}
+	for i := 0; i < 2; i++ {
+		cells = append(cells, cell{"patch", client.JobSpec{ConfigPatch: patch(`{"L2":{"TagLatency":40}}`), InlineSpec: tiny(i)}})
+	}
+	return cells
+}
+
+// report is the JSON document loadgen emits.
+type report struct {
+	Requests    int     `json:"requests"`
+	Ops         int     `json:"ops"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"durationSec"`
+	Throughput  float64 `json:"requestsPerSec"`
+
+	OpsByKind map[string]int `json:"opsByKind"`
+
+	LatencyMs struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latencyMs"`
+
+	Errors struct {
+		Status4xx   int `json:"status4xx"`
+		Status5xx   int `json:"status5xx"`
+		Transport   int `json:"transport"`
+		RateLimited int `json:"rateLimited"`
+		WaitTimeout int `json:"waitTimeout"`
+	} `json:"errors"`
+
+	MetricsChecked  bool     `json:"metricsChecked"`
+	MetricsMismatch string   `json:"metricsMismatch,omitempty"`
+	GateFailures    []string `json:"gateFailures,omitempty"`
+	FinalStats      any      `json:"finalStats,omitempty"`
+}
+
+// worker state shared across the fleet.
+type runner struct {
+	c         *client.Client
+	base      string
+	opTimeout time.Duration
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	requests  int
+	e4xx      int
+	e5xx      int
+	transport int
+	throttled int
+	waitTO    int
+}
+
+// record notes one HTTP interaction's latency and error class. 429s are
+// retried by the caller; other errors are terminal for the op.
+func (r *runner) record(d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requests++
+	r.latencies = append(r.latencies, d)
+	if err == nil {
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		switch {
+		case apiErr.StatusCode == http.StatusTooManyRequests:
+			r.throttled++
+		case apiErr.StatusCode >= 500:
+			r.e5xx++
+			fmt.Fprintf(os.Stderr, "loadgen: 5xx: %v\n", err)
+		case apiErr.StatusCode >= 400:
+			r.e4xx++
+			fmt.Fprintf(os.Stderr, "loadgen: 4xx: %v\n", err)
+		}
+		return
+	}
+	r.transport++
+	fmt.Fprintf(os.Stderr, "loadgen: transport: %v\n", err)
+}
+
+// timed runs one client call, recording its latency and classification.
+func timed[T any](r *runner, call func() (T, error)) (T, error) {
+	start := time.Now()
+	v, err := call()
+	r.record(time.Since(start), err)
+	return v, err
+}
+
+// submit issues one submission, backing off and retrying on 429 per the
+// daemon's Retry-After hint.
+func (r *runner) submit(ctx context.Context, spec client.JobSpec) (*client.Job, error) {
+	for attempt := 0; ; attempt++ {
+		job, err := timed(r, func() (*client.Job, error) { return r.c.Submit(ctx, spec) })
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests && attempt < 8 {
+			backoff := apiErr.RetryAfter
+			if backoff <= 0 {
+				backoff = 100 * time.Millisecond
+			}
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-time.After(backoff):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return job, err
+	}
+}
+
+// waitTerminal polls a job until it reaches a terminal state, recording
+// every poll as a request.
+func (r *runner) waitTerminal(ctx context.Context, id string) {
+	deadline := time.Now().Add(r.opTimeout)
+	for {
+		job, err := timed(r, func() (*client.Job, error) { return r.c.Job(ctx, id) })
+		if err != nil {
+			return
+		}
+		if job.State.Terminal() {
+			return
+		}
+		if time.Now().After(deadline) {
+			r.mu.Lock()
+			r.waitTO++
+			r.mu.Unlock()
+			fmt.Fprintf(os.Stderr, "loadgen: wait timeout on %s (state %s)\n", id, job.State)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// op runs the i-th operation of the deterministic mix.
+func (r *runner) op(ctx context.Context, i int, cells []cell, kinds map[string]*int) {
+	c := cells[i%len(cells)]
+	switch i % 10 {
+	case 0, 1, 2, 3:
+		*kinds["submit"]++
+		r.submit(ctx, c.spec) //nolint:errcheck // recorded by timed()
+	case 4, 5, 6:
+		*kinds["submit+wait"]++
+		job, err := r.submit(ctx, c.spec)
+		if err == nil && job != nil && !job.State.Terminal() {
+			r.waitTerminal(ctx, job.ID)
+		}
+	case 7:
+		*kinds["sweep"]++
+		a := cells[i%len(cells)]
+		b := cells[(i+3)%len(cells)]
+		req := client.SweepRequest{Configs: []string{"baseline"}}
+		for _, cc := range []cell{a, b} {
+			if cc.spec.InlineSpec != nil {
+				req.InlineSpecs = append(req.InlineSpecs, *cc.spec.InlineSpec)
+			} else if cc.spec.Bench != "" {
+				req.Benches = append(req.Benches, cc.spec.Bench)
+			}
+		}
+		if len(req.Benches)+len(req.InlineSpecs) == 0 {
+			req.Benches = []string{"dwt2d"}
+		}
+		timed(r, func() (*client.SweepResponse, error) { return r.c.Sweep(ctx, req) }) //nolint:errcheck
+	case 8:
+		*kinds["stats"]++
+		timed(r, func() (*client.Stats, error) { return r.c.Stats(ctx) }) //nolint:errcheck
+	case 9:
+		*kinds["list"]++
+		timed(r, func() ([]client.Job, error) { return r.c.Jobs(ctx) }) //nolint:errcheck
+	}
+}
+
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// quiesce polls /v1/stats until no job is queued or running.
+func quiesce(ctx context.Context, c *client.Client, timeout time.Duration) (*client.Stats, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if st.QueueDepth == 0 && st.Jobs["queued"] == 0 && st.Jobs["running"] == 0 {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("daemon not quiescent after %v: %+v", timeout, st.Jobs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkMetrics scrapes /metrics, validates the exposition strictly, and
+// reconciles its counters against the quiescent /v1/stats view.
+func checkMetrics(base string, st *client.Stats) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: status %d", resp.StatusCode)
+	}
+	sc, err := metrics.Parse(body)
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	check := func(name string, want float64, labels ...string) error {
+		got, ok := sc.Value(name, labels...)
+		if !ok {
+			return fmt.Errorf("metric %s%v missing", name, labels)
+		}
+		if got != want {
+			return fmt.Errorf("metric %s%v = %v, stats say %v", name, labels, got, want)
+		}
+		return nil
+	}
+	checks := []error{
+		check("gpusimd_scheduler_simulated_total", float64(st.Scheduler.Simulated)),
+		check("gpusimd_scheduler_memo_hits_total", float64(st.Scheduler.CacheHits)),
+		check("gpusimd_scheduler_result_cache_hits_total", float64(st.Scheduler.DiskHits)),
+		check("gpusimd_scheduler_sim_cycles_total", float64(st.Scheduler.SimCycles)),
+		check("gpusimd_rate_limited_total", float64(st.RateLimited)),
+		check("gpusimd_quota_denied_total", float64(st.QuotaDenied)),
+		check("gpusimd_queue_depth", float64(st.QueueDepth)),
+	}
+	for state, n := range st.Jobs {
+		checks = append(checks, check("gpusimd_jobs", float64(n), "state="+string(state)))
+	}
+	if st.CacheDir != "" {
+		checks = append(checks,
+			check("gpusimd_disk_cache_entries", float64(st.DiskCacheEntries)),
+			check("gpusimd_disk_cache_bytes", float64(st.DiskCacheBytes)),
+			check("gpusimd_disk_cache_evictions_total", float64(st.DiskCacheEvictions)))
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8372", "gpusimd base URL")
+	n := flag.Int("n", 2000, "total operations to issue")
+	conc := flag.Int("c", 32, "concurrent workers")
+	p99Max := flag.Duration("p99-max", 0, "fail if p99 request latency exceeds this (0 = no gate)")
+	max5xx := flag.Int("max-5xx", 0, "fail if more than this many 5xx responses occur")
+	opTimeout := flag.Duration("op-timeout", 60*time.Second, "per-job wait deadline")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	checkM := flag.Bool("check-metrics", false, "after quiescence, verify /metrics parses and reconciles with /v1/stats")
+	flag.Parse()
+
+	ctx := context.Background()
+	c := client.New(*addr)
+	if err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon not reachable at %s: %v\n", *addr, err)
+		os.Exit(2)
+	}
+
+	cells := pool()
+	r := &runner{c: c, base: c.BaseURL(), opTimeout: *opTimeout}
+	kindCounts := map[string]*int{}
+	for _, k := range []string{"submit", "submit+wait", "sweep", "stats", "list"} {
+		kindCounts[k] = new(int)
+	}
+	var kindMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := map[string]*int{}
+			for k := range kindCounts {
+				local[k] = new(int)
+			}
+			for i := range next {
+				r.op(ctx, i, cells, local)
+			}
+			kindMu.Lock()
+			for k, v := range local {
+				*kindCounts[k] += *v
+			}
+			kindMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep report
+	rep.Ops = *n
+	rep.Concurrency = *conc
+	rep.DurationSec = elapsed.Seconds()
+	rep.OpsByKind = map[string]int{}
+	for k, v := range kindCounts {
+		rep.OpsByKind[k] = *v
+	}
+	r.mu.Lock()
+	rep.Requests = r.requests
+	rep.Errors.Status4xx = r.e4xx
+	rep.Errors.Status5xx = r.e5xx
+	rep.Errors.Transport = r.transport
+	rep.Errors.RateLimited = r.throttled
+	rep.Errors.WaitTimeout = r.waitTO
+	lat := append([]time.Duration(nil), r.latencies...)
+	r.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.LatencyMs.P50 = percentile(lat, 0.50)
+	rep.LatencyMs.P90 = percentile(lat, 0.90)
+	rep.LatencyMs.P99 = percentile(lat, 0.99)
+	if len(lat) > 0 {
+		rep.LatencyMs.Max = float64(lat[len(lat)-1]) / float64(time.Millisecond)
+	}
+	if rep.DurationSec > 0 {
+		rep.Throughput = float64(rep.Requests) / rep.DurationSec
+	}
+
+	st, err := quiesce(ctx, c, 2*time.Minute)
+	if err != nil {
+		rep.GateFailures = append(rep.GateFailures, err.Error())
+	}
+	if st != nil {
+		rep.FinalStats = st
+	}
+	if *checkM && st != nil {
+		rep.MetricsChecked = true
+		if err := checkMetrics(r.base, st); err != nil {
+			rep.MetricsMismatch = err.Error()
+			rep.GateFailures = append(rep.GateFailures, "metrics reconciliation: "+err.Error())
+		}
+	}
+	if *p99Max > 0 && rep.LatencyMs.P99 > float64(*p99Max)/float64(time.Millisecond) {
+		rep.GateFailures = append(rep.GateFailures,
+			fmt.Sprintf("p99 %.1fms exceeds gate %v", rep.LatencyMs.P99, *p99Max))
+	}
+	if rep.Errors.Status5xx > *max5xx {
+		rep.GateFailures = append(rep.GateFailures,
+			fmt.Sprintf("%d server errors exceed gate %d", rep.Errors.Status5xx, *max5xx))
+	}
+	if rep.Errors.Transport > 0 {
+		rep.GateFailures = append(rep.GateFailures,
+			fmt.Sprintf("%d transport errors", rep.Errors.Transport))
+	}
+	// Every request loadgen issues is well-formed, so any non-429 client
+	// error means the harness and the daemon disagree about the API.
+	if rep.Errors.Status4xx > 0 {
+		rep.GateFailures = append(rep.GateFailures,
+			fmt.Sprintf("%d unexpected 4xx responses", rep.Errors.Status4xx))
+	}
+	if rep.Errors.WaitTimeout > 0 {
+		rep.GateFailures = append(rep.GateFailures,
+			fmt.Sprintf("%d jobs never reached a terminal state", rep.Errors.WaitTimeout))
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	fmt.Println(string(doc))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(doc, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+	}
+	if len(rep.GateFailures) > 0 {
+		for _, f := range rep.GateFailures {
+			fmt.Fprintln(os.Stderr, "loadgen: GATE FAILED:", f)
+		}
+		os.Exit(1)
+	}
+}
