@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,12 +36,24 @@ type (
 	JobSpec = api.JobSpec
 	// JobState is the job lifecycle state.
 	JobState = api.JobState
-	// SweepRequest is a config×workload cross product to submit.
+	// SweepRequest is a config×workload cross product (or explicit cell
+	// list) to submit.
 	SweepRequest = api.SweepRequest
 	// SweepResponse reports the sweep expansion and its deduplication.
 	SweepResponse = api.SweepResponse
+	// Sweep is the sweep resource: per-cell jobs, state counts, and the
+	// merged speedup table once complete.
+	Sweep = api.Sweep
+	// SweepState is the sweep lifecycle state.
+	SweepState = api.SweepState
+	// JobList is one page of a job listing.
+	JobList = api.JobList
 	// Stats is the daemon's scheduler counters and queue gauges.
 	Stats = api.Stats
+	// ClusterStatus is a coordinator's worker table.
+	ClusterStatus = api.ClusterStatus
+	// WorkerStatus is one worker's health as the coordinator sees it.
+	WorkerStatus = api.WorkerStatus
 	// WorkloadSpec is an inline synthetic-kernel spec for
 	// JobSpec.InlineSpec / SweepRequest.InlineSpecs.
 	WorkloadSpec = trace.Spec
@@ -61,17 +74,38 @@ const (
 	JobCanceled = api.JobCanceled
 )
 
-// APIError is a non-2xx daemon response. RetryAfter carries the
-// Retry-After header of a 429 (rate limit or per-client quota), when the
-// daemon sent one; zero otherwise.
+// Sweep lifecycle states.
+const (
+	SweepRunning = api.SweepRunning
+	SweepDone    = api.SweepDone
+	SweepFailed  = api.SweepFailed
+)
+
+// Machine-readable error codes carried by APIError.Code.
+const (
+	CodeInvalidArgument   = api.CodeInvalidArgument
+	CodeNotFound          = api.CodeNotFound
+	CodeConflict          = api.CodeConflict
+	CodeResourceExhausted = api.CodeResourceExhausted
+	CodeUnavailable       = api.CodeUnavailable
+	CodeInternal          = api.CodeInternal
+)
+
+// APIError is a non-2xx daemon response, decoded from the uniform
+// api.Error envelope. Code is the machine-readable error code
+// (CodeNotFound, CodeResourceExhausted, ...); against a pre-envelope
+// daemon it is derived from the HTTP status. RetryAfter carries the
+// retry hint of a 429/503 (envelope field or Retry-After header), when
+// the daemon sent one; zero otherwise.
 type APIError struct {
 	StatusCode int
+	Code       string
 	Message    string
 	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("gpusimd: %s (HTTP %d)", e.Message, e.StatusCode)
+	return fmt.Sprintf("gpusimd: %s (HTTP %d, %s)", e.Message, e.StatusCode, e.Code)
 }
 
 // Client talks to one gpusimd daemon. The zero value is not usable; use New.
@@ -102,42 +136,71 @@ func New(baseURL string, opts ...Option) *Client {
 // do issues one request; in (if non-nil) is sent as JSON, out (if
 // non-nil) receives the decoded 2xx body.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	_, err := c.doHeader(ctx, method, path, in, out)
+	return err
+}
+
+// doHeader is do plus the response headers of the 2xx (long-poll
+// capability detection reads them).
+func (c *Client) doHeader(ctx context.Context, method, path string, in, out any) (http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr api.Error
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		if json.Unmarshal(data, &apiErr) != nil || apiErr.Error == "" {
-			apiErr.Error = strings.TrimSpace(string(data))
-		}
-		e := &APIError{StatusCode: resp.StatusCode, Message: apiErr.Error}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			e.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return e
+		return resp.Header, decodeError(resp)
 	}
 	if out == nil {
-		return nil
+		return resp.Header, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.Header, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx response into an *APIError. It decodes
+// the uniform envelope {code, detail, retryAfter}; bodies from
+// pre-envelope daemons ({"error": ...}) or foreign proxies (plain text)
+// degrade to a message with a status-derived code.
+func decodeError(resp *http.Response) error {
+	e := &APIError{StatusCode: resp.StatusCode}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var apiErr api.Error
+	if json.Unmarshal(data, &apiErr) == nil && apiErr.Detail != "" {
+		e.Code = apiErr.Code
+		e.Message = apiErr.Detail
+		e.RetryAfter = time.Duration(apiErr.RetryAfter) * time.Second
+	} else {
+		var legacy struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &legacy) == nil && legacy.Error != "" {
+			e.Message = legacy.Error
+		} else {
+			e.Message = strings.TrimSpace(string(data))
+		}
+	}
+	if e.Code == "" {
+		e.Code = api.CodeForStatus(resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		e.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return e
 }
 
 // Health checks GET /healthz.
@@ -178,13 +241,48 @@ func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
-// Jobs lists every job in submission order (GET /v1/jobs).
+// Jobs lists every job (GET /v1/jobs), sorted by submission time.
 func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
-	var list api.JobList
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+	list, err := c.ListJobs(ctx, ListOptions{})
+	if err != nil {
 		return nil, err
 	}
 	return list.Jobs, nil
+}
+
+// ListOptions filter and page a job listing.
+type ListOptions struct {
+	// State keeps only jobs in that state; "" keeps all.
+	State JobState
+	// Limit caps the page size; 0 means unbounded (one page holds all).
+	Limit int
+	// PageToken resumes a listing after a previous page's NextPageToken.
+	PageToken string
+}
+
+// ListJobs fetches one page of GET /v1/jobs. Jobs are sorted by
+// (submission time, ID) — a stable total order — and a non-empty
+// NextPageToken on the result resumes the listing where the page ended.
+func (c *Client) ListJobs(ctx context.Context, opts ListOptions) (*JobList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.PageToken != "" {
+		q.Set("page_token", opts.PageToken)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list); err != nil {
+		return nil, err
+	}
+	return &list, nil
 }
 
 // Cancel cancels a queued job (DELETE /v1/jobs/{id}).
@@ -196,13 +294,24 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
-// Sweep submits a config×workload cross product (POST /v1/sweeps).
+// Sweep submits a config×workload cross product — or an explicit cell
+// list — as one sweep (POST /v1/sweeps). The response carries the
+// content-addressed sweep ID; GetSweep and WaitSweep track it.
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// GetSweep polls one sweep resource (GET /v1/sweeps/{id}).
+func (c *Client) GetSweep(ctx context.Context, id string) (*Sweep, error) {
+	var sw Sweep
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, &sw); err != nil {
+		return nil, err
+	}
+	return &sw, nil
 }
 
 // Benchmarks lists benchmark names in Table II order (GET /v1/benchmarks).
@@ -238,28 +347,109 @@ func (c *Client) ConfigNames(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
-// Wait polls the job every poll interval (default 200ms when <= 0) until
-// it reaches a terminal state or ctx is done.
+// waitRound is the server-side deadline a Wait/WaitSweep long-poll
+// round asks for; the server clamps longer asks, so staying at its cap
+// wastes nothing.
+const waitRound = 30 * time.Second
+
+// longPollHeader is the response header a long-poll-capable daemon sets
+// on job and sweep GETs; its absence selects the polling fallback.
+const longPollHeader = "Gpusimd-Long-Poll"
+
+// jitter spreads d over [d/2, 3d/2) so a fleet of clients that lost
+// their long-poll rounds at once (a daemon drain, a proxy restart) does
+// not re-poll in lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+//
+// Against a long-poll-capable daemon it parks on GET /v1/jobs/{id}?wait=
+// rounds — no fixed-interval polling, near-zero request overhead, and an
+// immediate return on the terminal transition. When the daemon answers a
+// round early without a terminal state (graceful drain does this), the
+// next round starts after a jittered pause so a restarting daemon is not
+// stampeded. Against daemons that predate long-poll (detected via the
+// capability header on the first response) it degrades to jittered
+// interval polling every ~poll (default 200ms when <= 0).
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	j, err := waitResource[Job](ctx, c, "/v1/jobs/"+url.PathEscape(id), poll,
+		func(j *Job) bool { return j.State.Terminal() })
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// WaitSweep is Wait's sweep twin: it blocks on GET /v1/sweeps/{id} until
+// the sweep is terminal (every cell done, or any failed/canceled) or ctx
+// is done, with the same long-poll-first, jittered-fallback behavior.
+func (c *Client) WaitSweep(ctx context.Context, id string, poll time.Duration) (*Sweep, error) {
+	return waitResource[Sweep](ctx, c, "/v1/sweeps/"+url.PathEscape(id), poll,
+		func(sw *Sweep) bool { return sw.State.Terminal() })
+}
+
+// waitResource is the shared long-poll loop behind Wait and WaitSweep.
+func waitResource[T any](ctx context.Context, c *Client, path string, poll time.Duration, terminal func(*T) bool) (*T, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	longPoll := true
 	for {
-		j, err := c.Job(ctx, id)
+		p := path
+		if longPoll {
+			p += "?wait=" + waitRound.String()
+		}
+		start := time.Now()
+		var v T
+		hdr, err := c.doHeader(ctx, http.MethodGet, p, nil, &v)
 		if err != nil {
 			return nil, err
 		}
-		if j.State.Terminal() {
-			return j, nil
+		if terminal(&v) {
+			return &v, nil
 		}
-		select {
-		case <-ctx.Done():
-			return j, ctx.Err()
-		case <-t.C:
+		if longPoll && hdr.Get(longPollHeader) == "" {
+			// The daemon ignored ?wait= and answered immediately: a
+			// pre-long-poll build, or a proxy that stripped the header.
+			// Fall back to interval polling for the rest of this wait.
+			longPoll = false
+		}
+		if !longPoll || time.Since(start) < waitRound/2 {
+			// Interval polling, or a long-poll round the server ended
+			// early (drain): pause with jitter before the next request.
+			select {
+			case <-ctx.Done():
+				return &v, ctx.Err()
+			case <-time.After(jitter(poll)):
+			}
+		} else if ctx.Err() != nil {
+			return &v, ctx.Err()
 		}
 	}
+}
+
+// Cluster fetches a coordinator's worker table (GET /v1/cluster).
+// Single daemons answer 404 not_found.
+func (c *Client) Cluster(ctx context.Context) (*ClusterStatus, error) {
+	var cs ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
+}
+
+// Drain marks a coordinator's worker as draining (true) or serving
+// (false): a draining worker keeps answering reads but receives no new
+// placements, and its unfinished jobs move to the remaining workers
+// (POST /v1/cluster/drain).
+func (c *Client) Drain(ctx context.Context, workerAddr string, drain bool) (*ClusterStatus, error) {
+	var cs ClusterStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/drain", api.DrainRequest{Addr: workerAddr, Drain: drain}, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
 }
 
 // Run submits one cell and waits for its terminal state — the blocking

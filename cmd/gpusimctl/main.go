@@ -12,20 +12,26 @@
 //	gpusimctl get <job-id>
 //	gpusimctl wait <job-id>
 //	gpusimctl cancel <job-id>
-//	gpusimctl list
+//	gpusimctl list [-state running] [-limit 100] [-page-token T]
 //	gpusimctl sweep -configs baseline,L2-4x -benches mm,sc -wait
 //	gpusimctl sweep -configs baseline -set l1.mshr_entries=128 -benches mm -wait
 //	gpusimctl sweep -configs baseline -config-file patch.json -benches mm -wait
 //	gpusimctl sweep -configs baseline -spec a.json -spec b.json -wait
+//	gpusimctl sweep-status <sweep-id> [-wait] [-json]
 //	gpusimctl stats [-json]
+//	gpusimctl cluster [-json]
+//	gpusimctl cluster -drain http://10.0.0.2:8372
 //	gpusimctl benchmarks
 //	gpusimctl configs [-json]
 //	gpusimctl health
 //
 // The daemon address comes from -addr, or the GPUSIMD_ADDR environment
-// variable, or defaults to http://127.0.0.1:8372. `submit -wait -metrics`
-// prints the completed job's metrics as indented JSON, byte-identical to
-// `gpusim -json` for the same cell.
+// variable, or defaults to http://127.0.0.1:8372. The address may be a
+// single daemon or a coordinator — the API is identical (cluster
+// requires a coordinator). `submit -wait -metrics` prints the completed
+// job's metrics as indented JSON, byte-identical to `gpusim -json` for
+// the same cell. Waits ride server-side long-polling when the daemon
+// supports it; -poll only matters against older daemons.
 package main
 
 import (
@@ -43,7 +49,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|cancel|list|sweep|stats|benchmarks|configs|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|cancel|list|sweep|sweep-status|stats|cluster|benchmarks|configs|health> [flags]")
 	os.Exit(2)
 }
 
@@ -77,11 +83,15 @@ func main() {
 	case "cancel":
 		cmdCancel(ctx, c, args)
 	case "list":
-		cmdList(ctx, c)
+		cmdList(ctx, c, args)
 	case "sweep":
 		cmdSweep(ctx, c, args)
+	case "sweep-status":
+		cmdSweepStatus(ctx, c, args)
 	case "stats":
 		cmdStats(ctx, c, args)
+	case "cluster":
+		cmdCluster(ctx, c, args)
 	case "benchmarks":
 		names, err := c.Benchmarks(ctx)
 		if err != nil {
@@ -289,13 +299,30 @@ func cmdCancel(ctx context.Context, c *client.Client, args []string) {
 	printJob(j)
 }
 
-func cmdList(ctx context.Context, c *client.Client) {
-	jobs, err := c.Jobs(ctx)
+func cmdList(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	state := fs.String("state", "", "only jobs in this state (queued|running|done|failed|canceled)")
+	limit := fs.Int("limit", 0, "page size (0 = everything in one page)")
+	pageToken := fs.String("page-token", "", "resume a paged listing after a previous page's token")
+	asJSON := fs.Bool("json", false, "print the page as JSON (includes nextPageToken)")
+	fs.Parse(args)
+	list, err := c.ListJobs(ctx, client.ListOptions{
+		State:     client.JobState(*state),
+		Limit:     *limit,
+		PageToken: *pageToken,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	for i := range jobs {
-		printJob(&jobs[i])
+	if *asJSON {
+		printJSON(list)
+		return
+	}
+	for i := range list.Jobs {
+		printJob(&list.Jobs[i])
+	}
+	if list.NextPageToken != "" {
+		fmt.Printf("next page: gpusimctl list -limit %d -page-token %s\n", *limit, list.NextPageToken)
 	}
 }
 
@@ -362,25 +389,130 @@ func cmdSweep(ctx context.Context, c *client.Client, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("sweep: %d cells requested, %d deduplicated, %d jobs\n",
-		resp.Requested, resp.Deduped, len(resp.Jobs))
-	failed := 0
-	for i := range resp.Jobs {
-		j := &resp.Jobs[i]
-		if *wait && !j.State.Terminal() {
-			done, err := c.Wait(ctx, j.ID, *poll)
-			if err != nil {
-				fatal(err)
-			}
-			j = done
+	fmt.Printf("sweep %s: %d cells requested, %d deduplicated, %d jobs\n",
+		resp.ID, resp.Requested, resp.Deduped, len(resp.Jobs))
+	jobs := resp.Jobs
+	if *wait {
+		// One wait on the sweep resource replaces per-job polling: the
+		// daemon (or coordinator) long-polls the aggregate and returns
+		// the merged speedup table with the final state.
+		sw, err := c.WaitSweep(ctx, resp.ID, *poll)
+		if err != nil {
+			fatal(err)
 		}
-		printJob(j)
-		if j.State == client.JobFailed {
+		jobs = sw.Jobs
+		defer printSpeedups(sw)
+	}
+	failed := 0
+	for i := range jobs {
+		printJob(&jobs[i])
+		if jobs[i].State == client.JobFailed {
 			failed++
 		}
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d job(s) failed", failed))
+	}
+}
+
+// printSpeedups renders a completed sweep's merged speedup grid, one
+// row per workload, relative to the first configuration column.
+func printSpeedups(sw *client.Sweep) {
+	if sw.Speedups == nil {
+		return
+	}
+	sp := sw.Speedups
+	fmt.Printf("speedups vs %s:\n", sp.Configs[0])
+	fmt.Printf("%-12s", "")
+	for _, cfg := range sp.Configs {
+		fmt.Printf("  %12s", cfg)
+	}
+	fmt.Println()
+	for w, name := range sp.Workloads {
+		fmt.Printf("%-12s", name)
+		for c := range sp.Configs {
+			fmt.Printf("  %12.3f", sp.Cells[w][c])
+		}
+		fmt.Println()
+	}
+}
+
+// cmdSweepStatus polls (or waits on) a sweep resource by ID.
+func cmdSweepStatus(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("sweep-status", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "block until the sweep reaches a terminal state")
+	poll := fs.Duration("poll", 500*time.Millisecond, "fallback poll interval for -wait against older daemons")
+	asJSON := fs.Bool("json", false, "print the sweep resource as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("expected one sweep ID"))
+	}
+	var sw *client.Sweep
+	var err error
+	if *wait {
+		sw, err = c.WaitSweep(ctx, fs.Arg(0), *poll)
+	} else {
+		sw, err = c.GetSweep(ctx, fs.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(sw)
+		return
+	}
+	fmt.Printf("sweep %s: %s (%d cells", sw.ID, sw.State, len(sw.Jobs))
+	for _, state := range []client.JobState{client.JobQueued, client.JobRunning, client.JobDone, client.JobFailed, client.JobCanceled} {
+		if n := sw.Counts[state]; n > 0 {
+			fmt.Printf(", %d %s", n, state)
+		}
+	}
+	fmt.Println(")")
+	for i := range sw.Jobs {
+		printJob(&sw.Jobs[i])
+	}
+	printSpeedups(sw)
+	if sw.State == client.SweepFailed {
+		os.Exit(1)
+	}
+}
+
+// cmdCluster inspects a coordinator's worker fleet and drains or
+// readmits workers.
+func cmdCluster(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	drain := fs.String("drain", "", "drain this worker: move its cells and stop new placements")
+	undrain := fs.String("undrain", "", "readmit a drained worker to placement")
+	asJSON := fs.Bool("json", false, "print the worker table as JSON")
+	fs.Parse(args)
+	var cs *client.ClusterStatus
+	var err error
+	switch {
+	case *drain != "" && *undrain != "":
+		fatal(fmt.Errorf("-drain and -undrain are mutually exclusive"))
+	case *drain != "":
+		cs, err = c.Drain(ctx, *drain, true)
+	case *undrain != "":
+		cs, err = c.Drain(ctx, *undrain, false)
+	default:
+		cs, err = c.Cluster(ctx)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(cs)
+		return
+	}
+	for _, w := range cs.Workers {
+		state := "healthy"
+		if !w.Healthy {
+			state = fmt.Sprintf("unhealthy (%d misses)", w.ConsecutiveFailures)
+		}
+		if w.Draining {
+			state += ", draining"
+		}
+		fmt.Printf("%s  %-24s  jobs=%d\n", w.Addr, state, w.Jobs)
 	}
 }
 

@@ -14,6 +14,19 @@
 //	gpusimd -rate-limit 50 -rate-burst 100        # per-client 429 throttle
 //	gpusimd -max-inflight-per-client 64           # per-client job quota
 //
+// Coordinator mode shards the cell space across a fleet of workers
+// instead of simulating locally — each -worker is a gpusimd base URL;
+// cells are placed by rendezvous-hashing their content-addressed IDs,
+// so the same cell lands on the same worker from any entry point:
+//
+//	gpusimd -worker http://10.0.0.1:8372 -worker http://10.0.0.2:8372
+//	gpusimd -worker ... -probe-interval 500ms -probe-fails 3
+//
+// The coordinator serves the identical /v1 API plus GET /v1/cluster and
+// POST /v1/cluster/drain; unhealthy workers' cells are re-submitted to
+// the survivors (the simulator is deterministic, so placement never
+// changes results).
+//
 // Operational state is scrapeable at GET /metrics (Prometheus text
 // format) and GET /v1/stats (JSON); the two reconcile exactly when the
 // daemon is quiescent.
@@ -47,6 +60,11 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = max(1, ceil(rate)))")
 	maxInflight := flag.Int("max-inflight-per-client", 0, "bound on one client's queued+running jobs (0 = unlimited); excess gets 429")
 	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
+	var workerAddrs cliutil.StringList
+	flag.Var(&workerAddrs, "worker", "coordinator mode: shard cells across this gpusimd worker URL (repeatable)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator mode: worker /healthz probe period")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "coordinator mode: per-probe timeout")
+	probeFails := flag.Int("probe-fails", 2, "coordinator mode: consecutive probe failures before a worker's cells move")
 	profiles := prof.AddFlags()
 	flag.Parse()
 
@@ -61,6 +79,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer profiles.Stop()
+
+	if len(workerAddrs) > 0 {
+		runCoordinator(*addr, workerAddrs, *probeInterval, *probeTimeout, *probeFails, profiles)
+		return
+	}
 
 	opts := server.Options{
 		Workers:              *workers,
@@ -122,5 +145,45 @@ func main() {
 	// the only path that closes the listener. Block until it finishes
 	// flushing profiles and exits the process with the 128+signal status;
 	// returning here would race it with a spurious status 0.
+	select {}
+}
+
+// runCoordinator serves the cluster entry point: no local simulation,
+// every cell rendezvous-routed to a -worker daemon.
+func runCoordinator(addr string, workers []string, probeInterval, probeTimeout time.Duration, probeFails int, profiles *prof.Flags) {
+	co, err := server.NewCoordinator(server.CoordinatorOptions{
+		Workers:       workers,
+		ProbeInterval: probeInterval,
+		ProbeTimeout:  probeTimeout,
+		ProbeFails:    probeFails,
+		ErrLog:        os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiles.Stop() // os.Exit skips the deferred call
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: addr, Handler: co.Handler()}
+	release := profiles.ExitOnSignal(func() {
+		fmt.Fprintln(os.Stderr, "gpusimd: coordinator shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := co.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		}
+	})
+	defer release()
+
+	fmt.Fprintf(os.Stderr, "gpusimd: coordinating %d workers on %s (probe every %s, unhealthy after %d misses)\n",
+		len(workers), addr, probeInterval, probeFails)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		profiles.Stop() // os.Exit skips the deferred call
+		os.Exit(1)
+	}
 	select {}
 }

@@ -16,13 +16,18 @@
 // all land on the same job. Cancellation (DELETE /v1/jobs/{id})
 // therefore affects every client that submitted that cell.
 //
-// Errors are returned as an Error payload with a non-2xx status: 400 for
-// malformed specs (the body carries config.Validate / trace.Spec.Validate
-// / patch-application detail and, for unknown names, the list of valid
-// ones), 404 for unknown job IDs, 409 for canceling a job that already
-// finished, 429 with a Retry-After header when the per-client rate limit
-// or inflight quota rejects the request, and 503 when the bounded queue
-// is full or the daemon is draining.
+// Every non-2xx response carries one uniform Error envelope —
+// {code, detail, retryAfter} — whatever the route: 400/invalid_argument
+// for malformed specs (the detail carries config.Validate /
+// trace.Spec.Validate / patch-application text and, for unknown names,
+// the list of valid ones), 404/not_found for unknown job or sweep IDs,
+// 409/conflict for canceling a job that already finished,
+// 429/resource_exhausted with a Retry-After header (mirrored in the
+// body's retryAfter field) when the per-client rate limit or inflight
+// quota rejects the request, and 503/unavailable when the bounded queue
+// is full, the daemon is draining, or a cluster has no healthy workers.
+// A coordinator proxies worker errors through unchanged, so clients see
+// the same envelope whether they talk to one daemon or a fleet.
 //
 // Operational visibility rides on GET /v1/stats (this package's Stats)
 // and GET /metrics (the same counters in Prometheus text form); the two
@@ -108,34 +113,98 @@ type Job struct {
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
 }
 
-// JobList is the response of GET /v1/jobs, in submission order.
+// JobList is the response of GET /v1/jobs. Jobs are sorted by
+// (SubmittedAt, ID) — a stable total order, since both are fixed at
+// submission — optionally filtered by ?state= and bounded by ?limit=.
+// When a limit cuts the listing short, NextPageToken is the opaque
+// cursor for the next page (?page_token=); walking pages until the
+// token is empty yields every matching job exactly once, even while
+// new jobs are being submitted (new jobs sort after the cursor).
 type JobList struct {
-	Jobs []Job `json:"jobs"`
+	Jobs          []Job  `json:"jobs"`
+	NextPageToken string `json:"nextPageToken,omitempty"`
 }
 
 // SweepRequest (POST /v1/sweeps) expands the cross product of its
 // configurations (Configs ∪ InlineConfigs ∪ ConfigPatches) and workloads
 // (Benches ∪ InlineSpecs) into jobs, so one request can sweep hardware
 // axes — the paper's Table III mitigation ladder as a list of patches
-// against any workload — exactly like workload axes. At least one
-// configuration and one workload are required. Cells that collapse to
-// the same content-addressed ID — within the sweep or against jobs
-// already known to the daemon — are submitted once.
+// against any workload — exactly like workload axes. When the axis
+// forms are used, at least one configuration and one workload are
+// required. Cells lists explicit cells directly — the form a cluster
+// coordinator uses to ship each worker exactly its shard — and is
+// mutually exclusive with the axes. Cells that collapse to the same
+// content-addressed ID — within the sweep or against jobs already known
+// to the daemon — are submitted once, and admission is all-or-nothing:
+// the whole sweep enqueues or the whole sweep is rejected.
 type SweepRequest struct {
 	Configs       []string        `json:"configs,omitempty"`
 	InlineConfigs []config.Config `json:"inlineConfigs,omitempty"`
 	ConfigPatches []config.Patch  `json:"configPatches,omitempty"`
 	Benches       []string        `json:"benches,omitempty"`
 	InlineSpecs   []trace.Spec    `json:"inlineSpecs,omitempty"`
+	Cells         []JobSpec       `json:"cells,omitempty"`
 }
 
-// SweepResponse reports the expansion: Requested cells were asked for,
-// Jobs holds the unique cells (existing jobs are returned as-is, completed
-// ones with their cached result), and Deduped = Requested - len(Jobs).
+// SweepResponse reports the expansion: ID is the sweep's
+// content-addressed resource ID (poll it at GET /v1/sweeps/{id}),
+// Requested cells were asked for, Jobs holds the unique cells (existing
+// jobs are returned as-is, completed ones with their cached result), and
+// Deduped = Requested - len(Jobs).
 type SweepResponse struct {
-	Requested int   `json:"requested"`
-	Deduped   int   `json:"deduped"`
-	Jobs      []Job `json:"jobs"`
+	ID        string `json:"id"`
+	Requested int    `json:"requested"`
+	Deduped   int    `json:"deduped"`
+	Jobs      []Job  `json:"jobs"`
+}
+
+// SweepState is the aggregate lifecycle state of a sweep resource.
+type SweepState string
+
+const (
+	// SweepRunning means at least one of the sweep's cells is not yet
+	// terminal.
+	SweepRunning SweepState = "running"
+	// SweepDone means every cell finished successfully.
+	SweepDone SweepState = "done"
+	// SweepFailed means every cell is terminal and at least one failed
+	// or was canceled (Counts breaks the outcome down by state).
+	SweepFailed SweepState = "failed"
+)
+
+// Terminal reports whether the sweep state is final — waiting can stop.
+func (s SweepState) Terminal() bool { return s == SweepDone || s == SweepFailed }
+
+// SweepSpeedups is the merged speedup grid of a completed sweep whose
+// cells were submitted through the axis forms: Cells[w][c] is the
+// wall-clock speedup of Workloads[w] on Configs[c] relative to the
+// sweep's first configuration column — the same orientation and baseline
+// convention as exp.SweepResult.Speedups(0).
+type SweepSpeedups struct {
+	Configs   []string    `json:"configs"`
+	Workloads []string    `json:"workloads"`
+	Cells     [][]float64 `json:"cells"`
+}
+
+// Sweep is the sweep resource returned by GET /v1/sweeps/{id}: the
+// aggregate state of every cell the sweep named, the per-cell job
+// snapshots (in request order), and — once every cell is done and the
+// sweep was submitted through the axis forms — the merged speedup grid.
+// Like ?wait= on jobs, GET /v1/sweeps/{id}?wait=30s long-polls until the
+// sweep is terminal or the deadline passes.
+type Sweep struct {
+	ID        string     `json:"id"`
+	State     SweepState `json:"state"`
+	Requested int        `json:"requested"`
+	Deduped   int        `json:"deduped"`
+
+	// Counts breaks the sweep's unique cells down by job state.
+	Counts map[JobState]int `json:"counts"`
+
+	Jobs     []Job          `json:"jobs"`
+	Speedups *SweepSpeedups `json:"speedups,omitempty"`
+
+	SubmittedAt time.Time `json:"submittedAt"`
 }
 
 // Stats is the response of GET /v1/stats: the scheduler's cumulative
@@ -165,6 +234,60 @@ type Stats struct {
 	DiskCacheBytes     int64  `json:"diskCacheBytes,omitempty"`
 	DiskCacheMaxBytes  int64  `json:"diskCacheMaxBytes,omitempty"`
 	DiskCacheEvictions int64  `json:"diskCacheEvictions,omitempty"`
+
+	// Cluster is set only by a coordinator, whose Stats merge every
+	// healthy worker's counters; it describes the fleet itself.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// WorkerStatus is one worker's membership record in a coordinator.
+type WorkerStatus struct {
+	Addr string `json:"addr"`
+	// Healthy reflects the periodic /healthz probe: false after the
+	// configured number of consecutive probe failures, true again after
+	// the next success.
+	Healthy bool `json:"healthy"`
+	// Draining workers receive no new cell assignments; their existing
+	// jobs are moved to healthy peers when the drain is requested.
+	Draining bool `json:"draining"`
+	// ConsecutiveFailures counts probe failures since the last success.
+	ConsecutiveFailures int `json:"consecutiveFailures,omitempty"`
+	// Jobs counts the cells currently assigned to this worker.
+	Jobs int `json:"jobs"`
+	// LastProbe is the time of the most recent health probe, zero before
+	// the first probe fires.
+	LastProbe time.Time `json:"lastProbe,omitzero"`
+}
+
+// ClusterStats describes a coordinator's fleet: per-worker membership
+// and health, plus the coordinator's own bookkeeping.
+type ClusterStats struct {
+	Workers []WorkerStatus `json:"workers"`
+	// Healthy counts workers that are healthy and not draining — the
+	// set cells are currently assigned to.
+	Healthy int `json:"healthy"`
+	// TrackedJobs counts the cells the coordinator has routed and still
+	// remembers the placement of.
+	TrackedJobs int `json:"trackedJobs"`
+	// Sweeps counts the sweep resources the coordinator owns.
+	Sweeps int `json:"sweeps"`
+	// ReassignedJobs counts cells re-routed to a new worker after their
+	// original worker became unhealthy or was drained.
+	ReassignedJobs int64 `json:"reassignedJobs"`
+}
+
+// ClusterStatus is the response of GET /v1/cluster (coordinator only).
+type ClusterStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// DrainRequest is the body of POST /v1/cluster/drain (coordinator
+// only): it marks the named worker draining (or not). Draining a worker
+// moves its assigned cells to healthy peers and excludes it from new
+// assignments until undrained.
+type DrainRequest struct {
+	Addr  string `json:"addr"`
+	Drain bool   `json:"drain"`
 }
 
 // BenchmarkList is the response of GET /v1/benchmarks (Table II order).
@@ -185,7 +308,56 @@ type Health struct {
 	Status string `json:"status"`
 }
 
-// Error is the body of every non-2xx response.
-type Error struct {
-	Error string `json:"error"`
+// Error codes: the machine-readable class of every non-2xx response,
+// mapped one-to-one onto the HTTP status the daemon uses for it.
+const (
+	// CodeInvalidArgument (400): the request body or query failed
+	// validation; Detail says exactly which field and why.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound (404): no job or sweep with the requested ID.
+	CodeNotFound = "not_found"
+	// CodeConflict (409): the request is valid but the resource's state
+	// forbids it (e.g. canceling a finished job).
+	CodeConflict = "conflict"
+	// CodeResourceExhausted (429): the per-client rate limit or inflight
+	// quota rejected the request; RetryAfter says when to try again.
+	CodeResourceExhausted = "resource_exhausted"
+	// CodeUnavailable (503): the queue is full, the daemon is draining,
+	// or a cluster has no healthy workers.
+	CodeUnavailable = "unavailable"
+	// CodeInternal (500): an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// CodeForStatus maps an HTTP status to its error code — the inverse of
+// the daemon's status selection, used to classify responses that carry
+// no envelope (e.g. a proxy's bare 502).
+func CodeForStatus(status int) string {
+	switch status {
+	case 400:
+		return CodeInvalidArgument
+	case 404:
+		return CodeNotFound
+	case 409:
+		return CodeConflict
+	case 429:
+		return CodeResourceExhausted
+	case 502, 503, 504:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
 }
+
+// Error is the uniform body of every non-2xx response: a stable
+// machine-readable Code, a human-readable Detail, and — for retryable
+// rejections — RetryAfter, the same whole-seconds hint the Retry-After
+// header carries. Coordinators proxy worker errors through unchanged.
+type Error struct {
+	Code       string `json:"code"`
+	Detail     string `json:"detail"`
+	RetryAfter int64  `json:"retryAfter,omitempty"`
+}
+
+// Error implements the error interface.
+func (e Error) Error() string { return e.Detail }

@@ -1,0 +1,1037 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpumembw/internal/api"
+	"gpumembw/internal/metrics"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Workers are the gpusimd worker base URLs the coordinator shards
+	// cells across, e.g. "http://127.0.0.1:8373". At least one is
+	// required; a bare host:port gets the http scheme prefixed.
+	Workers []string
+	// ProbeInterval is the /healthz probe period; 0 selects 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request; 0 selects 2s.
+	ProbeTimeout time.Duration
+	// ProbeFails is how many consecutive probe failures mark a worker
+	// unhealthy (its cells move to healthy peers); 0 selects 2.
+	ProbeFails int
+	// ErrLog, when non-nil, receives reassignment and probe warnings.
+	ErrLog io.Writer
+}
+
+// coordWorker is one worker's membership record.
+type coordWorker struct {
+	addr      string
+	healthy   bool
+	draining  bool
+	fails     int
+	lastProbe time.Time
+}
+
+// coordJob is the coordinator's placement record for one cell: enough
+// to re-route the cell to a new worker (the spec and the submitting
+// client's identity) and to answer reads for finished cells without a
+// round trip (the worker's terminal response bytes, verbatim).
+type coordJob struct {
+	id       string
+	spec     api.JobSpec
+	worker   string
+	owner    string // forwarded client identity, for re-submission
+	snap     api.Job
+	terminal []byte // raw worker bytes of the terminal snapshot
+}
+
+// Coordinator shards gpusimd's cell space across a fleet of workers by
+// rendezvous-hashing each content-addressed cell ID, and serves the
+// identical /v1 API: submissions and cancels are forwarded to the
+// owning worker (responses proxied byte-for-byte), sweeps fan out as
+// per-worker cell-list shards, listings and stats merge every worker's
+// view, and job/sweep GETs long-poll against the owning workers.
+// Placement is an operational concern only — the simulator is
+// deterministic and cells are content-addressed, so which worker runs a
+// cell (or re-runs it after a reassignment) can never change results.
+//
+// Workers are probed periodically; after ProbeFails consecutive
+// failures a worker's cells are re-submitted to the remaining workers
+// and it stops receiving placements until it answers probes again.
+// POST /v1/cluster/drain does the same handover administratively.
+type Coordinator struct {
+	opts       CoordinatorOptions
+	probeFails int
+	proxy      *http.Client // no timeout: carries ?wait= long-polls
+	probe      *http.Client // ProbeTimeout per probe
+	errlog     io.Writer
+
+	mu         sync.Mutex
+	workers    []*coordWorker
+	jobs       map[string]*coordJob
+	sweeps     map[string]*sweepRec
+	reassigned int64
+
+	registry     *metrics.Registry
+	httpRequests *metrics.CounterVec
+	httpLatency  *metrics.HistogramVec
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a Coordinator and starts its health prober.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("server: coordinator needs at least one -worker address")
+	}
+	interval := opts.ProbeInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	timeout := opts.ProbeTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	fails := opts.ProbeFails
+	if fails == 0 {
+		fails = 2
+	}
+	co := &Coordinator{
+		opts:       opts,
+		probeFails: fails,
+		proxy:      &http.Client{},
+		probe:      &http.Client{Timeout: timeout},
+		errlog:     opts.ErrLog,
+		jobs:       make(map[string]*coordJob),
+		sweeps:     make(map[string]*sweepRec),
+		stop:       make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, addr := range opts.Workers {
+		addr = strings.TrimRight(addr, "/")
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("server: duplicate worker address %q", addr)
+		}
+		seen[addr] = true
+		// Workers start healthy — optimistically routable — and the first
+		// probes correct the record within ProbeFails*ProbeInterval.
+		co.workers = append(co.workers, &coordWorker{addr: addr, healthy: true})
+	}
+	co.initMetrics()
+	co.wg.Add(1)
+	go co.prober(interval)
+	return co, nil
+}
+
+func (co *Coordinator) initMetrics() {
+	r := metrics.NewRegistry()
+	co.registry = r
+	co.httpRequests = r.CounterVec("gpusimd_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "endpoint", "code")
+	co.httpLatency = r.HistogramVec("gpusimd_http_request_seconds",
+		"HTTP request latency in seconds, by route pattern.", []string{"endpoint"}, metrics.DefBuckets)
+	r.GaugeFunc("gpusimd_cluster_workers", "Workers configured on the coordinator.",
+		func() float64 { co.mu.Lock(); defer co.mu.Unlock(); return float64(len(co.workers)) })
+	r.GaugeFunc("gpusimd_cluster_workers_healthy", "Workers currently healthy and not draining.",
+		func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			n := 0
+			for _, w := range co.workers {
+				if w.healthy && !w.draining {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.GaugeFunc("gpusimd_cluster_tracked_jobs", "Cells the coordinator has placed.",
+		func() float64 { co.mu.Lock(); defer co.mu.Unlock(); return float64(len(co.jobs)) })
+	r.CounterFunc("gpusimd_cluster_reassigned_jobs_total",
+		"Cells re-routed after their worker became unhealthy or was drained.",
+		func() float64 { co.mu.Lock(); defer co.mu.Unlock(); return float64(co.reassigned) })
+}
+
+func (co *Coordinator) warnf(format string, args ...any) {
+	if co.errlog != nil {
+		fmt.Fprintf(co.errlog, format+"\n", args...)
+	}
+}
+
+// Handler returns the coordinator's route table — the daemon's API plus
+// the /v1/cluster membership routes.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		co.registry.WritePrometheus(w) //nolint:errcheck // response committed
+	})
+	mux.HandleFunc("GET /v1/stats", co.handleStats)
+	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", co.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", co.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", co.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", co.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", co.handleSweepGet)
+	mux.HandleFunc("GET /v1/benchmarks", handleBenchmarks)
+	mux.HandleFunc("GET /v1/configs", handleConfigs)
+	mux.HandleFunc("GET /v1/cluster", co.handleCluster)
+	mux.HandleFunc("POST /v1/cluster/drain", co.handleDrain)
+	return instrument(mux, co.httpRequests, co.httpLatency)
+}
+
+// Shutdown stops the health prober. In-flight proxied requests finish
+// on their own; workers own all simulation state.
+func (co *Coordinator) Shutdown(context.Context) error {
+	select {
+	case <-co.stop:
+		return errors.New("server: coordinator already shut down")
+	default:
+	}
+	close(co.stop)
+	co.wg.Wait()
+	return nil
+}
+
+// ---- placement ----
+
+// pickLocked rendezvous-hashes cellID over the routable workers
+// (healthy, not draining, not excluded): every entry point ranks
+// workers by sha256(addr|cellID) and the highest score wins, so the
+// same cell lands on the same worker from any coordinator with the same
+// membership view — twin submissions shard identically and memoize.
+func (co *Coordinator) pickLocked(cellID string, exclude map[string]bool) *coordWorker {
+	var best *coordWorker
+	var bestScore [sha256.Size]byte
+	for _, w := range co.workers {
+		if !w.healthy || w.draining || exclude[w.addr] {
+			continue
+		}
+		score := sha256.Sum256([]byte(w.addr + "|" + cellID))
+		if best == nil || bytes.Compare(score[:], bestScore[:]) > 0 {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}
+
+// errNoWorkers is the 503 returned when no worker can take a placement.
+func errNoWorkers() *httpError {
+	return &httpError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: time.Second,
+		msg:        "server: no healthy workers available",
+	}
+}
+
+// forwardIdentity is the client identity the coordinator forwards to
+// workers as the X-API-Key header, so per-client rate limits and
+// inflight quotas keep binding to the original client — not to the
+// coordinator's own address — across the fleet. Clients that present
+// an API key keep it; others are identified by their host.
+func forwardIdentity(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return host
+}
+
+// forward issues one request to a worker. pathAndQuery carries the
+// original query string (wait, state, ...); identity rides X-API-Key.
+// A non-nil error is a transport failure — the worker never answered —
+// as opposed to a worker-sent HTTP error, which comes back as a
+// response to be proxied verbatim.
+func (co *Coordinator) forward(ctx context.Context, workerAddr, method, pathAndQuery, identity string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, workerAddr+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if identity != "" {
+		req.Header.Set("X-API-Key", identity)
+	}
+	return co.proxy.Do(req)
+}
+
+// relay copies a worker response to the client byte-for-byte — status,
+// error envelope and Retry-After included — so a client cannot tell a
+// coordinator's answer from the worker's own. It returns the decoded
+// body for the coordinator's own bookkeeping when out is non-nil.
+func relay(w http.ResponseWriter, resp *http.Response, out any) []byte {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		writeError(w, fmt.Errorf("server: reading worker response: %w", err))
+		return nil
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", longPollHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data) //nolint:errcheck // response committed
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		json.Unmarshal(data, out) //nolint:errcheck // bookkeeping only
+	}
+	return data
+}
+
+// markWorkerFailed records a transport failure on addr: the worker is
+// immediately unhealthy (probes will readmit it) and its cells are
+// handed to the remaining workers in the background.
+func (co *Coordinator) markWorkerFailed(addr string, cause error) {
+	co.mu.Lock()
+	var failed *coordWorker
+	for _, w := range co.workers {
+		if w.addr == addr && w.healthy {
+			w.healthy = false
+			w.fails = max(w.fails, co.probeFails)
+			failed = w
+		}
+	}
+	co.mu.Unlock()
+	if failed != nil {
+		co.warnf("worker %s unreachable (%v); reassigning its cells", addr, cause)
+		go co.reassignWorker(addr)
+	}
+}
+
+// reassignWorker re-submits every non-terminal cell placed on addr to a
+// new rendezvous pick. Determinism makes the handover invisible in the
+// results: the new worker either re-simulates to byte-identical metrics
+// or serves them from a shared cache.
+func (co *Coordinator) reassignWorker(addr string) {
+	co.mu.Lock()
+	var moving []*coordJob
+	for _, j := range co.jobs {
+		if j.worker == addr && !j.snap.State.Terminal() {
+			moving = append(moving, j)
+		}
+	}
+	co.mu.Unlock()
+	for _, j := range moving {
+		if _, err := co.placeJob(context.Background(), j.id, j.spec, j.owner, map[string]bool{addr: true}); err != nil {
+			co.warnf("reassign %s off %s: %v", j.id, addr, err)
+			continue
+		}
+		co.mu.Lock()
+		co.reassigned++
+		co.mu.Unlock()
+	}
+}
+
+// placeJob submits one cell to its rendezvous worker (excluding any in
+// exclude), walking down the preference order as transport failures
+// knock workers out. On success the placement is tracked and the
+// worker's raw response returned.
+func (co *Coordinator) placeJob(ctx context.Context, id string, spec api.JobSpec, identity string, exclude map[string]bool) (*http.Response, error) {
+	if exclude == nil {
+		exclude = make(map[string]bool)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		co.mu.Lock()
+		w := co.pickLocked(id, exclude)
+		co.mu.Unlock()
+		if w == nil {
+			return nil, errNoWorkers()
+		}
+		resp, err := co.forward(ctx, w.addr, http.MethodPost, "/v1/jobs", identity, body)
+		if err != nil {
+			exclude[w.addr] = true
+			co.markWorkerFailed(w.addr, err)
+			continue
+		}
+		co.trackJob(id, spec, w.addr, identity)
+		return resp, nil
+	}
+}
+
+// trackJob records (or moves) a cell's placement.
+func (co *Coordinator) trackJob(id string, spec api.JobSpec, workerAddr, identity string) *coordJob {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j, ok := co.jobs[id]
+	if !ok {
+		j = &coordJob{id: id, spec: spec, owner: identity}
+		j.snap = api.Job{ID: id, State: api.JobQueued, Spec: spec}
+		co.jobs[id] = j
+	}
+	j.worker = workerAddr
+	return j
+}
+
+// observe folds a fresh worker snapshot into the placement record,
+// caching the raw bytes of terminal states so future reads skip the
+// round trip (and survive the worker retiring).
+func (co *Coordinator) observe(snap api.Job, raw []byte) {
+	if snap.ID == "" {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j, ok := co.jobs[snap.ID]
+	if !ok {
+		return
+	}
+	j.snap = snap
+	if snap.State.Terminal() && j.terminal == nil && raw != nil {
+		j.terminal = raw
+	}
+	if !snap.State.Terminal() {
+		j.terminal = nil // canceled jobs can be re-enqueued
+	}
+}
+
+// ---- handlers ----
+
+func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&spec); err != nil {
+		writeError(w, errBadRequest("decode job spec: %v", err))
+		return
+	}
+	cref, ref, err := resolveSpec(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id := cellID(cref, ref)
+	resp, err := co.placeJob(r.Context(), id, spec, forwardIdentity(r), nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var snap api.Job
+	raw := relay(w, resp, &snap)
+	co.observe(snap, raw)
+}
+
+func (co *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(longPollHeader, "supported")
+	if _, he := parseWait(r); he != nil {
+		writeError(w, he)
+		return
+	}
+	id := r.PathValue("id")
+	co.mu.Lock()
+	j, tracked := co.jobs[id]
+	var cached []byte
+	var worker string
+	if tracked {
+		cached, worker = j.terminal, j.worker
+	}
+	co.mu.Unlock()
+
+	if cached != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(cached) //nolint:errcheck // response committed
+		return
+	}
+	if !tracked {
+		// Not placed through this coordinator: ask every worker (a peer
+		// entry point or a direct client may have placed it).
+		co.fanoutGet(w, r, "/v1/jobs/"+id)
+		return
+	}
+	pq := "/v1/jobs/" + id
+	if r.URL.RawQuery != "" {
+		pq += "?" + r.URL.RawQuery
+	}
+	identity := forwardIdentity(r)
+	for attempt := 0; ; attempt++ {
+		resp, err := co.forward(r.Context(), worker, http.MethodGet, pq, identity, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "server: client canceled"})
+				return
+			}
+			co.markWorkerFailed(worker, err)
+			// Replace the placement synchronously so this read (and the
+			// retried forward) lands on the live worker.
+			resp2, perr := co.placeJob(r.Context(), id, j.spec, j.owner, map[string]bool{worker: true})
+			if perr != nil {
+				writeError(w, perr)
+				return
+			}
+			resp2.Body.Close()
+			co.mu.Lock()
+			co.reassigned++
+			worker = co.jobs[id].worker
+			co.mu.Unlock()
+			if attempt >= len(co.opts.Workers) {
+				writeError(w, errNoWorkers())
+				return
+			}
+			continue
+		}
+		var snap api.Job
+		raw := relay(w, resp, &snap)
+		co.observe(snap, raw)
+		return
+	}
+}
+
+// fanoutGet proxies a GET to every worker until one answers non-404;
+// otherwise the last (or a synthesized) 404 is relayed.
+func (co *Coordinator) fanoutGet(w http.ResponseWriter, r *http.Request, path string) {
+	co.mu.Lock()
+	workers := make([]string, 0, len(co.workers))
+	for _, wk := range co.workers {
+		workers = append(workers, wk.addr)
+	}
+	co.mu.Unlock()
+	identity := forwardIdentity(r)
+	for _, addr := range workers {
+		resp, err := co.forward(r.Context(), addr, http.MethodGet, path, identity, nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp, nil)
+		return
+	}
+	writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown resource %q on any worker", path)})
+}
+
+func (co *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	co.mu.Lock()
+	j, tracked := co.jobs[id]
+	co.mu.Unlock()
+	if !tracked {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)})
+		return
+	}
+	resp, err := co.forward(r.Context(), j.worker, http.MethodDelete, "/v1/jobs/"+id, forwardIdentity(r), nil)
+	if err != nil {
+		co.markWorkerFailed(j.worker, err)
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: fmt.Sprintf("server: worker %s unreachable: %v", j.worker, err)})
+		return
+	}
+	var snap api.Job
+	raw := relay(w, resp, &snap)
+	co.observe(snap, raw)
+}
+
+func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decode sweep request: %v", err))
+		return
+	}
+	ex, err := expandSweep(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id := sweepID(ex.cells)
+	identity := forwardIdentity(r)
+
+	// Shard the cells by rendezvous placement, then admit shard by
+	// shard. Admission is all-or-nothing per worker already (the
+	// daemon's atomic sweep admission); across workers the coordinator
+	// compensates — if a later shard is rejected, the queued jobs of
+	// admitted shards are canceled best-effort and the worker's own
+	// error envelope is relayed, so the client retries one all-or-
+	// nothing operation, never reasons about half a sweep.
+	type shard struct {
+		addr  string
+		cells []resolvedCell
+	}
+	byID := make(map[string]api.Job, len(ex.cells))
+	var admitted []shard
+	rollback := func() {
+		for _, sh := range admitted {
+			for _, c := range sh.cells {
+				if j, ok := byID[c.id]; ok && j.State == api.JobQueued {
+					if resp, derr := co.forward(context.Background(), sh.addr, http.MethodDelete, "/v1/jobs/"+c.id, identity, nil); derr == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}
+	}
+
+	pending := ex.cells
+	excluded := make(map[string]bool)
+	for len(pending) > 0 {
+		// Partition what's left over the currently routable workers.
+		co.mu.Lock()
+		parts := make(map[string][]resolvedCell)
+		routable := false
+		for _, c := range pending {
+			if wk := co.pickLocked(c.id, excluded); wk != nil {
+				parts[wk.addr] = append(parts[wk.addr], c)
+				routable = true
+			}
+		}
+		co.mu.Unlock()
+		if !routable {
+			rollback()
+			writeError(w, errNoWorkers())
+			return
+		}
+		addrs := make([]string, 0, len(parts))
+		for addr := range parts {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		var retry []resolvedCell
+		for _, addr := range addrs {
+			cells := parts[addr]
+			specs := make([]api.JobSpec, len(cells))
+			for i, c := range cells {
+				specs[i] = c.spec
+			}
+			body, merr := json.Marshal(api.SweepRequest{Cells: specs})
+			if merr != nil {
+				rollback()
+				writeError(w, merr)
+				return
+			}
+			resp, ferr := co.forward(r.Context(), addr, http.MethodPost, "/v1/sweeps", identity, body)
+			if ferr != nil {
+				// Transport failure: the shard moves to the next pick.
+				excluded[addr] = true
+				co.markWorkerFailed(addr, ferr)
+				retry = append(retry, cells...)
+				continue
+			}
+			if resp.StatusCode < 200 || resp.StatusCode > 299 {
+				// The worker rejected the shard (queue full, quota, drain):
+				// undo the admitted shards and relay its envelope verbatim.
+				rollback()
+				relay(w, resp, nil)
+				return
+			}
+			var sr api.SweepResponse
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			resp.Body.Close()
+			if rerr != nil || json.Unmarshal(data, &sr) != nil {
+				rollback()
+				writeError(w, fmt.Errorf("server: worker %s sweep response unreadable: %v", addr, rerr))
+				return
+			}
+			for i, job := range sr.Jobs {
+				byID[job.ID] = job
+				co.trackJob(job.ID, cells[i].spec, addr, identity)
+				co.observe(job, nil)
+			}
+			admitted = append(admitted, shard{addr: addr, cells: cells})
+		}
+		pending = retry
+	}
+
+	// Merge the shard responses in the request's cell order — the same
+	// order a single daemon returns — and register the sweep resource.
+	out := api.SweepResponse{ID: id, Requested: ex.requested, Deduped: ex.requested - len(ex.cells)}
+	for _, c := range ex.cells {
+		out.Jobs = append(out.Jobs, byID[c.id])
+	}
+	co.mu.Lock()
+	if rec, known := co.sweeps[id]; !known {
+		rec = &sweepRec{
+			id:          id,
+			submittedAt: time.Now(),
+			requested:   ex.requested,
+			deduped:     ex.requested - len(ex.cells),
+			jobIDs:      make([]string, len(ex.cells)),
+			configs:     ex.configs,
+			workloads:   ex.workloads,
+			grid:        ex.grid,
+		}
+		for i, c := range ex.cells {
+			rec.jobIDs[i] = c.id
+		}
+		co.sweeps[id] = rec
+	} else if rec.grid == nil && ex.grid != nil {
+		rec.configs, rec.workloads, rec.grid = ex.configs, ex.workloads, ex.grid
+	}
+	co.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// refreshJob fetches one cell's current snapshot from its worker,
+// long-polling up to wait. Transport failures trigger an inline
+// reassignment so a mid-sweep worker loss heals on the read path too,
+// not only via the prober.
+func (co *Coordinator) refreshJob(ctx context.Context, id string, wait time.Duration) (api.Job, error) {
+	for attempt := 0; ; attempt++ {
+		co.mu.Lock()
+		j, ok := co.jobs[id]
+		if !ok {
+			co.mu.Unlock()
+			return api.Job{}, fmt.Errorf("server: untracked job %q", id)
+		}
+		snap, worker := j.snap, j.worker
+		spec, owner := j.spec, j.owner
+		co.mu.Unlock()
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		pq := "/v1/jobs/" + id
+		if wait > 0 {
+			pq += "?wait=" + wait.String()
+		}
+		resp, err := co.forward(ctx, worker, http.MethodGet, pq, owner, nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				return snap, nil
+			}
+			co.markWorkerFailed(worker, err)
+			resp2, perr := co.placeJob(ctx, id, spec, owner, map[string]bool{worker: true})
+			if perr != nil {
+				return snap, perr
+			}
+			resp2.Body.Close()
+			co.mu.Lock()
+			co.reassigned++
+			co.mu.Unlock()
+			if attempt >= len(co.opts.Workers) {
+				return snap, errNoWorkers()
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		var fresh api.Job
+		if rerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(data, &fresh) != nil {
+			return snap, nil // stale snapshot beats a failed read
+		}
+		co.observe(fresh, data)
+		return fresh, nil
+	}
+}
+
+func (co *Coordinator) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(longPollHeader, "supported")
+	d, he := parseWait(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	id := r.PathValue("id")
+	co.mu.Lock()
+	rec, ok := co.sweeps[id]
+	co.mu.Unlock()
+	if !ok {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown sweep %q", id)})
+		return
+	}
+	deadline := time.Now().Add(d)
+	for {
+		snaps := make(map[string]api.Job, len(rec.jobIDs))
+		pendingID := ""
+		for _, jid := range rec.jobIDs {
+			snap, err := co.refreshJob(r.Context(), jid, 0)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			snaps[jid] = snap
+			if !snap.State.Terminal() && pendingID == "" {
+				pendingID = jid
+			}
+		}
+		remaining := time.Until(deadline)
+		if pendingID == "" || remaining <= 0 || r.Context().Err() != nil {
+			co.mu.Lock()
+			sw := rec.view(func(jid string) api.Job { return snaps[jid] })
+			co.mu.Unlock()
+			writeJSON(w, http.StatusOK, sw)
+			return
+		}
+		// Park the remaining wait on one pending cell's worker: a true
+		// long-poll round, so the coordinator adds no interval polling
+		// of its own. Graceful drains make workers answer early; the
+		// loop then re-assembles and parks again within the deadline.
+		if remaining > waitRound {
+			remaining = waitRound
+		}
+		if _, err := co.refreshJob(r.Context(), pendingID, remaining); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+}
+
+// waitRound caps one upstream long-poll leg of a coordinator sweep wait.
+const waitRound = 30 * time.Second
+
+func (co *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	lq, he := parseListQuery(r.URL.Query())
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	co.mu.Lock()
+	workers := make([]string, 0, len(co.workers))
+	for _, wk := range co.workers {
+		workers = append(workers, wk.addr)
+	}
+	co.mu.Unlock()
+
+	// Fan the identical query out to every worker (the shared token
+	// format makes a client cursor valid fleet-wide), then k-way merge:
+	// union, dedup by ID — a reassigned cell exists on two workers;
+	// the currently tracked placement wins — re-sort, re-cut. A worker
+	// that truncated its page has revealed its jobs only up to its last
+	// returned key, so the merged page must not emit past the minimum
+	// such horizon (items beyond it could interleave with the hidden
+	// remainder) and must carry a token even when the visible union
+	// fits the limit — otherwise a walk stops early whenever the tail
+	// of the listing lives on a single worker.
+	identity := forwardIdentity(r)
+	pq := "/v1/jobs"
+	if r.URL.RawQuery != "" {
+		pq += "?" + r.URL.RawQuery
+	}
+	merged := make(map[string]api.Job)
+	var horizon *listKey
+	for _, addr := range workers {
+		resp, err := co.forward(r.Context(), addr, http.MethodGet, pq, identity, nil)
+		if err != nil {
+			co.markWorkerFailed(addr, err)
+			continue
+		}
+		var page api.JobList
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if json.Unmarshal(data, &page) != nil {
+			continue
+		}
+		if page.NextPageToken != "" && len(page.Jobs) > 0 {
+			k := jobListKey(page.Jobs[len(page.Jobs)-1])
+			if horizon == nil || k.less(*horizon) {
+				horizon = &k
+			}
+		}
+		for _, j := range page.Jobs {
+			co.mu.Lock()
+			tracked, ok := co.jobs[j.ID]
+			preferred := !ok || tracked.worker == addr
+			co.mu.Unlock()
+			if _, have := merged[j.ID]; !have || preferred {
+				merged[j.ID] = j
+			}
+		}
+	}
+	jobs := make([]api.Job, 0, len(merged))
+	for _, j := range merged {
+		if horizon != nil && horizon.less(jobListKey(j)) {
+			continue // beyond a truncated worker's view; next round re-fetches it
+		}
+		jobs = append(jobs, j)
+	}
+	list := paginate(jobs, lq)
+	if horizon != nil && list.NextPageToken == "" {
+		// Some worker has more past the horizon: keep the walk going from
+		// the last emitted key (or the horizon itself if the state filter
+		// emptied this page).
+		k := *horizon
+		if n := len(list.Jobs); n > 0 {
+			k = jobListKey(list.Jobs[n-1])
+		}
+		list.NextPageToken = encodePageToken(k)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	workers := make([]string, 0, len(co.workers))
+	for _, wk := range co.workers {
+		workers = append(workers, wk.addr)
+	}
+	co.mu.Unlock()
+	var merged api.Stats
+	merged.Jobs = make(map[api.JobState]int)
+	identity := forwardIdentity(r)
+	for _, addr := range workers {
+		resp, err := co.forward(r.Context(), addr, http.MethodGet, "/v1/stats", identity, nil)
+		if err != nil {
+			co.markWorkerFailed(addr, err)
+			continue
+		}
+		var st api.Stats
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(data, &st) != nil {
+			continue
+		}
+		merged.Scheduler.Simulated += st.Scheduler.Simulated
+		merged.Scheduler.CacheHits += st.Scheduler.CacheHits
+		merged.Scheduler.DiskHits += st.Scheduler.DiskHits
+		merged.Scheduler.SimCycles += st.Scheduler.SimCycles
+		merged.Workers += st.Workers
+		merged.QueueDepth += st.QueueDepth
+		merged.QueueCap += st.QueueCap
+		for state, n := range st.Jobs {
+			merged.Jobs[state] += n
+		}
+		merged.RateLimited += st.RateLimited
+		merged.QuotaDenied += st.QuotaDenied
+		merged.DiskCacheEntries += st.DiskCacheEntries
+		merged.DiskCacheBytes += st.DiskCacheBytes
+		merged.DiskCacheEvictions += st.DiskCacheEvictions
+	}
+	merged.Cluster = co.clusterStats()
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (co *Coordinator) clusterStats() *api.ClusterStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	cs := &api.ClusterStats{
+		TrackedJobs:    len(co.jobs),
+		Sweeps:         len(co.sweeps),
+		ReassignedJobs: co.reassigned,
+	}
+	perWorker := make(map[string]int)
+	for _, j := range co.jobs {
+		perWorker[j.worker]++
+	}
+	for _, wk := range co.workers {
+		cs.Workers = append(cs.Workers, api.WorkerStatus{
+			Addr:                wk.addr,
+			Healthy:             wk.healthy,
+			Draining:            wk.draining,
+			ConsecutiveFailures: wk.fails,
+			Jobs:                perWorker[wk.addr],
+			LastProbe:           wk.lastProbe,
+		})
+		if wk.healthy && !wk.draining {
+			cs.Healthy++
+		}
+	}
+	return cs
+}
+
+func (co *Coordinator) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, api.ClusterStatus{Workers: co.clusterStats().Workers})
+}
+
+func (co *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req api.DrainRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decode drain request: %v", err))
+		return
+	}
+	addr := strings.TrimRight(req.Addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	co.mu.Lock()
+	var target *coordWorker
+	for _, wk := range co.workers {
+		if wk.addr == addr {
+			target = wk
+		}
+	}
+	if target == nil {
+		co.mu.Unlock()
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown worker %q", req.Addr)})
+		return
+	}
+	changed := target.draining != req.Drain
+	target.draining = req.Drain
+	co.mu.Unlock()
+	if changed && req.Drain {
+		co.reassignWorker(addr)
+	}
+	writeJSON(w, http.StatusOK, api.ClusterStatus{Workers: co.clusterStats().Workers})
+}
+
+// ---- health probing ----
+
+func (co *Coordinator) prober(interval time.Duration) {
+	defer co.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.probeAll()
+		}
+	}
+}
+
+func (co *Coordinator) probeAll() {
+	co.mu.Lock()
+	workers := make([]*coordWorker, len(co.workers))
+	copy(workers, co.workers)
+	co.mu.Unlock()
+	for _, wk := range workers {
+		ok := co.probeOne(wk.addr)
+		var lost string
+		co.mu.Lock()
+		wk.lastProbe = time.Now()
+		if ok {
+			wk.fails = 0
+			wk.healthy = true
+		} else {
+			wk.fails++
+			if wk.healthy && wk.fails >= co.probeFails {
+				wk.healthy = false
+				lost = wk.addr
+			}
+		}
+		co.mu.Unlock()
+		if lost != "" {
+			co.warnf("worker %s failed %d consecutive probes; reassigning its cells", lost, co.probeFails)
+			co.reassignWorker(lost)
+		}
+	}
+}
+
+func (co *Coordinator) probeOne(addr string) bool {
+	resp, err := co.probe.Get(addr + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10)) //nolint:errcheck // drain for keep-alive
+	return resp.StatusCode == http.StatusOK
+}

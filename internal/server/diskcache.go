@@ -323,6 +323,21 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 	c.mu.Unlock()
 }
 
+// Location implements CacheBackend: the spill directory path.
+func (c *diskCache) Location() string { return c.dir }
+
+// Stats implements CacheBackend.
+func (c *diskCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Evictions: c.evictions,
+	}
+}
+
 // Len reports the number of persisted entries without touching the disk.
 func (c *diskCache) Len() int {
 	c.mu.Lock()

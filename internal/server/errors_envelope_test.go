@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"gpumembw/client"
+	"gpumembw/internal/api"
+)
+
+// doJSON issues method+body against url and decodes the response body
+// into out, returning the raw response for status/header assertions.
+func doJSON(t *testing.T, method, url string, body []byte, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+// TestErrorEnvelopeUniform pins the API-wide error contract: every
+// non-2xx response is an api.Error with a machine-readable code matched
+// to its status, a human-readable detail, and — for backpressure
+// statuses — a retry hint mirrored in the Retry-After header.
+func TestErrorEnvelopeUniform(t *testing.T) {
+	// One completed job for the 409 case.
+	_, done := newTestServer(t, Options{Workers: 1})
+	finished, err := done.Run(context.Background(), client.JobSpec{Config: "baseline", Bench: testBench}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An idle, tightly-quota'd daemon for the 429 and 503 cases: the
+	// first job occupies both the single-entry queue and the single
+	// per-client inflight slot forever.
+	_, tight := newIdleServer(t, Options{Workers: 1, MaxQueue: 1, MaxInflightPerClient: 1})
+	tc := client.New(tight.URL)
+	if _, err := tc.Submit(context.Background(), mshrPatch(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	spec2, err := json.Marshal(mshrPatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		method    string
+		url       string
+		body      []byte
+		status    int
+		code      string
+		wantRetry bool
+	}{
+		{"malformed body", http.MethodPost, done.BaseURL() + "/v1/jobs", []byte("{not json"), 400, api.CodeInvalidArgument, false},
+		{"unknown job", http.MethodGet, done.BaseURL() + "/v1/jobs/no-such-cell", nil, 404, api.CodeNotFound, false},
+		{"unknown sweep", http.MethodGet, done.BaseURL() + "/v1/sweeps/sw-missing", nil, 404, api.CodeNotFound, false},
+		{"cancel finished job", http.MethodDelete, done.BaseURL() + "/v1/jobs/" + finished.ID, nil, 409, api.CodeConflict, false},
+		{"inflight quota", http.MethodPost, tight.URL + "/v1/jobs", spec2, 429, api.CodeResourceExhausted, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e api.Error
+			resp := doJSON(t, tc.method, tc.url, tc.body, &e)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (body %+v)", resp.StatusCode, tc.status, e)
+			}
+			if e.Code != tc.code {
+				t.Fatalf("code %q, want %q", e.Code, tc.code)
+			}
+			if e.Detail == "" {
+				t.Fatal("empty detail")
+			}
+			if tc.wantRetry {
+				if e.RetryAfter <= 0 {
+					t.Fatalf("retryAfter = %d, want > 0", e.RetryAfter)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Fatal("Retry-After header missing while body carries a retry hint")
+				}
+			}
+		})
+	}
+}
+
+// TestErrorEnvelopeQueueFull pins the 503 branch separately: a full
+// queue rejects with the unavailable code. The quota'd client above
+// would mask it with a 429, so this daemon has no quota.
+func TestErrorEnvelopeQueueFull(t *testing.T) {
+	_, ts := newIdleServer(t, Options{Workers: 1, MaxQueue: 1})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	if _, err := c.Submit(ctx, mshrPatch(8)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(ctx, mshrPatch(16))
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("queue-full submit: err = %v, want 503 %s", err, api.CodeUnavailable)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("decoded APIError lost the detail text")
+	}
+}

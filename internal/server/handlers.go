@@ -19,10 +19,11 @@ import (
 //	GET    /metrics           Prometheus text exposition
 //	GET    /v1/stats          scheduler counters + queue gauges
 //	POST   /v1/jobs           submit one cell (api.JobSpec)
-//	GET    /v1/jobs           list jobs in submission order
-//	GET    /v1/jobs/{id}      poll one job
+//	GET    /v1/jobs           list jobs (?state=&limit=&page_token=)
+//	GET    /v1/jobs/{id}      poll one job (?wait= long-polls)
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	POST   /v1/sweeps         submit a config×workload cross product
+//	GET    /v1/sweeps/{id}    poll one sweep (?wait= long-polls)
 //	GET    /v1/benchmarks     benchmark names (Table II order)
 //	GET    /v1/configs        full canonical preset configs (sorted by name)
 //
@@ -40,9 +41,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
 	mux.HandleFunc("POST /v1/sweeps", s.limited(s.handleSweep))
-	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	return s.instrument(mux)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/benchmarks", handleBenchmarks)
+	mux.HandleFunc("GET /v1/configs", handleConfigs)
+	return instrument(mux, s.httpRequests, s.httpLatency)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -54,22 +56,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to its HTTP status (500 unless it is an
-// *httpError) and emits the api.Error payload. A 429's retry hint rides
-// the standard Retry-After header, rounded up to whole seconds.
+// *httpError) and emits the uniform api.Error envelope: a
+// machine-readable code, human-readable detail, and — on 429/503 — a
+// retry hint that rides both the envelope's retryAfter field and the
+// standard Retry-After header, rounded up to whole seconds.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var retrySecs int64
+	code := ""
 	var he *httpError
 	if errors.As(err, &he) {
 		status = he.status
+		code = he.code
 		if he.retryAfter > 0 {
-			secs := int64((he.retryAfter + time.Second - 1) / time.Second)
-			if secs < 1 {
-				secs = 1
+			retrySecs = int64((he.retryAfter + time.Second - 1) / time.Second)
+			if retrySecs < 1 {
+				retrySecs = 1
 			}
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			w.Header().Set("Retry-After", strconv.FormatInt(retrySecs, 10))
 		}
 	}
-	writeJSON(w, status, api.Error{Error: err.Error()})
+	if code == "" {
+		code = api.CodeForStatus(status)
+	}
+	writeJSON(w, status, api.Error{Code: code, Detail: err.Error(), RetryAfter: retrySecs})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -104,25 +114,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(longPollHeader, "supported")
+	d, he := parseWait(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
 	id := r.PathValue("id")
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.waitJob(r.Context(), id, d)
 	if !ok {
 		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.snapshot(j))
+	writeJSON(w, http.StatusOK, j)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	list := api.JobList{Jobs: make([]api.Job, 0, len(s.order))}
-	for _, id := range s.order {
-		list.Jobs = append(list.Jobs, s.jobs[id].Job)
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	lq, he := parseListQuery(r.URL.Query())
+	if he != nil {
+		writeError(w, he)
+		return
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, list)
+	writeJSON(w, http.StatusOK, s.listJobs(lq))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -134,19 +147,48 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.snapshot(j))
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req api.SweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, errBadRequest("decode sweep request: %v", err))
-		return
+// sweepExpansion is a POST /v1/sweeps request resolved into its unique
+// cells. Axis-form requests additionally carry the config/workload
+// labels and the [config][workload] cell-ID grid that let the sweep
+// resource assemble its merged speedup table; cell-list requests (the
+// coordinator's shard form) leave them nil.
+type sweepExpansion struct {
+	cells     []resolvedCell
+	requested int
+	configs   []string
+	workloads []string
+	grid      [][]string
+}
+
+// expandSweep validates and resolves a sweep request. Every cell is
+// resolved up front so a malformed corner of the cross product rejects
+// the whole sweep instead of half-submitting it.
+func expandSweep(req api.SweepRequest) (*sweepExpansion, error) {
+	ex := &sweepExpansion{}
+	axes := len(req.Benches)+len(req.InlineSpecs)+len(req.Configs)+len(req.InlineConfigs)+len(req.ConfigPatches) > 0
+	if len(req.Cells) > 0 {
+		if axes {
+			return nil, errBadRequest("sweep: cells and the config/workload axes are mutually exclusive")
+		}
+		seen := make(map[string]bool)
+		for _, sp := range req.Cells {
+			cref, ref, err := resolveSpec(sp)
+			if err != nil {
+				return nil, err
+			}
+			ex.requested++
+			if id := cellID(cref, ref); !seen[id] {
+				seen[id] = true
+				ex.cells = append(ex.cells, resolvedCell{id: id, spec: sp, cref: cref, ref: ref})
+			}
+		}
+		return ex, nil
 	}
 	if len(req.Benches)+len(req.InlineSpecs) == 0 {
-		writeError(w, errBadRequest("sweep: one of benches or inlineSpecs is required"))
-		return
+		return nil, errBadRequest("sweep: one of benches, inlineSpecs or cells is required")
 	}
 	if len(req.Configs)+len(req.InlineConfigs)+len(req.ConfigPatches) == 0 {
-		writeError(w, errBadRequest("sweep: one of configs, inlineConfigs or configPatches is required"))
-		return
+		return nil, errBadRequest("sweep: one of configs, inlineConfigs or configPatches is required")
 	}
 
 	// The workload axis of the cross product: preset benchmark names
@@ -159,12 +201,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		workloads = append(workloads, api.JobSpec{InlineSpec: &req.InlineSpecs[i]})
 	}
 
-	// Resolve every cell up front so a malformed corner of the cross
-	// product rejects the whole sweep instead of half-submitting it.
-	var requested int
-	var cells []resolvedCell
 	seen := make(map[string]bool)
 	addConfig := func(spec api.JobSpec) error {
+		var row []string
 		for _, wl := range workloads {
 			sp := spec
 			sp.Bench, sp.InlineSpec = wl.Bench, wl.InlineSpec
@@ -172,53 +211,89 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return err
 			}
-			requested++
-			if id := cellID(cref, ref); !seen[id] {
+			ex.requested++
+			id := cellID(cref, ref)
+			row = append(row, id)
+			if !seen[id] {
 				seen[id] = true
-				cells = append(cells, resolvedCell{id: id, spec: sp, cref: cref, ref: ref})
+				ex.cells = append(ex.cells, resolvedCell{id: id, spec: sp, cref: cref, ref: ref})
+			}
+			if len(ex.grid) == 0 { // first config row names the workload axis
+				ex.workloads = append(ex.workloads, ref.Label())
+			}
+			if len(row) == 1 {
+				ex.configs = append(ex.configs, cref.Label())
 			}
 		}
+		ex.grid = append(ex.grid, row)
 		return nil
 	}
 	for _, name := range req.Configs {
 		if err := addConfig(api.JobSpec{Config: name}); err != nil {
-			writeError(w, err)
-			return
+			return nil, err
 		}
 	}
 	for i := range req.InlineConfigs {
 		if err := addConfig(api.JobSpec{InlineConfig: &req.InlineConfigs[i]}); err != nil {
-			writeError(w, err)
-			return
+			return nil, err
 		}
 	}
 	for i := range req.ConfigPatches {
 		if err := addConfig(api.JobSpec{ConfigPatch: &req.ConfigPatches[i]}); err != nil {
-			writeError(w, err)
-			return
+			return nil, err
 		}
 	}
+	return ex, nil
+}
 
-	jobs, err := s.submitSweep(cells, clientKey(r))
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, errBadRequest("decode sweep request: %v", err))
+		return
+	}
+	ex, err := expandSweep(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.SweepResponse{
-		Requested: requested,
-		Deduped:   requested - len(jobs),
-		Jobs:      jobs,
-	})
+	resp, err := s.submitSweep(ex, clientKey(r))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+// handleSweepGet serves the sweep resource: per-cell job snapshots,
+// state counts, and — once an axis-form sweep completes — the merged
+// speedup table. ?wait= long-polls for the terminal transition.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(longPollHeader, "supported")
+	d, he := parseWait(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	sw, he := s.waitSweep(r.Context(), r.PathValue("id"), d)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, sw)
+}
+
+// handleBenchmarks and handleConfigs serve static catalog data; they
+// are free functions so the coordinator mounts the identical handlers —
+// byte-identical catalogs whichever entry point a client asks.
+func handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.BenchmarkList{Benchmarks: trace.Names()})
 }
 
 // handleConfigs serves every preset as its full canonical Config value
 // (sorted by name) so clients can author inline configs and patches
 // without guessing field names.
-func (s *Server) handleConfigs(w http.ResponseWriter, _ *http.Request) {
+func handleConfigs(w http.ResponseWriter, _ *http.Request) {
 	presets := config.Presets()
 	list := api.ConfigList{Configs: make([]config.Config, 0, len(presets))}
 	for _, name := range config.Names() {

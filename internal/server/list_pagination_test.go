@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"gpumembw/client"
+	"gpumembw/internal/api"
+)
+
+// asAPIError unwraps a client error into its *APIError, shared by the
+// listing, envelope and sweep tests.
+func asAPIError(err error, out **client.APIError) bool {
+	return errors.As(err, out)
+}
+
+// mshrPatch builds a distinct cheap cell: the fast test benchmark under
+// a baseline patch with n L1 MSHR entries.
+func mshrPatch(n int) client.JobSpec {
+	return client.JobSpec{
+		ConfigPatch: &client.ConfigPatch{
+			Base:  "baseline",
+			Delta: json.RawMessage(fmt.Sprintf(`{"L1":{"MSHREntries":%d}}`, n)),
+		},
+		Bench: testBench,
+	}
+}
+
+// TestListPaginationInvariants pins the cursor contract: walking pages
+// with any limit yields every job exactly once, in the stable
+// (SubmittedAt, ID) order, and the final page carries no token.
+func TestListPaginationInvariants(t *testing.T) {
+	_, ts := newIdleServer(t, Options{Workers: 1})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	const n = 7
+	submitted := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		j, err := c.Submit(ctx, mshrPatch(8<<i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted[j.ID] = true
+	}
+
+	full, err := c.ListJobs(ctx, client.ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Jobs) != n || full.NextPageToken != "" {
+		t.Fatalf("unbounded list: %d jobs, token %q; want %d jobs, no token", len(full.Jobs), full.NextPageToken, n)
+	}
+	for i := 1; i < len(full.Jobs); i++ {
+		a, b := full.Jobs[i-1], full.Jobs[i]
+		if a.SubmittedAt.After(b.SubmittedAt) || (a.SubmittedAt.Equal(b.SubmittedAt) && a.ID >= b.ID) {
+			t.Fatalf("listing out of order at %d: %s then %s", i, a.ID, b.ID)
+		}
+	}
+
+	for limit := 1; limit <= n+1; limit++ {
+		var walked []api.Job
+		token := ""
+		for pages := 0; ; pages++ {
+			if pages > n+1 {
+				t.Fatalf("limit %d: pagination did not terminate", limit)
+			}
+			page, err := c.ListJobs(ctx, client.ListOptions{Limit: limit, PageToken: token})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page.Jobs) > limit {
+				t.Fatalf("limit %d: page of %d jobs", limit, len(page.Jobs))
+			}
+			walked = append(walked, page.Jobs...)
+			if page.NextPageToken == "" {
+				break
+			}
+			token = page.NextPageToken
+		}
+		if len(walked) != n {
+			t.Fatalf("limit %d: walked %d jobs, want %d", limit, len(walked), n)
+		}
+		seen := make(map[string]bool)
+		for i, j := range walked {
+			if seen[j.ID] {
+				t.Fatalf("limit %d: job %s appeared twice", limit, j.ID)
+			}
+			seen[j.ID] = true
+			if j.ID != full.Jobs[i].ID {
+				t.Fatalf("limit %d: page walk order diverges from unbounded order at %d", limit, i)
+			}
+		}
+	}
+}
+
+// TestListStateFilter pins ?state= filtering alongside pagination.
+func TestListStateFilter(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+	if _, err := c.Run(ctx, client.JobSpec{Config: "baseline", Bench: testBench}, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := c.ListJobs(ctx, client.ListOptions{State: client.JobDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done.Jobs) != 1 || done.Jobs[0].State != client.JobDone {
+		t.Fatalf("state=done listing: %+v", done.Jobs)
+	}
+	queued, err := c.ListJobs(ctx, client.ListOptions{State: client.JobQueued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queued.Jobs) != 0 {
+		t.Fatalf("state=queued listing has %d jobs, want 0", len(queued.Jobs))
+	}
+}
+
+// TestListRejectsMalformedQueries pins the envelope on listing
+// validation: unknown states, bad limits, and garbage tokens are 400s
+// with invalid_argument — never a silent empty page.
+func TestListRejectsMalformedQueries(t *testing.T) {
+	_, ts := newIdleServer(t, Options{Workers: 1})
+	for _, q := range []string{"state=bogus", "limit=-1", "limit=x", "page_token=%21%21not-base64"} {
+		var e api.Error
+		resp := getJSON(t, ts.URL+"/v1/jobs?"+q, &e)
+		if resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeInvalidArgument {
+			t.Fatalf("%s: status %d code %q, want 400 %q", q, resp.StatusCode, e.Code, api.CodeInvalidArgument)
+		}
+		if e.Detail == "" {
+			t.Fatalf("%s: empty detail", q)
+		}
+	}
+}

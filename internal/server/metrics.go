@@ -62,13 +62,13 @@ func (s *Server) initMetrics() {
 
 	if s.cache != nil {
 		r.GaugeFunc("gpusimd_disk_cache_entries", "Entries persisted in the disk cache.",
-			func() float64 { return float64(s.cache.Len()) })
+			func() float64 { return float64(s.cache.Stats().Entries) })
 		r.GaugeFunc("gpusimd_disk_cache_bytes", "Accounted payload bytes in the disk cache.",
-			func() float64 { return float64(s.cache.Bytes()) })
+			func() float64 { return float64(s.cache.Stats().Bytes) })
 		r.GaugeFunc("gpusimd_disk_cache_max_bytes", "Disk cache size bound; 0 means unbounded.",
-			func() float64 { return float64(s.cache.maxBytes) })
+			func() float64 { return float64(s.cache.Stats().MaxBytes) })
 		r.CounterFunc("gpusimd_disk_cache_evictions_total", "Disk cache entries evicted by the size bound.",
-			func() float64 { return float64(s.cache.Evictions()) })
+			func() float64 { return float64(s.cache.Stats().Evictions) })
 	}
 }
 
@@ -89,11 +89,12 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps the route table with per-endpoint request counting
-// and latency observation. The endpoint label is the ServeMux pattern
-// that matched (r.Pattern is populated during routing), so /v1/jobs/{id}
-// stays one series no matter how many job IDs exist.
-func (s *Server) instrument(next http.Handler) http.Handler {
+// instrument wraps a route table with per-endpoint request counting
+// and latency observation (shared by the daemon and the coordinator).
+// The endpoint label is the ServeMux pattern that matched (r.Pattern is
+// populated during routing), so /v1/jobs/{id} stays one series no
+// matter how many job IDs exist.
+func instrument(next http.Handler, requests *metrics.CounterVec, latency *metrics.HistogramVec) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
@@ -102,8 +103,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if endpoint == "" {
 			endpoint = "unmatched"
 		}
-		s.httpRequests.With(endpoint, strconv.Itoa(rec.code)).Inc()
-		s.httpLatency.With(endpoint).Observe(time.Since(start).Seconds())
+		requests.With(endpoint, strconv.Itoa(rec.code)).Inc()
+		latency.With(endpoint).Observe(time.Since(start).Seconds())
 	})
 }
 

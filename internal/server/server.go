@@ -18,11 +18,15 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,8 +51,15 @@ type Options struct {
 	MaxQueue int
 	// CacheDir, when non-empty, persists simulation results as JSON files
 	// so a restarted daemon serves previously simulated cells without
-	// re-simulating.
+	// re-simulating. It is shorthand for Cache = the spill-directory
+	// backend; a directory on a shared volume gives a whole cluster one
+	// cache namespace.
 	CacheDir string
+	// Cache plugs in a pre-built CacheBackend directly — the seam for
+	// result stores beyond the local spill directory (shared volumes,
+	// object stores). Mutually exclusive with CacheDir and
+	// CacheMaxBytes: an injected backend owns its own bounding policy.
+	Cache CacheBackend
 	// CacheMaxBytes bounds the disk cache's total payload size; 0 means
 	// unbounded, negative is an error. When the bound is exceeded the
 	// least-recently-used entries are evicted (down to a floor of one
@@ -97,15 +108,17 @@ type Server struct {
 	workers  int
 	maxQueue int
 	sched    *exp.Scheduler
-	cache    *diskCache
+	cache    CacheBackend
 	limiter  *limiter
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue and on drain
 	jobs     map[string]*job
-	order    []string       // submission order for GET /v1/jobs
-	pending  []*job         // FIFO of queued jobs; state queued <=> in pending
-	inflight map[string]int // client key -> queued+running jobs it owns
+	order    []string             // submission order for GET /v1/jobs
+	pending  []*job               // FIFO of queued jobs; state queued <=> in pending
+	inflight map[string]int       // client key -> queued+running jobs it owns
+	sweeps   map[string]*sweepRec // sweep resources by content-addressed ID
+	waitCh   chan struct{}        // closed+replaced on every terminal transition and on drain
 	draining bool
 
 	running atomic.Int64 // workers currently inside a simulation
@@ -160,16 +173,25 @@ func newServer(opts Options) (*Server, error) {
 	if opts.Progress != nil {
 		schedOpts = append(schedOpts, exp.WithProgress(opts.Progress))
 	}
-	var cache *diskCache
-	if opts.CacheDir != "" {
+	var cache CacheBackend
+	switch {
+	case opts.Cache != nil && opts.CacheDir != "":
+		return nil, errors.New("server: Cache and CacheDir are mutually exclusive")
+	case opts.Cache != nil && opts.CacheMaxBytes != 0:
+		return nil, errors.New("server: cache bound set with an injected cache backend (the backend owns its bound)")
+	case opts.Cache != nil:
+		cache = opts.Cache
+	case opts.CacheDir != "":
 		var err error
 		cache, err = newDiskCache(opts.CacheDir, opts.CacheMaxBytes, opts.ErrLog)
 		if err != nil {
 			return nil, err
 		}
-		schedOpts = append(schedOpts, exp.WithResultCache(cache))
-	} else if opts.CacheMaxBytes != 0 {
+	case opts.CacheMaxBytes != 0:
 		return nil, errors.New("server: cache bound set without a cache dir")
+	}
+	if cache != nil {
+		schedOpts = append(schedOpts, exp.WithResultCache(cache))
 	}
 
 	s := &Server{
@@ -180,6 +202,8 @@ func newServer(opts Options) (*Server, error) {
 		cache:    cache,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]int),
+		sweeps:   make(map[string]*sweepRec),
+		waitCh:   make(chan struct{}),
 	}
 	if opts.RateLimit > 0 {
 		s.limiter = newLimiter(opts.RateLimit, opts.RateBurst)
@@ -249,8 +273,17 @@ func (s *Server) worker() {
 			j.Metrics = &m
 		}
 		s.releaseQuotaLocked(j)
+		s.broadcastLocked()
 		s.mu.Unlock()
 	}
+}
+
+// broadcastLocked wakes every long-poll waiter: the current wait channel
+// is closed and replaced, so waiters re-check their condition. Called on
+// every terminal job transition and on drain; callers hold s.mu.
+func (s *Server) broadcastLocked() {
+	close(s.waitCh)
+	s.waitCh = make(chan struct{})
 }
 
 // cellID content-addresses one simulation cell, delegating to the
@@ -260,9 +293,12 @@ func cellID(cref exp.ConfigRef, ref exp.WorkloadRef) string {
 }
 
 // httpError carries a status code out of the submit/resolve helpers;
-// retryAfter, when set, becomes a Retry-After header on the response.
+// retryAfter, when set, becomes a Retry-After header on the response
+// and the envelope's retryAfter field. code, when empty, defaults to
+// api.CodeForStatus(status) at write time.
 type httpError struct {
 	status     int
+	code       string
 	retryAfter time.Duration
 	msg        string
 }
@@ -432,12 +468,44 @@ type resolvedCell struct {
 	ref  exp.WorkloadRef
 }
 
+// sweepRec is the server-side sweep resource: the unique cells a POST
+// /v1/sweeps request named (request order), plus — for axis-form sweeps
+// — the label grid that lets GET /v1/sweeps/{id} assemble the merged
+// speedup table once every cell is done. Like jobs, sweep records are
+// retained for the daemon's lifetime.
+type sweepRec struct {
+	id          string
+	submittedAt time.Time
+	requested   int
+	deduped     int
+	jobIDs      []string // unique cells, request order
+	configs     []string // axis labels; nil for cell-list sweeps
+	workloads   []string
+	grid        [][]string // [config][workload] cell IDs; nil when axes unknown
+}
+
+// sweepID content-addresses a sweep: the hash of its sorted unique cell
+// IDs, so the same cell set — however spelled, resubmitted, or sharded —
+// is the same resource.
+func sweepID(cells []resolvedCell) string {
+	ids := make([]string, len(cells))
+	for i, c := range cells {
+		ids[i] = c.id
+	}
+	sort.Strings(ids)
+	sum := sha256.Sum256([]byte(strings.Join(ids, "\n")))
+	return "sw-" + hex.EncodeToString(sum[:8])
+}
+
 // submitSweep enqueues a deduplicated sweep atomically: capacity — queue
 // slots and the client's inflight quota — for every cell that needs
 // enqueueing is checked under one lock acquisition, so the sweep either
 // submits whole or rejects whole — never leaving the client owning half
-// its job IDs. owner is the submitting client's quota identity.
-func (s *Server) submitSweep(cells []resolvedCell, owner string) ([]api.Job, error) {
+// its job IDs. An admitted sweep is registered (or re-found) as a sweep
+// resource addressable at GET /v1/sweeps/{id}. owner is the submitting
+// client's quota identity.
+func (s *Server) submitSweep(ex *sweepExpansion, owner string) (api.SweepResponse, error) {
+	cells := ex.cells
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	needed := 0
@@ -447,13 +515,13 @@ func (s *Server) submitSweep(cells []resolvedCell, owner string) ([]api.Job, err
 		}
 	}
 	if free := s.maxQueue - len(s.pending); needed > free {
-		return nil, &httpError{
+		return api.SweepResponse{}, &httpError{
 			status: http.StatusServiceUnavailable,
 			msg:    fmt.Sprintf("server: sweep needs %d queue slots, %d free (queue bound %d)", needed, free, s.maxQueue),
 		}
 	}
 	if err := s.quotaErrLocked(owner, needed); err != nil {
-		return nil, err
+		return api.SweepResponse{}, err
 	}
 	jobs := make([]api.Job, 0, len(cells))
 	for _, c := range cells {
@@ -463,7 +531,7 @@ func (s *Server) submitSweep(cells []resolvedCell, owner string) ([]api.Job, err
 				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cref: c.cref, ref: c.ref}
 			}
 			if err := s.enqueueLocked(j); err != nil {
-				return nil, err // draining flipped, or capacity bug
+				return api.SweepResponse{}, err // draining flipped, or capacity bug
 			}
 			s.chargeQuotaLocked(j, owner)
 			if _, known := s.jobs[c.id]; !known {
@@ -473,7 +541,102 @@ func (s *Server) submitSweep(cells []resolvedCell, owner string) ([]api.Job, err
 		}
 		jobs = append(jobs, j.Job)
 	}
-	return jobs, nil
+
+	id := sweepID(cells)
+	rec, known := s.sweeps[id]
+	if !known {
+		rec = &sweepRec{
+			id:          id,
+			submittedAt: time.Now(),
+			requested:   ex.requested,
+			deduped:     ex.requested - len(cells),
+			jobIDs:      make([]string, len(cells)),
+			configs:     ex.configs,
+			workloads:   ex.workloads,
+			grid:        ex.grid,
+		}
+		for i, c := range cells {
+			rec.jobIDs[i] = c.id
+		}
+		s.sweeps[id] = rec
+	} else if rec.grid == nil && ex.grid != nil {
+		// A shard-form twin registered first; adopt the axis labels so
+		// the resource can still serve speedups.
+		rec.configs, rec.workloads, rec.grid = ex.configs, ex.workloads, ex.grid
+	}
+	return api.SweepResponse{
+		ID:        id,
+		Requested: ex.requested,
+		Deduped:   ex.requested - len(jobs),
+		Jobs:      jobs,
+	}, nil
+}
+
+// view assembles the sweep's resource representation from per-cell job
+// snapshots, shared by the daemon (snapshots from its job table) and the
+// coordinator (snapshots fetched from workers) so both entry points
+// serve the same aggregate for the same cells.
+func (rec *sweepRec) view(snap func(id string) api.Job) api.Sweep {
+	sw := api.Sweep{
+		ID:          rec.id,
+		Requested:   rec.requested,
+		Deduped:     rec.deduped,
+		Counts:      make(map[api.JobState]int),
+		Jobs:        make([]api.Job, 0, len(rec.jobIDs)),
+		SubmittedAt: rec.submittedAt,
+	}
+	terminal := 0
+	for _, jid := range rec.jobIDs {
+		j := snap(jid)
+		sw.Counts[j.State]++
+		if j.State.Terminal() {
+			terminal++
+		}
+		sw.Jobs = append(sw.Jobs, j)
+	}
+	switch {
+	case terminal < len(rec.jobIDs):
+		sw.State = api.SweepRunning
+	case sw.Counts[api.JobFailed]+sw.Counts[api.JobCanceled] > 0:
+		sw.State = api.SweepFailed
+	default:
+		sw.State = api.SweepDone
+	}
+	if sw.State == api.SweepDone && rec.grid != nil {
+		sw.Speedups = rec.speedups(snap)
+	}
+	return sw
+}
+
+// speedups computes the merged grid of a completed axis-form sweep:
+// Cells[w][c] relative to the first configuration column, exactly
+// exp.SweepResult.Speedups(0)'s convention. Callers have verified every
+// cell is done.
+func (rec *sweepRec) speedups(snap func(id string) api.Job) *api.SweepSpeedups {
+	sp := &api.SweepSpeedups{
+		Configs:   rec.configs,
+		Workloads: rec.workloads,
+		Cells:     make([][]float64, len(rec.workloads)),
+	}
+	for w := range rec.workloads {
+		sp.Cells[w] = make([]float64, len(rec.configs))
+		base := snap(rec.grid[0][w]).Metrics
+		for c := range rec.configs {
+			sp.Cells[w][c] = snap(rec.grid[c][w]).Metrics.Speedup(*base)
+		}
+	}
+	return sp
+}
+
+// sweepStatus assembles the GET /v1/sweeps/{id} resource view.
+func (s *Server) sweepStatus(id string) (api.Sweep, *httpError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.sweeps[id]
+	if !ok {
+		return api.Sweep{}, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown sweep %q", id)}
+	}
+	return rec.view(func(jid string) api.Job { return s.jobs[jid].Job }), nil
 }
 
 // cancelJob implements DELETE /v1/jobs/{id}. The state machine is pinned
@@ -518,6 +681,7 @@ func (s *Server) cancelLocked(j *job) {
 	j.FinishedAt = &now
 	j.cancel()
 	s.releaseQuotaLocked(j)
+	s.broadcastLocked()
 }
 
 // cancelQueuedLocked additionally removes j from the pending FIFO,
@@ -562,13 +726,73 @@ func (s *Server) Stats() api.Stats {
 		QuotaDenied: s.quotaDenied.Value(),
 	}
 	if s.cache != nil {
-		st.CacheDir = s.cache.dir
-		st.DiskCacheEntries = s.cache.Len()
-		st.DiskCacheBytes = s.cache.Bytes()
-		st.DiskCacheMaxBytes = s.cache.maxBytes
-		st.DiskCacheEvictions = s.cache.Evictions()
+		cs := s.cache.Stats()
+		st.CacheDir = s.cache.Location()
+		st.DiskCacheEntries = cs.Entries
+		st.DiskCacheBytes = cs.Bytes
+		st.DiskCacheMaxBytes = cs.MaxBytes
+		st.DiskCacheEvictions = cs.Evictions
 	}
 	return st
+}
+
+// waitJob blocks until job id is terminal, the daemon starts draining,
+// ctx is done, or d elapses, then returns the job's current snapshot.
+// ok is false only when the id is unknown. With d <= 0 it returns the
+// snapshot immediately — GET without ?wait= is exactly waitJob(ctx, id, 0).
+func (s *Server) waitJob(ctx context.Context, id string, d time.Duration) (api.Job, bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			return api.Job{}, false
+		}
+		snap := j.Job
+		ch := s.waitCh
+		draining := s.draining
+		s.mu.Unlock()
+		if d <= 0 || snap.State.Terminal() || draining {
+			return snap, true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return s.snapshot(j), true
+		case <-ctx.Done():
+			return snap, true
+		}
+	}
+}
+
+// waitSweep is waitJob's sweep twin: it blocks until the sweep is
+// terminal, the daemon drains, ctx is done, or d elapses, then returns
+// the current aggregate.
+func (s *Server) waitSweep(ctx context.Context, id string, d time.Duration) (api.Sweep, *httpError) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		ch := s.waitCh
+		draining := s.draining
+		s.mu.Unlock()
+		sw, he := s.sweepStatus(id)
+		if he != nil {
+			return api.Sweep{}, he
+		}
+		if d <= 0 || sw.State.Terminal() || draining {
+			return sw, nil
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return s.sweepStatus(id)
+		case <-ctx.Done():
+			return sw, nil
+		}
+	}
 }
 
 // Shutdown stops accepting submissions, cancels still-queued jobs, and
@@ -586,6 +810,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.cond.Broadcast()
+	s.broadcastLocked() // long-poll waiters return promptly during drain
 	s.mu.Unlock()
 
 	done := make(chan struct{})

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gpumembw/client"
+	"gpumembw/internal/api"
+)
+
+// TestSweepResourceLifecycle pins the sweep-as-resource redesign: POST
+// /v1/sweeps returns a content-addressed ID, GET /v1/sweeps/{id} tracks
+// per-cell state, and the completed resource carries the merged speedup
+// grid relative to the first configuration column.
+func TestSweepResourceLifecycle(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	resp, err := c.Sweep(ctx, client.SweepRequest{
+		Configs: []string{"baseline", "L2-4x"},
+		Benches: []string{testBench},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.ID, "sw-") {
+		t.Fatalf("sweep ID = %q, want sw- prefix", resp.ID)
+	}
+	if resp.Requested != 2 || len(resp.Jobs) != 2 {
+		t.Fatalf("requested %d, %d jobs, want 2 and 2", resp.Requested, len(resp.Jobs))
+	}
+
+	sw, err := c.WaitSweep(ctx, resp.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.State != client.SweepDone {
+		t.Fatalf("sweep state = %s (counts %v), want done", sw.State, sw.Counts)
+	}
+	if sw.Counts[client.JobDone] != 2 {
+		t.Fatalf("counts = %v, want 2 done", sw.Counts)
+	}
+	if len(sw.Jobs) != 2 || sw.Jobs[0].ID != resp.Jobs[0].ID || sw.Jobs[1].ID != resp.Jobs[1].ID {
+		t.Fatalf("resource jobs diverge from submission order: %v vs %v", sw.Jobs, resp.Jobs)
+	}
+	sp := sw.Speedups
+	if sp == nil {
+		t.Fatal("completed axis-form sweep has no speedups")
+	}
+	if len(sp.Configs) != 2 || len(sp.Workloads) != 1 || len(sp.Cells) != 1 || len(sp.Cells[0]) != 2 {
+		t.Fatalf("speedup grid shape: configs %v workloads %v cells %v", sp.Configs, sp.Workloads, sp.Cells)
+	}
+	if sp.Cells[0][0] != 1.0 {
+		t.Fatalf("baseline column speedup = %v, want exactly 1.0", sp.Cells[0][0])
+	}
+	if sp.Cells[0][1] <= 0 {
+		t.Fatalf("speedup vs baseline = %v, want > 0", sp.Cells[0][1])
+	}
+}
+
+// TestSweepIDContentAddressed pins sweep identity: the same cell set —
+// spelled as axes, spelled as an explicit cell list, or resubmitted —
+// is the same resource, so retries and cross-entry-point submissions
+// converge instead of multiplying.
+func TestSweepIDContentAddressed(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	axes, err := c.Sweep(ctx, client.SweepRequest{
+		Configs: []string{"baseline", "L2-4x"},
+		Benches: []string{testBench},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same cells as an explicit list, in a different order.
+	cells, err := c.Sweep(ctx, client.SweepRequest{Cells: []client.JobSpec{
+		{Config: "L2-4x", Bench: testBench},
+		{Config: "baseline", Bench: testBench},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axes.ID != cells.ID {
+		t.Fatalf("axis form %s and cell-list form %s name different resources", axes.ID, cells.ID)
+	}
+
+	// The axis-form registration owns the grid, so the shared resource
+	// still serves speedups.
+	sw, err := c.WaitSweep(ctx, axes.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Speedups == nil {
+		t.Fatal("merged resource lost its speedup grid")
+	}
+}
+
+// TestSweepCellListAdoptsAxesGrid pins the twin-registration order the
+// coordinator relies on: when the cell-list spelling registers first,
+// a later axis-form submission upgrades the record with its grid.
+func TestSweepCellListAdoptsAxesGrid(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	cells, err := c.Sweep(ctx, client.SweepRequest{Cells: []client.JobSpec{
+		{Config: "baseline", Bench: testBench},
+		{Config: "L2-4x", Bench: testBench},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := c.WaitSweep(ctx, cells.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Speedups != nil {
+		t.Fatal("cell-list sweep has no axes; speedups should be absent")
+	}
+
+	axes, err := c.Sweep(ctx, client.SweepRequest{
+		Configs: []string{"baseline", "L2-4x"},
+		Benches: []string{testBench},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axes.ID != cells.ID {
+		t.Fatalf("twins diverged: %s vs %s", axes.ID, cells.ID)
+	}
+	sw, err = c.GetSweep(ctx, cells.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Speedups == nil {
+		t.Fatal("axis-form twin did not upgrade the resource with its grid")
+	}
+}
+
+// TestSweepUnknownID pins the 404 envelope on the sweep route.
+func TestSweepUnknownID(t *testing.T) {
+	_, ts := newIdleServer(t, Options{Workers: 1})
+	var e api.Error
+	resp := getJSON(t, ts.URL+"/v1/sweeps/sw-doesnotexist", &e)
+	if resp.StatusCode != http.StatusNotFound || e.Code != api.CodeNotFound {
+		t.Fatalf("status %d code %q, want 404 %q", resp.StatusCode, e.Code, api.CodeNotFound)
+	}
+}
+
+// TestSweepMutuallyExclusiveForms pins the request validation boundary
+// between the axis and cell-list spellings.
+func TestSweepMutuallyExclusiveForms(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	_, err := c.Sweep(context.Background(), client.SweepRequest{
+		Configs: []string{"baseline"},
+		Benches: []string{testBench},
+		Cells:   []client.JobSpec{{Config: "baseline", Bench: testBench}},
+	})
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest || apiErr.Code != api.CodeInvalidArgument {
+		t.Fatalf("mixed sweep forms: err = %v, want 400 invalid_argument", err)
+	}
+}
