@@ -24,6 +24,7 @@ import (
 
 	"gpumembw/internal/api"
 	"gpumembw/internal/config"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/trace"
 )
 
@@ -63,7 +64,21 @@ type (
 	// ConfigPatch is a sparse mitigation-knob overlay on a named preset
 	// for JobSpec.ConfigPatch / SweepRequest.ConfigPatches.
 	ConfigPatch = config.Patch
+	// JobProfile is GET /v1/jobs/{id}/profile: the hierarchy bottleneck
+	// profile of a Profile=true run.
+	JobProfile = api.JobProfile
+	// Profile is the windowed per-level time series plus bottleneck
+	// verdict inside a JobProfile.
+	Profile = obsv.Profile
+	// Trace is GET /v1/jobs/{id}/trace: the job's lifecycle span timeline.
+	Trace = api.Trace
+	// Span is one lifecycle span inside a Trace.
+	Span = api.Span
 )
+
+// TraceHeader is the X-Trace-Id request/response header the daemon and
+// coordinator use to correlate a request with their structured logs.
+const TraceHeader = api.TraceHeader
 
 // Job lifecycle states.
 const (
@@ -143,6 +158,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // doHeader is do plus the response headers of the 2xx (long-poll
 // capability detection reads them).
 func (c *Client) doHeader(ctx context.Context, method, path string, in, out any) (http.Header, error) {
+	return c.doFull(ctx, method, path, in, out, nil)
+}
+
+// doFull is doHeader plus caller-set request headers (trace IDs).
+func (c *Client) doFull(ctx context.Context, method, path string, in, out any, hdr map[string]string) (http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -157,6 +177,9 @@ func (c *Client) doHeader(ctx context.Context, method, path string, in, out any)
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -230,6 +253,40 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	return &j, nil
+}
+
+// SubmitTraced is Submit with a caller-chosen X-Trace-Id: the job (and
+// the daemon's structured logs) adopt the given correlation ID instead
+// of a server-minted one. Load generators stamp sampled operations this
+// way and later assert the full span chain came back.
+func (c *Client) SubmitTraced(ctx context.Context, spec JobSpec, traceID string) (*Job, error) {
+	var j Job
+	if _, err := c.doFull(ctx, http.MethodPost, "/v1/jobs", spec, &j, map[string]string{TraceHeader: traceID}); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Profile fetches a finished Profile=true job's hierarchy bottleneck
+// profile (GET /v1/jobs/{id}/profile). Jobs that are not yet done — or
+// that ran unprofiled — answer 404 not_found.
+func (c *Client) Profile(ctx context.Context, id string) (*JobProfile, error) {
+	var p JobProfile
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/profile", nil, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Trace fetches a job's lifecycle span timeline (GET /v1/jobs/{id}/trace).
+// Unlike Profile it exists from submission on; against a coordinator the
+// timeline additionally carries the placement hop.
+func (c *Client) Trace(ctx context.Context, id string) (*Trace, error) {
+	var t Trace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
 }
 
 // Job polls one job (GET /v1/jobs/{id}).

@@ -13,11 +13,13 @@
 //	gpusim -spec custom.json -config baseline -json
 //	gpusim -bench mm -config-file mitigated.json
 //	gpusim -bench mm -config baseline -set l1.mshr_entries=128 -set l1.miss_queue_entries=32
+//	gpusim -bench mm -config baseline -profile prof.json
 //	gpusim -bench mm -cpuprofile p.out
 //	gpusim -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +40,7 @@ func main() {
 	var sets cliutil.StringList
 	flag.Var(&sets, "set", "knob=value config override, e.g. l1.mshr_entries=128 (repeatable)")
 	asJSON := flag.Bool("json", false, "emit the metrics as JSON")
+	profileOut := flag.String("profile", "", "write the hierarchy bottleneck profile JSON to this file (\"-\" for stdout)")
 	list := flag.Bool("list", false, "list benchmarks and configurations")
 	profiles := prof.AddFlags()
 	flag.Parse()
@@ -92,13 +95,22 @@ func main() {
 		ref = gpumembw.SpecRef(spec)
 	}
 	start := time.Now()
-	m, err := s.RunJob(gpumembw.Job{Config: cref, Workload: ref})
+	res, err := s.RunJobEx(context.Background(), gpumembw.Job{Config: cref, Workload: ref}, *profileOut != "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		profiles.Stop() // os.Exit skips the deferred call
 		os.Exit(1)
 	}
+	m := res.Metrics
 	elapsed := time.Since(start)
+
+	if *profileOut != "" {
+		if err := writeProfile(*profileOut, res.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusim:", err)
+			profiles.Stop()
+			os.Exit(1)
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -138,6 +150,31 @@ func main() {
 	if m.Truncated {
 		fmt.Println("WARNING: run truncated by MaxCycles")
 	}
+}
+
+// writeProfile emits the bottleneck profile as indented JSON — the same
+// encoding the daemon persists and serves, so offline and service runs
+// produce byte-comparable artifacts.
+func writeProfile(path string, p *gpumembw.Profile) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "profile: bottleneck %s (%s); wrote %s\n",
+			p.Verdict.Bottleneck, p.Verdict.Reason, path)
+	}
+	return nil
 }
 
 // configRef assembles the configuration reference from -config,

@@ -9,8 +9,11 @@
 //	gpusimctl submit -config-file cfg.json -bench mm -wait -metrics
 //	gpusimctl submit -config baseline -set l1.mshr_entries=128 -bench mm -wait
 //	gpusimctl submit -config baseline -spec custom.json -wait -metrics
+//	gpusimctl submit -config baseline -bench mm -profile -wait
 //	gpusimctl get <job-id>
 //	gpusimctl wait <job-id>
+//	gpusimctl profile <job-id>
+//	gpusimctl trace <job-id>
 //	gpusimctl cancel <job-id>
 //	gpusimctl list [-state running] [-limit 100] [-page-token T]
 //	gpusimctl sweep -configs baseline,L2-4x -benches mm,sc -wait
@@ -40,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"gpumembw/client"
@@ -49,7 +53,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|cancel|list|sweep|sweep-status|stats|cluster|benchmarks|configs|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|profile|trace|cancel|list|sweep|sweep-status|stats|cluster|benchmarks|configs|health> [flags]")
 	os.Exit(2)
 }
 
@@ -80,6 +84,10 @@ func main() {
 		cmdGet(ctx, c, args, false)
 	case "wait":
 		cmdGet(ctx, c, args, true)
+	case "profile":
+		cmdProfile(ctx, c, args)
+	case "trace":
+		cmdTrace(ctx, c, args)
 	case "cancel":
 		cmdCancel(ctx, c, args)
 	case "list":
@@ -205,9 +213,10 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) {
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval for -wait")
 	metricsOnly := fs.Bool("metrics", false, "with -wait: print only the metrics JSON (matches `gpusim -json`)")
 	asJSON := fs.Bool("json", false, "print the job as JSON")
+	profile := fs.Bool("profile", false, "attach the hierarchy bottleneck profiler (read it back with `gpusimctl profile`)")
 	fs.Parse(args)
 
-	spec := client.JobSpec{Bench: *bench}
+	spec := client.JobSpec{Bench: *bench, Profile: *profile}
 	if err := fillConfig(&spec, *cfgName, *cfgFile, sets); err != nil {
 		fatal(err)
 	}
@@ -286,6 +295,123 @@ func cmdGet(ctx context.Context, c *client.Client, args []string, wait bool) {
 		fatal(err)
 	}
 	finishJob(ctx, c, j, wait, *poll, *metricsOnly, *asJSON)
+}
+
+// sparkRunes render a [0,1] utilization as one terminal cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline compresses a mean series into width cells, averaging the
+// samples that fall into each cell.
+func sparkline(means []float64, width int) string {
+	if len(means) == 0 {
+		return ""
+	}
+	if len(means) < width {
+		width = len(means)
+	}
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		lo, hi := i*len(means)/width, (i+1)*len(means)/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range means[lo:hi] {
+			sum += v
+		}
+		v := sum / float64(hi-lo)
+		idx := int(v * float64(len(sparkRunes)))
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// cmdProfile renders a finished Profile=true job's hierarchy bottleneck
+// profile: one sparkline per gauge over the run's windows, then the
+// per-level verdict table.
+func cmdProfile(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw profile payload as JSON")
+	width := fs.Int("width", 64, "sparkline width in cells")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("expected one job ID"))
+	}
+	jp, err := c.Profile(ctx, fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(jp)
+		return
+	}
+	p := jp.Profile
+	fmt.Printf("profile %s  (%s on %s)\n", jp.JobID, jp.Bench, jp.Config)
+	fmt.Printf("%d cycles in %d windows of %d cycles\n\n", p.Cycles, p.Windows, p.WindowCycles)
+	for _, s := range p.Series {
+		fmt.Printf("%-10s %-12s %s\n", s.Level, s.Gauge, sparkline(s.Mean, *width))
+	}
+	fmt.Printf("\n%-10s  %6s  %6s  %12s  %6s\n", "level", "mean", "peak", "saturated", "first")
+	for _, lv := range p.Verdict.Levels {
+		first := "-"
+		if lv.FirstSaturatedWindow >= 0 {
+			first = fmt.Sprintf("w%d", lv.FirstSaturatedWindow)
+		}
+		marker := " "
+		if lv.Level == p.Verdict.Bottleneck {
+			marker = "*"
+		}
+		fmt.Printf("%s%-9s  %5.1f%%  %5.1f%%  %7d wins  %6s\n",
+			marker, lv.Level, 100*lv.MeanUtilization, 100*lv.PeakUtilization, lv.SaturatedWindows, first)
+	}
+	fmt.Printf("\nbottleneck: %s — %s (threshold %.0f%%)\n",
+		p.Verdict.Bottleneck, p.Verdict.Reason, 100*p.Verdict.Threshold)
+}
+
+// cmdTrace renders a job's lifecycle span timeline: one row per span
+// with wall-clock durations and attributes (cache tier, errors).
+func cmdTrace(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw trace payload as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("expected one job ID"))
+	}
+	tr, err := c.Trace(ctx, fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(tr)
+		return
+	}
+	fmt.Printf("trace %s", tr.JobID)
+	if tr.TraceID != "" {
+		fmt.Printf("  traceId=%s", tr.TraceID)
+	}
+	fmt.Println()
+	for _, sp := range tr.Spans {
+		dur := "open"
+		if sp.End != nil {
+			dur = sp.End.Sub(sp.Start).Round(time.Microsecond).String()
+		}
+		fmt.Printf("  %-10s  %s  %10s", sp.Name, sp.Start.Format("15:04:05.000"), dur)
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%s", k, sp.Attrs[k])
+		}
+		fmt.Println()
+	}
 }
 
 func cmdCancel(ctx context.Context, c *client.Client, args []string) {

@@ -29,7 +29,13 @@
 //
 // Operational state is scrapeable at GET /metrics (Prometheus text
 // format) and GET /v1/stats (JSON); the two reconcile exactly when the
-// daemon is quiescent.
+// daemon is quiescent. Structured logs (log/slog text format) stream to
+// stderr: one event per job transition, tagged with the request's
+// X-Trace-Id. -debug-addr exposes net/http/pprof on a SEPARATE listener
+// — bind it to localhost; never the public service port:
+//
+//	gpusimd -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new submissions get 503,
 // queued jobs are canceled, in-flight cells drain (up to 30s), and any
@@ -41,7 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr listener only; never on the API mux
 	"os"
 	"time"
 
@@ -60,6 +68,8 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = max(1, ceil(rate)))")
 	maxInflight := flag.Int("max-inflight-per-client", 0, "bound on one client's queued+running jobs (0 = unlimited); excess gets 429")
 	quiet := flag.Bool("q", false, "suppress per-simulation progress on stderr")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this SEPARATE listener (bind to localhost; empty = disabled)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	var workerAddrs cliutil.StringList
 	flag.Var(&workerAddrs, "worker", "coordinator mode: shard cells across this gpusimd worker URL (repeatable)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator mode: worker /healthz probe period")
@@ -80,8 +90,16 @@ func main() {
 	}
 	defer profiles.Stop()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusimd:", err)
+		profiles.Stop()
+		os.Exit(2)
+	}
+	startDebugListener(*debugAddr)
+
 	if len(workerAddrs) > 0 {
-		runCoordinator(*addr, workerAddrs, *probeInterval, *probeTimeout, *probeFails, profiles)
+		runCoordinator(*addr, workerAddrs, *probeInterval, *probeTimeout, *probeFails, profiles, logger)
 		return
 	}
 
@@ -94,6 +112,7 @@ func main() {
 		RateBurst:            *rateBurst,
 		MaxInflightPerClient: *maxInflight,
 		ErrLog:               os.Stderr,
+		Logger:               logger,
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -148,15 +167,41 @@ func main() {
 	select {}
 }
 
+// newLogger builds the daemon's structured logger: slog text format on
+// stderr at the requested level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// startDebugListener serves net/http/pprof (registered on the default
+// mux by the blank import) on its own listener, so profiling endpoints
+// never share a port with the public API. No-op when addr is empty.
+func startDebugListener(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "gpusimd: pprof debug listener on http://%s/debug/pprof/\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "gpusimd: debug listener:", err)
+		}
+	}()
+}
+
 // runCoordinator serves the cluster entry point: no local simulation,
 // every cell rendezvous-routed to a -worker daemon.
-func runCoordinator(addr string, workers []string, probeInterval, probeTimeout time.Duration, probeFails int, profiles *prof.Flags) {
+func runCoordinator(addr string, workers []string, probeInterval, probeTimeout time.Duration, probeFails int, profiles *prof.Flags, logger *slog.Logger) {
 	co, err := server.NewCoordinator(server.CoordinatorOptions{
 		Workers:       workers,
 		ProbeInterval: probeInterval,
 		ProbeTimeout:  probeTimeout,
 		ProbeFails:    probeFails,
 		ErrLog:        os.Stderr,
+		Logger:        logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

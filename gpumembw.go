@@ -64,6 +64,7 @@ import (
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
 )
@@ -130,6 +131,23 @@ var (
 // Run simulates wl on cfg and returns the collected metrics.
 func Run(cfg Config, wl *Workload) (Metrics, error) {
 	return core.RunWorkload(cfg, wl)
+}
+
+// Profile is the hierarchy bottleneck profile of a profiled run: a
+// windowed time series of per-level gauges (L1 miss queues and MSHRs,
+// crossbar port contention, L2 bank occupancy, DRAM channel and
+// row-buffer utilization) plus the derived per-level saturation verdict
+// — which level bottlenecked first and longest, the time-resolved view
+// behind the paper's Fig. 5 analysis.
+type Profile = obsv.Profile
+
+// RunProfiled is Run with the bottleneck profiler attached: it returns
+// the identical Metrics (profiling never perturbs simulation state) plus
+// the Profile. Sampling costs simulation throughput, so profile runs are
+// opt-in everywhere: this entry point, `gpusim -profile`, and the
+// daemon's JobSpec.Profile flag.
+func RunProfiled(cfg Config, wl *Workload) (Metrics, *Profile, error) {
+	return core.RunWorkloadProfiled(cfg, wl)
 }
 
 // Scheduler is the concurrent, memoized experiment engine: it expands

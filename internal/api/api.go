@@ -40,6 +40,7 @@ import (
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/trace"
 )
 
@@ -93,6 +94,13 @@ type JobSpec struct {
 	ConfigPatch  *config.Patch  `json:"configPatch,omitempty"`
 	Bench        string         `json:"bench,omitempty"`
 	InlineSpec   *trace.Spec    `json:"inlineSpec,omitempty"`
+
+	// Profile requests the in-simulation bottleneck profiler for this
+	// job: when true, GET /v1/jobs/{id}/profile serves the windowed
+	// per-level time series and verdict once the job is done. Profiling
+	// never changes cell identity or metrics — a profiled and an
+	// unprofiled submission of the same cell are the same job.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // Job is the server's view of one submitted cell, returned by POST
@@ -111,6 +119,50 @@ type Job struct {
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+
+	// TraceID is the request-scoped trace identifier assigned at the
+	// job's first entry point (the client's X-Trace-Id header, or one
+	// generated server-side) and propagated through coordinator
+	// forwarding and scheduler execution. GET /v1/jobs/{id}/trace
+	// returns the span timeline recorded under it.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// TraceHeader is the wire header carrying the request-scoped trace ID.
+// The first entry point (daemon or coordinator) generates one when the
+// client did not send it, echoes it on every response, and propagates it
+// through coordinator→worker forwarding and sweep fan-out shards.
+const TraceHeader = "X-Trace-Id"
+
+// Span is one step of a job's lifecycle timeline: queued, placed@worker,
+// running, and the terminal state, each with wall-clock bounds and
+// attributes (cache-tier attribution, worker address, error strings).
+// End is nil while the span is still open.
+type Span struct {
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	End   *time.Time        `json:"end,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one job's span timeline, returned by GET /v1/jobs/{id}/trace.
+// Spans are in start order; a coordinator prepends its placement span to
+// the owning worker's timeline when relaying.
+type Trace struct {
+	JobID   string `json:"jobId"`
+	TraceID string `json:"traceId,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// JobProfile is the payload of GET /v1/jobs/{id}/profile: the in-sim
+// bottleneck profiler's windowed time series and per-level verdict for
+// one completed Profile=true job. Profiles are cache-tier artifacts — a
+// job served from the disk cache returns the cached profile.
+type JobProfile struct {
+	JobID   string        `json:"jobId"`
+	Config  string        `json:"config,omitempty"`
+	Bench   string        `json:"bench,omitempty"`
+	Profile *obsv.Profile `json:"profile"`
 }
 
 // JobList is the response of GET /v1/jobs. Jobs are sorted by

@@ -23,6 +23,7 @@ import (
 	"gpumembw/internal/icnt"
 	"gpumembw/internal/l2"
 	"gpumembw/internal/mem"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/smcore"
 )
 
@@ -55,6 +56,12 @@ type GPU struct {
 	// the cycles the fast-forward jumped over (diagnostics and tests).
 	noFastForward bool
 	ffSkipped     int64
+
+	// prof, when attached, receives one hierarchy gauge vector per core
+	// cycle. nil (the default) keeps the hot path at a single pointer
+	// compare per cycle — profiling is strictly opt-in per job.
+	prof     *obsv.Profiler
+	gaugeBuf []float64
 }
 
 // New assembles a GPU for the given configuration and workload.
@@ -184,6 +191,10 @@ func (g *GPU) Run() (Metrics, error) {
 			issued += c.Stats.Issued
 		}
 
+		if g.prof != nil {
+			g.prof.Record(g.sampleGauges())
+		}
+
 		if issued != lastIssued {
 			lastIssued = issued
 			lastProgress = g.cycle
@@ -266,6 +277,14 @@ func (g *GPU) fastForward(normal bool, icntRatio, dramRatio float64, lastProgres
 		return
 	}
 
+	if g.prof != nil {
+		// No component state mutates across the skip (cores parked,
+		// networks drained, partitions idle), so the gauge vector at the
+		// skip's start stands for every skipped cycle; bulk-record it
+		// before the domain clocks advance.
+		g.prof.RecordN(g.sampleGauges(), target-g.cycle)
+	}
+
 	if normal {
 		// Step the clock-domain accumulators cycle by cycle — the exact
 		// float sequence the unskipped loop would produce — counting how
@@ -322,6 +341,89 @@ func (g *GPU) tickIcntDomain() {
 			}
 		}
 	}
+}
+
+// AttachProfiler wires a bottleneck profiler into the run: from the next
+// cycle on, the GPU records one normalized gauge vector per core cycle
+// (bulk-accounted across fast-forwarded spans). Attach before Run; call
+// Snapshot on the returned profiler after Run completes. Ideal-memory
+// modes carry only the L1 gauges — the rest of the hierarchy does not
+// exist there.
+func (g *GPU) AttachProfiler() *obsv.Profiler {
+	defs := []obsv.GaugeDef{
+		{Level: "l1", Gauge: "miss-queue"},
+		{Level: "l1", Gauge: "mshr"},
+	}
+	if g.cfg.Mode == config.ModeNormal {
+		defs = append(defs,
+			obsv.GaugeDef{Level: "xbar-req", Gauge: "ports-busy"},
+			obsv.GaugeDef{Level: "xbar-req", Gauge: "ports-contended"},
+			obsv.GaugeDef{Level: "l2", Gauge: "bank-busy"},
+			obsv.GaugeDef{Level: "l2", Gauge: "mshr"},
+			obsv.GaugeDef{Level: "l2", Gauge: "miss-queue"},
+			obsv.GaugeDef{Level: "xbar-reply", Gauge: "ports-busy"},
+			obsv.GaugeDef{Level: "xbar-reply", Gauge: "ports-contended"},
+			obsv.GaugeDef{Level: "dram", Gauge: "sched-queue"},
+			obsv.GaugeDef{Level: "dram", Gauge: "bus-busy"},
+			obsv.GaugeDef{Level: "dram", Gauge: "row-buffer"},
+		)
+	}
+	g.prof = obsv.NewProfiler(defs)
+	g.gaugeBuf = make([]float64, len(defs))
+	return g.prof
+}
+
+// frac divides defensively: unbounded or zero-capacity structures report
+// zero occupancy rather than dividing by zero.
+func frac(n, d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// sampleGauges fills gaugeBuf with the current cycle's normalized
+// per-level occupancies, in AttachProfiler's definition order.
+func (g *GPU) sampleGauges() []float64 {
+	b := g.gaugeBuf
+	var l1mq, l1mshr float64
+	for _, c := range g.cores {
+		l, cp := c.MissQueueOcc()
+		l1mq += frac(l, cp)
+		l1mshr += frac(c.MSHROcc(), g.cfg.L1.MSHREntries)
+	}
+	nc := float64(len(g.cores))
+	b[0], b[1] = l1mq/nc, l1mshr/nc
+	if len(b) == 2 {
+		return b
+	}
+	busy, cont, tot := g.req.PortOcc()
+	b[2], b[3] = frac(busy, tot), frac(cont, tot)
+	var bankBusy, l2mshr, l2mq, banks float64
+	var dq, bus, rows float64
+	for _, p := range g.parts {
+		for _, bk := range p.Banks {
+			banks++
+			if bk.Busy() {
+				bankBusy++
+			}
+			l2mshr += frac(bk.MSHROcc(), g.cfg.L2.MSHREntries)
+			l, cp := bk.MissQueueOcc()
+			l2mq += frac(l, cp)
+		}
+		l, cp := p.DRAM.SchedOcc()
+		dq += frac(l, cp)
+		if p.DRAM.BusBusy() {
+			bus++
+		}
+		rows += frac(p.DRAM.OpenRows(), g.cfg.DRAM.BanksPerChip)
+	}
+	b[4], b[5], b[6] = bankBusy/banks, l2mshr/banks, l2mq/banks
+	busy, cont, tot = g.reply.PortOcc()
+	b[7], b[8] = frac(busy, tot), frac(cont, tot)
+	np := float64(len(g.parts))
+	b[9], b[10], b[11] = dq/np, bus/np, rows/np
+	return b
 }
 
 // Cores exposes the simulated cores (read-only use by experiments).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"gpumembw/internal/config"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/stats"
 )
@@ -167,4 +168,21 @@ func RunWorkload(cfg config.Config, wl *smcore.Workload) (Metrics, error) {
 		return Metrics{}, err
 	}
 	return g.Run()
+}
+
+// RunWorkloadProfiled runs the cell with the bottleneck profiler
+// attached and returns the windowed profile alongside the metrics. The
+// metrics are byte-identical to an unprofiled run of the same cell: the
+// profiler only observes.
+func RunWorkloadProfiled(cfg config.Config, wl *smcore.Workload) (Metrics, *obsv.Profile, error) {
+	g, err := New(cfg, wl)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	p := g.AttachProfiler()
+	m, err := g.Run()
+	if err != nil {
+		return m, nil, err
+	}
+	return m, p.Snapshot(), nil
 }

@@ -361,3 +361,25 @@ func maxI64(a, b int64) int64 {
 	}
 	return b
 }
+
+// BusBusy reports whether a data burst occupies the channel's bus this
+// command cycle — the profiler's dram/bus-busy gauge.
+func (c *Channel) BusBusy() bool { return c.busBusyUntil > c.now }
+
+// OpenRows counts banks holding a row open — the numerator of the
+// profiler's dram/row-buffer gauge (capacity is DRAM.BanksPerChip).
+func (c *Channel) OpenRows() int {
+	open := 0
+	for i := range c.banks {
+		if c.banks[i].openRow >= 0 {
+			open++
+		}
+	}
+	return open
+}
+
+// SchedOcc reports the FR-FCFS scheduler queue's occupancy and capacity
+// — the profiler's dram/sched-queue gauge.
+func (c *Channel) SchedOcc() (length, capacity int) {
+	return c.sched.Len(), c.sched.Cap()
+}

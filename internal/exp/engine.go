@@ -14,6 +14,7 @@ import (
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/metrics"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
 )
@@ -371,13 +372,46 @@ type ResultCache interface {
 	Put(j Job, m core.Metrics)
 }
 
+// ProfileCache is the optional extension a ResultCache may implement to
+// store bottleneck profiles alongside metrics. Profiles never affect
+// cell identity — they are a richer record of the same deterministic
+// run — so a cache entry with a profile also serves unprofiled requests,
+// while an entry without one is only a metrics hit.
+type ProfileCache interface {
+	GetProfile(j Job) (core.Metrics, *obsv.Profile, bool)
+	PutProfile(j Job, m core.Metrics, p *obsv.Profile)
+}
+
+// Cache tiers reported by RunResult.Tier: which layer served the cell.
+const (
+	TierSimulated = "simulated"
+	TierMemo      = "memo"
+	TierDisk      = "disk"
+)
+
+// RunResult is the full outcome of one cell request: the metrics, the
+// bottleneck profile when one was requested, and which cache tier served
+// the request (the trace span's cache-tier attribution).
+type RunResult struct {
+	Metrics core.Metrics
+	Profile *obsv.Profile
+	Tier    string
+}
+
 // cell is one memoized simulation result. done is closed once m and err
 // are valid, so concurrent requesters of the same cell wait instead of
-// re-simulating.
+// re-simulating. prof/profErr/profDone manage the profile upgrade of a
+// cell first computed without one (all three guarded by Scheduler.mu):
+// the first profiled requester re-runs the deterministic simulation with
+// the profiler attached, later ones wait on profDone.
 type cell struct {
 	done chan struct{}
 	m    core.Metrics
 	err  error
+
+	prof     *obsv.Profile
+	profErr  error
+	profDone chan struct{}
 }
 
 // Scheduler is the experiment engine: it expands figure/table requests
@@ -507,8 +541,20 @@ func (s *Scheduler) RunJob(j Job) (core.Metrics, error) {
 // preemptible — so cancellation is effective for queued (not-yet-started)
 // work, which is exactly what gpusimd's DELETE /v1/jobs/{id} needs.
 func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, error) {
+	r, err := s.RunJobEx(ctx, j, false)
+	return r.Metrics, err
+}
+
+// RunJobEx is RunJobContext plus observability: when profile is true the
+// cell runs (or re-runs) with the bottleneck profiler attached, and the
+// result reports which cache tier served the request. Profiling never
+// changes cell identity or metrics — a profiled and an unprofiled
+// request share one cell, and a cell first computed without a profile is
+// deterministically re-simulated once to backfill it (the metrics are
+// provably identical, so only the profile is new information).
+func (s *Scheduler) RunJobEx(ctx context.Context, j Job, profile bool) (RunResult, error) {
 	if err := ctx.Err(); err != nil {
-		return core.Metrics{}, err
+		return RunResult{}, err
 	}
 	// Fail fast on jobs that could never simulate, BEFORE touching the
 	// memo: validation errors need no memoization (re-validating is
@@ -516,10 +562,10 @@ func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, err
 	// a non-finite float — which no map lookup would ever match again —
 	// cannot leak an unreachable cell per call.
 	if err := j.Config.Validate(); err != nil {
-		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+		return RunResult{}, fmt.Errorf("exp: %w", err)
 	}
 	if err := j.Workload.Validate(); err != nil {
-		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+		return RunResult{}, fmt.Errorf("exp: %w", err)
 	}
 	key := j.key()
 	s.mu.Lock()
@@ -529,9 +575,18 @@ func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, err
 		select {
 		case <-c.done:
 			s.hits.Add(1)
-			return c.m, c.err
+			if c.err != nil {
+				return RunResult{Metrics: c.m, Tier: TierMemo}, c.err
+			}
+			s.mu.Lock()
+			prof := c.prof
+			s.mu.Unlock()
+			if !profile || prof != nil {
+				return RunResult{Metrics: c.m, Profile: prof, Tier: TierMemo}, nil
+			}
+			return s.upgradeProfile(ctx, j, c)
 		case <-ctx.Done():
-			return core.Metrics{}, ctx.Err()
+			return RunResult{}, ctx.Err()
 		}
 	}
 	c = &cell{done: make(chan struct{})}
@@ -539,19 +594,96 @@ func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, err
 	s.mu.Unlock()
 
 	if s.results != nil {
-		if m, ok := s.results.Get(j); ok {
-			s.diskHits.Add(1)
-			c.m = m
-			close(c.done)
-			return c.m, nil
+		if pc, ok := s.results.(ProfileCache); ok && profile {
+			// A profiled request only counts a disk hit when the entry
+			// already carries a profile; metrics-only entries still need
+			// the profiled re-simulation below.
+			if m, p, ok := pc.GetProfile(j); ok && p != nil {
+				s.diskHits.Add(1)
+				c.m = m
+				s.mu.Lock()
+				c.prof = p
+				s.mu.Unlock()
+				close(c.done)
+				return RunResult{Metrics: m, Profile: p, Tier: TierDisk}, nil
+			}
+		} else if !profile {
+			if m, ok := s.results.Get(j); ok {
+				s.diskHits.Add(1)
+				c.m = m
+				close(c.done)
+				return RunResult{Metrics: m, Tier: TierDisk}, nil
+			}
 		}
 	}
-	c.m, c.err = s.simulate(j)
+	var p *obsv.Profile
+	c.m, p, c.err = s.simulate(j, profile)
 	if c.err == nil && s.results != nil {
-		s.results.Put(j, c.m)
+		if pc, ok := s.results.(ProfileCache); ok && p != nil {
+			pc.PutProfile(j, c.m, p)
+		} else {
+			s.results.Put(j, c.m)
+		}
 	}
+	s.mu.Lock()
+	c.prof = p
+	s.mu.Unlock()
 	close(c.done)
-	return c.m, c.err
+	return RunResult{Metrics: c.m, Profile: p, Tier: TierSimulated}, c.err
+}
+
+// upgradeProfile backfills the profile of a memoized cell first computed
+// without one: the first profiled requester consults the disk cache and
+// otherwise re-runs the deterministic simulation with the profiler
+// attached; concurrent profiled requesters wait on the same upgrade.
+func (s *Scheduler) upgradeProfile(ctx context.Context, j Job, c *cell) (RunResult, error) {
+	s.mu.Lock()
+	if c.prof != nil {
+		prof := c.prof
+		s.mu.Unlock()
+		return RunResult{Metrics: c.m, Profile: prof, Tier: TierMemo}, nil
+	}
+	owner := c.profDone == nil
+	if owner {
+		c.profDone = make(chan struct{})
+	}
+	ch := c.profDone
+	s.mu.Unlock()
+
+	if !owner {
+		select {
+		case <-ch:
+			s.mu.Lock()
+			prof, err := c.prof, c.profErr
+			s.mu.Unlock()
+			return RunResult{Metrics: c.m, Profile: prof, Tier: TierMemo}, err
+		case <-ctx.Done():
+			return RunResult{}, ctx.Err()
+		}
+	}
+
+	var p *obsv.Profile
+	var err error
+	tier := TierSimulated
+	if pc, ok := s.results.(ProfileCache); ok && s.results != nil {
+		if _, dp, ok := pc.GetProfile(j); ok && dp != nil {
+			s.diskHits.Add(1)
+			p, tier = dp, TierDisk
+		}
+	}
+	if p == nil {
+		_, p, err = s.simulate(j, true)
+		if err == nil {
+			if pc, ok := s.results.(ProfileCache); ok && s.results != nil {
+				pc.PutProfile(j, c.m, p)
+			}
+		}
+	}
+	s.mu.Lock()
+	c.prof, c.profErr = p, err
+	s.mu.Unlock()
+	close(ch)
+	return RunResult{Metrics: c.m, Profile: p, Tier: tier}, err
 }
 
 // simulate runs one cell for real. The configuration resolves through
@@ -559,30 +691,36 @@ func (s *Scheduler) RunJobContext(ctx context.Context, j Job) (core.Metrics, err
 // config.Validate) and the workload through the error-returning spec
 // path, so malformed user input — an inline spec, config or patch a
 // daemon accepted over the wire — surfaces as a job error, never a panic.
-func (s *Scheduler) simulate(j Job) (core.Metrics, error) {
+func (s *Scheduler) simulate(j Job, profile bool) (core.Metrics, *obsv.Profile, error) {
 	cfg, err := j.Config.Resolve()
 	if err != nil {
-		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+		return core.Metrics{}, nil, fmt.Errorf("exp: %w", err)
 	}
 	if err := cfg.Validate(); err != nil {
-		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+		return core.Metrics{}, nil, fmt.Errorf("exp: %w", err)
 	}
 	wl, err := j.Workload.Build()
 	if err != nil {
-		return core.Metrics{}, fmt.Errorf("exp: %w", err)
+		return core.Metrics{}, nil, fmt.Errorf("exp: %w", err)
 	}
 	label := j.Workload.Label()
 	s.simulated.Add(1)
-	m, err := core.RunWorkload(cfg, wl)
+	var m core.Metrics
+	var p *obsv.Profile
+	if profile {
+		m, p, err = core.RunWorkloadProfiled(cfg, wl)
+	} else {
+		m, err = core.RunWorkload(cfg, wl)
+	}
 	s.simCycles.Add(m.Cycles)
 	if err != nil {
-		return m, fmt.Errorf("exp: %s on %s: %w", label, cfg.Name, err)
+		return m, nil, fmt.Errorf("exp: %s on %s: %w", label, cfg.Name, err)
 	}
 	if m.Truncated {
-		return m, fmt.Errorf("exp: %s on %s truncated at %d cycles", label, cfg.Name, m.Cycles)
+		return m, nil, fmt.Errorf("exp: %s on %s truncated at %d cycles", label, cfg.Name, m.Cycles)
 	}
 	s.logf("ran %s on %s (%d cycles)\n", label, cfg.Name, m.Cycles)
-	return m, nil
+	return m, p, nil
 }
 
 // logf writes one serialized progress line, if a progress sink is set.

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gpumembw/internal/config"
+)
+
+// profileBytes runs one profiled cell on a fresh scheduler and returns
+// the profile's canonical JSON encoding.
+func profileBytes(t *testing.T, workers int, bench string) []byte {
+	t.Helper()
+	s := NewScheduler(WithWorkers(workers))
+	res, err := s.RunJobEx(context.Background(), BenchJob(config.Baseline(), bench), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("profiled run returned no profile")
+	}
+	if res.Tier != TierSimulated {
+		t.Fatalf("tier = %q, want %q on a cold scheduler", res.Tier, TierSimulated)
+	}
+	b, err := json.Marshal(res.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestProfileDeterministicAcrossRunsAndWorkerCounts(t *testing.T) {
+	first := profileBytes(t, 1, "leukocyte")
+	again := profileBytes(t, 1, "leukocyte")
+	if !bytes.Equal(first, again) {
+		t.Fatal("same cell profiled twice produced different JSON")
+	}
+	parallel := profileBytes(t, 8, "leukocyte")
+	if !bytes.Equal(first, parallel) {
+		t.Fatal("profile differs between -j 1 and -j 8 schedulers")
+	}
+}
+
+func TestProfilingDoesNotPerturbMetrics(t *testing.T) {
+	// The observer-effect gate: attaching the profiler must not change a
+	// single metric bit — profiled and unprofiled runs are the same cell.
+	job := BenchJob(config.Baseline(), "leukocyte")
+	plain, err := NewScheduler().RunJobEx(context.Background(), job, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiled, err := NewScheduler().RunJobEx(context.Background(), job, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(plain.Metrics)
+	b, _ := json.Marshal(profiled.Metrics)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("profiling changed the metrics:\n--- off ---\n%s\n--- on ---\n%s", a, b)
+	}
+}
+
+func TestProfileUpgradeKeepsMemoizedMetrics(t *testing.T) {
+	// A cell first run without profiling must serve later profiled
+	// requests from the memo tier: metrics identical, profile computed by
+	// re-running the deterministic simulation once.
+	s := NewScheduler()
+	job := BenchJob(config.Baseline(), "leukocyte")
+	plain, err := s.RunJobEx(context.Background(), job, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.RunJobEx(context.Background(), job, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Tier != TierSimulated {
+		// The upgrade owner really re-simulates (for the profile), so its
+		// tier is "simulated"; concurrent waiters see "memo".
+		t.Fatalf("tier = %q, want %q (the upgrade re-runs the cell)", up.Tier, TierSimulated)
+	}
+	if up.Profile == nil {
+		t.Fatal("profile upgrade returned no profile")
+	}
+	a, _ := json.Marshal(plain.Metrics)
+	b, _ := json.Marshal(up.Metrics)
+	if !bytes.Equal(a, b) {
+		t.Fatal("profile upgrade changed the memoized metrics")
+	}
+}
+
+func TestConcurrentProfiledRequestsShareOneUpgrade(t *testing.T) {
+	s := NewScheduler()
+	job := BenchJob(config.Baseline(), "leukocyte")
+	if _, err := s.RunJobEx(context.Background(), job, false); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats().Simulated
+	var wg sync.WaitGroup
+	profiles := make([][]byte, 8)
+	for i := range profiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.RunJobEx(context.Background(), job, true)
+			if err != nil || res.Profile == nil {
+				t.Errorf("profiled request %d: res=%+v err=%v", i, res, err)
+				return
+			}
+			profiles[i], _ = json.Marshal(res.Profile)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range profiles[1:] {
+		if !bytes.Equal(p, profiles[0]) {
+			t.Fatal("concurrent profiled requests returned different profiles")
+		}
+	}
+	if got := s.Stats().Simulated - base; got != 1 {
+		t.Fatalf("profile upgrade simulated %d times, want 1 (waiters must share)", got)
+	}
+}

@@ -272,3 +272,19 @@ func (n *Network) arbitrate(d int) int {
 func (n *Network) InFlight() int64 {
 	return n.Stats.PacketsInjected - n.Stats.PacketsDelivered
 }
+
+// PortOcc reports output-port activity for the profiler: busy counts
+// outputs at least one source is targeting, contended counts outputs
+// more than one source is competing for (the crossbar's port-contention
+// gauge), and total is the number of output ports.
+func (n *Network) PortOcc() (busy, contended, total int) {
+	for _, w := range n.dstWork {
+		if w > 0 {
+			busy++
+		}
+		if w > 1 {
+			contended++
+		}
+	}
+	return busy, contended, len(n.dstWork)
+}

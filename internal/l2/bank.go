@@ -405,3 +405,21 @@ func (b *Bank) dramWrite(addr uint64, orig *mem.Fetch) *mem.Fetch {
 	}
 	return f
 }
+
+// MSHROcc reports the bank's MSHR live-entry count — the profiler's
+// l2/mshr gauge (capacity is the config's L2.MSHREntries).
+func (b *Bank) MSHROcc() int { return b.mshr.Len() }
+
+// MissQueueOcc reports the miss queue's occupancy and capacity — the
+// profiler's l2/miss-queue gauge.
+func (b *Bank) MissQueueOcc() (length, capacity int) {
+	return b.missQ.Len(), b.missQ.Cap()
+}
+
+// Busy reports whether the bank is doing or holding work this cycle:
+// its data port is mid-transfer, requests wait in the access queue, or a
+// fill is still draining merged replies. The profiler's l2/bank-busy
+// series is the fraction of banks for which this holds.
+func (b *Bank) Busy() bool {
+	return b.portBusyUntil > b.now || !b.accessQ.Empty() || len(b.fillPending) > 0
+}

@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+var testDefs = []GaugeDef{
+	{Level: "l1", Gauge: "mshr"},
+	{Level: "l2", Gauge: "bank-busy"},
+	{Level: "dram", Gauge: "bus-busy"},
+}
+
+// lcg is a tiny deterministic generator so tests never depend on seed
+// plumbing; values land in [0, 1).
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / float64(1<<53)
+}
+
+func (r *lcg) vec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.next()
+	}
+	return v
+}
+
+func snapshotJSON(t *testing.T, p *Profiler) []byte {
+	t.Helper()
+	b, err := json.Marshal(p.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecordNMatchesRepeatedRecord(t *testing.T) {
+	// The bulk fast-forward path must be indistinguishable from sampling
+	// the same frozen vector cycle by cycle — including across window
+	// boundaries and budget doublings.
+	perCycle := NewProfiler(testDefs)
+	bulk := NewProfiler(testDefs)
+	r := lcg{s: 42}
+	spans := []int64{1, 3, 700, 2, 511, 1024, 5, 97}
+	for _, n := range spans {
+		v := r.vec(len(testDefs))
+		for i := int64(0); i < n; i++ {
+			perCycle.Record(v)
+		}
+		bulk.RecordN(v, n)
+	}
+	a, b := snapshotJSON(t, perCycle), snapshotJSON(t, bulk)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("RecordN diverged from repeated Record:\n%s\n%s", a, b)
+	}
+}
+
+func TestWindowDoublingKeepsBudget(t *testing.T) {
+	p := NewProfiler(testDefs[:1])
+	// 600 one-cycle records: the 512th flush merges pairwise to 256
+	// two-cycle windows, the remaining 88 cycles fill 44 more.
+	v := []float64{0.5}
+	for i := 0; i < 600; i++ {
+		p.Record(v)
+	}
+	s := p.Snapshot()
+	if s.Cycles != 600 || s.WindowCycles != 2 || s.Windows != 300 {
+		t.Fatalf("cycles=%d windowCycles=%d windows=%d, want 600/2/300", s.Cycles, s.WindowCycles, s.Windows)
+	}
+	for wi, m := range s.Series[0].Mean {
+		if m != 0.5 {
+			t.Fatalf("window %d mean = %v, want 0.5 (merge must preserve means)", wi, m)
+		}
+	}
+}
+
+func TestPartialTailWindow(t *testing.T) {
+	p := NewProfiler(testDefs[:1])
+	for i := 0; i < 600; i++ {
+		p.Record([]float64{0.25})
+	}
+	p.Record([]float64{1.0}) // 601st cycle opens a 1-cycle tail
+	s := p.Snapshot()
+	if s.Windows != 301 {
+		t.Fatalf("windows = %d, want 301 (300 full + partial tail)", s.Windows)
+	}
+	means := s.Series[0].Mean
+	if got := means[len(means)-1]; got != 1.0 {
+		t.Fatalf("tail mean = %v, want 1.0 (tail must divide by its own cycle count)", got)
+	}
+}
+
+func TestSnapshotIsRepeatable(t *testing.T) {
+	p := NewProfiler(testDefs)
+	r := lcg{s: 7}
+	for i := 0; i < 1000; i++ {
+		p.Record(r.vec(len(testDefs)))
+	}
+	a, b := snapshotJSON(t, p), snapshotJSON(t, p)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two snapshots of the same profiler differ")
+	}
+}
+
+func TestVerdictPicksLongestSaturated(t *testing.T) {
+	p := NewProfiler(testDefs)
+	// dram saturated for 30 cycles, l2 for 10, l1 never.
+	for i := 0; i < 30; i++ {
+		v := []float64{0.2, 0.3, 0.95}
+		if i < 10 {
+			v[1] = 0.99
+		}
+		p.Record(v)
+	}
+	s := p.Snapshot()
+	if s.Verdict.Bottleneck != "dram" {
+		t.Fatalf("bottleneck = %q, want dram: %+v", s.Verdict.Bottleneck, s.Verdict)
+	}
+	for _, lv := range s.Verdict.Levels {
+		switch lv.Level {
+		case "l1":
+			if lv.SaturatedWindows != 0 || lv.FirstSaturatedWindow != -1 {
+				t.Fatalf("l1 verdict %+v, want unsaturated", lv)
+			}
+		case "dram":
+			if lv.FirstSaturatedWindow != 0 {
+				t.Fatalf("dram first saturated window = %d, want 0", lv.FirstSaturatedWindow)
+			}
+		}
+	}
+}
+
+func TestVerdictTieBreaksOnEarlierOnset(t *testing.T) {
+	p := NewProfiler(testDefs)
+	// l2 and dram each saturate for 20 cycles; l2 starts earlier.
+	for i := 0; i < 40; i++ {
+		v := []float64{0.1, 0.1, 0.1}
+		if i < 20 {
+			v[1] = 0.95 // l2 first
+		} else {
+			v[2] = 0.95 // dram later
+		}
+		p.Record(v)
+	}
+	if s := p.Snapshot(); s.Verdict.Bottleneck != "l2" {
+		t.Fatalf("bottleneck = %q, want l2 (earlier onset wins the tie)", s.Verdict.Bottleneck)
+	}
+}
+
+func TestVerdictNoSaturationFallsBackToHighestMean(t *testing.T) {
+	p := NewProfiler(testDefs)
+	for i := 0; i < 50; i++ {
+		p.Record([]float64{0.2, 0.6, 0.4})
+	}
+	s := p.Snapshot()
+	if s.Verdict.Bottleneck != "l2" {
+		t.Fatalf("bottleneck = %q, want l2 (highest sustained utilization)", s.Verdict.Bottleneck)
+	}
+	if s.Verdict.Reason != "no level saturated; highest sustained utilization" {
+		t.Fatalf("reason = %q", s.Verdict.Reason)
+	}
+}

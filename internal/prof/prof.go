@@ -2,6 +2,11 @@
 // every binary accepts -cpuprofile and -memprofile flags, so a performance
 // regression anywhere in the cycle engine can be diagnosed with `go tool
 // pprof` against the exact workload that exposed it.
+//
+// These flags cover one-shot runs that exit. For the long-lived daemon,
+// prefer gpusimd's -debug-addr, which serves live net/http/pprof
+// endpoints (CPU, heap, goroutine, block) on a separate localhost
+// listener — no restart needed and nothing written to disk.
 package prof
 
 import (

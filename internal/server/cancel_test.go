@@ -42,7 +42,7 @@ func TestCancelStateMachine(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			j, _, err := srv.submit(api.JobSpec{Config: "baseline", Bench: testBench}, cref, ref, "test")
+			j, _, err := srv.submit(api.JobSpec{Config: "baseline", Bench: testBench}, cref, ref, "test", "")
 			if err != nil {
 				t.Fatal(err)
 			}

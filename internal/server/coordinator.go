@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -34,6 +35,10 @@ type CoordinatorOptions struct {
 	ProbeFails int
 	// ErrLog, when non-nil, receives reassignment and probe warnings.
 	ErrLog io.Writer
+	// Logger, when non-nil, receives structured lifecycle events (worker
+	// health transitions, reassignments). nil disables structured logging
+	// (tests); cmd/gpusimd always wires one.
+	Logger *slog.Logger
 }
 
 // coordWorker is one worker's membership record.
@@ -53,7 +58,8 @@ type coordJob struct {
 	id       string
 	spec     api.JobSpec
 	worker   string
-	owner    string // forwarded client identity, for re-submission
+	owner    string    // forwarded client identity, for re-submission
+	placedAt time.Time // taken just before the placement forward, so it precedes the worker's own spans
 	snap     api.Job
 	terminal []byte // raw worker bytes of the terminal snapshot
 }
@@ -78,6 +84,7 @@ type Coordinator struct {
 	proxy      *http.Client // no timeout: carries ?wait= long-polls
 	probe      *http.Client // ProbeTimeout per probe
 	errlog     io.Writer
+	log        *slog.Logger
 
 	mu         sync.Mutex
 	workers    []*coordWorker
@@ -119,6 +126,10 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		jobs:       make(map[string]*coordJob),
 		sweeps:     make(map[string]*sweepRec),
 		stop:       make(chan struct{}),
+	}
+	co.log = opts.Logger
+	if co.log == nil {
+		co.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	seen := make(map[string]bool)
 	for _, addr := range opts.Workers {
@@ -189,6 +200,8 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", co.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", co.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", co.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", co.handleJobProfile)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", co.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", co.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", co.handleSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", co.handleSweepGet)
@@ -196,7 +209,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/configs", handleConfigs)
 	mux.HandleFunc("GET /v1/cluster", co.handleCluster)
 	mux.HandleFunc("POST /v1/cluster/drain", co.handleDrain)
-	return instrument(mux, co.httpRequests, co.httpLatency)
+	return withTrace(instrument(mux, co.httpRequests, co.httpLatency))
 }
 
 // Shutdown stops the health prober. In-flight proxied requests finish
@@ -279,6 +292,12 @@ func (co *Coordinator) forward(ctx context.Context, workerAddr, method, pathAndQ
 	if identity != "" {
 		req.Header.Set("X-API-Key", identity)
 	}
+	// Propagate the request's trace ID to the worker, so one X-Trace-Id
+	// follows a submission from the fleet entry point to the simulating
+	// daemon (the cluster smoke test pins this survival).
+	if id := traceIDFrom(ctx); id != "" {
+		req.Header.Set(api.TraceHeader, id)
+	}
 	return co.proxy.Do(req)
 }
 
@@ -312,18 +331,37 @@ func relay(w http.ResponseWriter, resp *http.Response, out any) []byte {
 func (co *Coordinator) markWorkerFailed(addr string, cause error) {
 	co.mu.Lock()
 	var failed *coordWorker
+	fails := 0
 	for _, w := range co.workers {
 		if w.addr == addr && w.healthy {
 			w.healthy = false
 			w.fails = max(w.fails, co.probeFails)
 			failed = w
+			fails = w.fails
 		}
 	}
+	pending := co.pendingCellsLocked(addr)
 	co.mu.Unlock()
 	if failed != nil {
 		co.warnf("worker %s unreachable (%v); reassigning its cells", addr, cause)
+		co.log.Warn("worker health transition", "worker", addr,
+			"oldState", "healthy", "newState", "unhealthy",
+			"consecutiveFailures", fails, "reassignedCells", pending,
+			"cause", cause.Error())
 		go co.reassignWorker(addr)
 	}
+}
+
+// pendingCellsLocked counts the non-terminal cells placed on addr — the
+// reassignment workload a health transition implies. Callers hold co.mu.
+func (co *Coordinator) pendingCellsLocked(addr string) int {
+	n := 0
+	for _, j := range co.jobs {
+		if j.worker == addr && !j.snap.State.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // reassignWorker re-submits every non-terminal cell placed on addr to a
@@ -339,14 +377,20 @@ func (co *Coordinator) reassignWorker(addr string) {
 		}
 	}
 	co.mu.Unlock()
+	moved, failed := 0, 0
 	for _, j := range moving {
 		if _, err := co.placeJob(context.Background(), j.id, j.spec, j.owner, map[string]bool{addr: true}); err != nil {
 			co.warnf("reassign %s off %s: %v", j.id, addr, err)
+			failed++
 			continue
 		}
 		co.mu.Lock()
 		co.reassigned++
 		co.mu.Unlock()
+		moved++
+	}
+	if moved > 0 || failed > 0 {
+		co.log.Info("cells reassigned", "worker", addr, "moved", moved, "failed", failed)
 	}
 }
 
@@ -369,19 +413,21 @@ func (co *Coordinator) placeJob(ctx context.Context, id string, spec api.JobSpec
 		if w == nil {
 			return nil, errNoWorkers()
 		}
+		placed := time.Now()
 		resp, err := co.forward(ctx, w.addr, http.MethodPost, "/v1/jobs", identity, body)
 		if err != nil {
 			exclude[w.addr] = true
 			co.markWorkerFailed(w.addr, err)
 			continue
 		}
-		co.trackJob(id, spec, w.addr, identity)
+		co.trackJob(id, spec, w.addr, identity, placed)
 		return resp, nil
 	}
 }
 
-// trackJob records (or moves) a cell's placement.
-func (co *Coordinator) trackJob(id string, spec api.JobSpec, workerAddr, identity string) *coordJob {
+// trackJob records (or moves) a cell's placement. placed is taken before
+// the placement forward so the coordinator's span precedes the worker's.
+func (co *Coordinator) trackJob(id string, spec api.JobSpec, workerAddr, identity string, placed time.Time) *coordJob {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	j, ok := co.jobs[id]
@@ -391,6 +437,7 @@ func (co *Coordinator) trackJob(id string, spec api.JobSpec, workerAddr, identit
 		co.jobs[id] = j
 	}
 	j.worker = workerAddr
+	j.placedAt = placed
 	return j
 }
 
@@ -503,6 +550,83 @@ func (co *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		co.observe(snap, raw)
 		return
 	}
+}
+
+// handleJobProfile relays GET /v1/jobs/{id}/profile from the owning
+// worker (or by fanout for cells placed elsewhere). The worker's payload
+// — profile or 404 envelope — is proxied verbatim: profiles are
+// deterministic artifacts, identical whichever worker produced them.
+func (co *Coordinator) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	co.mu.Lock()
+	j, tracked := co.jobs[id]
+	var worker string
+	if tracked {
+		worker = j.worker
+	}
+	co.mu.Unlock()
+	path := "/v1/jobs/" + id + "/profile"
+	if !tracked {
+		co.fanoutGet(w, r, path)
+		return
+	}
+	resp, err := co.forward(r.Context(), worker, http.MethodGet, path, forwardIdentity(r), nil)
+	if err != nil {
+		co.markWorkerFailed(worker, err)
+		writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("server: worker %s unreachable: %v", worker, err)})
+		return
+	}
+	relay(w, resp, nil)
+}
+
+// handleJobTrace relays GET /v1/jobs/{id}/trace from the owning worker,
+// prepending the coordinator's own placement marker so the timeline
+// shows the fleet hop in front of the worker's lifecycle spans.
+func (co *Coordinator) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	co.mu.Lock()
+	j, tracked := co.jobs[id]
+	var worker string
+	var placedAt time.Time
+	if tracked {
+		worker, placedAt = j.worker, j.placedAt
+	}
+	co.mu.Unlock()
+	path := "/v1/jobs/" + id + "/trace"
+	if !tracked {
+		co.fanoutGet(w, r, path)
+		return
+	}
+	resp, err := co.forward(r.Context(), worker, http.MethodGet, path, forwardIdentity(r), nil)
+	if err != nil {
+		co.markWorkerFailed(worker, err)
+		writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("server: worker %s unreachable: %v", worker, err)})
+		return
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if rerr != nil {
+		writeError(w, fmt.Errorf("server: reading worker response: %w", rerr))
+		return
+	}
+	var tr api.Trace
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &tr) != nil {
+		// Not a trace payload (error envelope, decode failure): proxy it
+		// byte-for-byte like any other worker response.
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data) //nolint:errcheck // response committed
+		return
+	}
+	end := placedAt
+	placed := api.Span{Name: "placed", Start: placedAt, End: &end,
+		Attrs: map[string]string{"worker": worker}}
+	tr.Spans = append([]api.Span{placed}, tr.Spans...)
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // fanoutGet proxies a GET to every worker until one answers non-404;
@@ -626,6 +750,7 @@ func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 				writeError(w, merr)
 				return
 			}
+			placed := time.Now()
 			resp, ferr := co.forward(r.Context(), addr, http.MethodPost, "/v1/sweeps", identity, body)
 			if ferr != nil {
 				// Transport failure: the shard moves to the next pick.
@@ -651,7 +776,7 @@ func (co *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			for i, job := range sr.Jobs {
 				byID[job.ID] = job
-				co.trackJob(job.ID, cells[i].spec, addr, identity)
+				co.trackJob(job.ID, cells[i].spec, addr, identity, placed)
 				co.observe(job, nil)
 			}
 			admitted = append(admitted, shard{addr: addr, cells: cells})
@@ -1005,22 +1130,39 @@ func (co *Coordinator) probeAll() {
 	co.mu.Unlock()
 	for _, wk := range workers {
 		ok := co.probeOne(wk.addr)
-		var lost string
+		var lost, recovered string
+		var lostPending, fails int
 		co.mu.Lock()
 		wk.lastProbe = time.Now()
 		if ok {
+			if !wk.healthy {
+				recovered = wk.addr
+				fails = wk.fails
+			}
 			wk.fails = 0
 			wk.healthy = true
 		} else {
 			wk.fails++
+			fails = wk.fails
 			if wk.healthy && wk.fails >= co.probeFails {
 				wk.healthy = false
 				lost = wk.addr
+				lostPending = co.pendingCellsLocked(wk.addr)
 			}
 		}
 		co.mu.Unlock()
+		if recovered != "" {
+			// The recovery transition is logged symmetrically with the loss:
+			// operators watching the stream see both edges, not just one.
+			co.log.Info("worker health transition", "worker", recovered,
+				"oldState", "unhealthy", "newState", "healthy",
+				"consecutiveFailures", fails, "reassignedCells", 0)
+		}
 		if lost != "" {
 			co.warnf("worker %s failed %d consecutive probes; reassigning its cells", lost, co.probeFails)
+			co.log.Warn("worker health transition", "worker", lost,
+				"oldState", "healthy", "newState", "unhealthy",
+				"consecutiveFailures", fails, "reassignedCells", lostPending)
 			co.reassignWorker(lost)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/obsv"
 )
 
 // cacheSchema versions the on-disk entry layout; entries written by an
@@ -35,11 +36,12 @@ const journalCompactFactor = 8
 // bumped) are treated as misses, so a reused -cache-dir can never serve
 // metrics that a freshly built `gpusim -json` would not reproduce.
 type cacheEntry struct {
-	Schema     int          `json:"schema"`
-	SimVersion string       `json:"simVersion"`
-	Bench      string       `json:"bench"`
-	Config     string       `json:"config"`
-	Metrics    core.Metrics `json:"metrics"`
+	Schema     int           `json:"schema"`
+	SimVersion string        `json:"simVersion"`
+	Bench      string        `json:"bench"`
+	Config     string        `json:"config"`
+	Metrics    core.Metrics  `json:"metrics"`
+	Profile    *obsv.Profile `json:"profile,omitempty"` // present only for profiled runs
 }
 
 // cacheRecord is the in-memory accounting for one spill file.
@@ -243,29 +245,43 @@ func (c *diskCache) warnf(format string, args ...any) {
 // stale-versioned spill files are misses — the cell re-simulates and the
 // next Put overwrites the damage — never errors or poisoned results.
 func (c *diskCache) Get(j exp.Job) (core.Metrics, bool) {
+	e, ok := c.read(j)
+	return e.Metrics, ok
+}
+
+// GetProfile implements exp.ProfileCache: a hit whose entry was written
+// by an unprofiled run returns a nil profile — the scheduler treats that
+// as "metrics only" and re-simulates with the profiler attached.
+func (c *diskCache) GetProfile(j exp.Job) (core.Metrics, *obsv.Profile, bool) {
+	e, ok := c.read(j)
+	return e.Metrics, e.Profile, ok
+}
+
+// read loads and validates one spill entry, touching its LRU recency.
+func (c *diskCache) read(j exp.Job) (cacheEntry, bool) {
 	id := j.CellID()
 	data, err := os.ReadFile(filepath.Join(c.dir, id+".json"))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.warnf("cache read %s: %v", id, err)
 		}
-		return core.Metrics{}, false
+		return cacheEntry{}, false
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Schema != cacheSchema {
 		c.warnf("cache entry %s ignored (schema %d, err %v)", id, e.Schema, err)
-		return core.Metrics{}, false
+		return cacheEntry{}, false
 	}
 	if e.SimVersion != core.SimVersion {
 		c.warnf("cache entry %s ignored (simulator %q, running %q)", id, e.SimVersion, core.SimVersion)
-		return core.Metrics{}, false
+		return cacheEntry{}, false
 	}
 	c.mu.Lock()
 	if el, ok := c.entries[id]; ok {
 		c.touchLocked(id, el)
 	}
 	c.mu.Unlock()
-	return e.Metrics, true
+	return e, true
 }
 
 // Put implements exp.ResultCache. The write is atomic (temp file +
@@ -273,6 +289,17 @@ func (c *diskCache) Get(j exp.Job) (core.Metrics, bool) {
 // size accounting and LRU eviction run under the cache lock after the
 // rename lands.
 func (c *diskCache) Put(j exp.Job, m core.Metrics) {
+	c.write(j, m, nil)
+}
+
+// PutProfile implements exp.ProfileCache: the entry carries the profile
+// alongside the metrics, so a later disk hit returns both. Profiles are
+// cache-tier artifacts — a disk-hit job returns the cached profile.
+func (c *diskCache) PutProfile(j exp.Job, m core.Metrics, p *obsv.Profile) {
+	c.write(j, m, p)
+}
+
+func (c *diskCache) write(j exp.Job, m core.Metrics, p *obsv.Profile) {
 	id := j.CellID()
 	data, err := json.Marshal(cacheEntry{
 		Schema:     cacheSchema,
@@ -280,6 +307,7 @@ func (c *diskCache) Put(j exp.Job, m core.Metrics) {
 		Bench:      j.Workload.Label(),
 		Config:     j.Config.Label(),
 		Metrics:    m,
+		Profile:    p,
 	})
 	if err != nil {
 		c.warnf("cache marshal %s: %v", id, err)

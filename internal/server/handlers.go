@@ -21,6 +21,8 @@ import (
 //	POST   /v1/jobs           submit one cell (api.JobSpec)
 //	GET    /v1/jobs           list jobs (?state=&limit=&page_token=)
 //	GET    /v1/jobs/{id}      poll one job (?wait= long-polls)
+//	GET    /v1/jobs/{id}/profile  bottleneck profile of a Profile=true run
+//	GET    /v1/jobs/{id}/trace    lifecycle span timeline
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	POST   /v1/sweeps         submit a config×workload cross product
 //	GET    /v1/sweeps/{id}    poll one sweep (?wait= long-polls)
@@ -39,12 +41,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.limited(s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
 	mux.HandleFunc("POST /v1/sweeps", s.limited(s.handleSweep))
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/benchmarks", handleBenchmarks)
 	mux.HandleFunc("GET /v1/configs", handleConfigs)
-	return instrument(mux, s.httpRequests, s.httpLatency)
+	return withTrace(instrument(mux, s.httpRequests, s.httpLatency))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -101,7 +105,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	j, created, err := s.submit(spec, cref, ref, clientKey(r))
+	j, created, err := s.submit(spec, cref, ref, clientKey(r), traceIDFrom(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -127,6 +131,50 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+// handleProfile serves a finished Profile=true job's bottleneck profile.
+// Until the job is done (or when it ran unprofiled) the resource does not
+// exist yet: 404 with a detail explaining which case applies.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)})
+		return
+	}
+	state := j.State
+	prof := j.profile
+	payload := api.JobProfile{JobID: j.ID, Config: j.cref.Label(), Bench: j.ref.Label(), Profile: prof}
+	s.mu.Unlock()
+	switch {
+	case prof != nil:
+		writeJSON(w, http.StatusOK, payload)
+	case state == api.JobDone:
+		writeError(w, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("server: job %q ran without profiling; resubmit it with profile=true", id)})
+	default:
+		writeError(w, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("server: job %q is %s; its profile appears when a profile=true run completes", id, state)})
+	}
+}
+
+// handleTrace serves the job's lifecycle span timeline. Unlike the
+// profile, the trace exists from the moment the job is submitted.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("server: unknown job %q", id)})
+		return
+	}
+	tr := j.traceView()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +305,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.submitSweep(ex, clientKey(r))
+	resp, err := s.submitSweep(ex, clientKey(r), traceIDFrom(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return

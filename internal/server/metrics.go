@@ -30,6 +30,10 @@ func (s *Server) initMetrics() {
 		"Requests rejected with 429 by the per-client rate limit.")
 	s.quotaDenied = r.Counter("gpusimd_quota_denied_total",
 		"Job enqueues rejected with 429 by the per-client inflight quota.")
+	s.traceSpans = r.Counter("gpusimd_trace_spans_total",
+		"Job lifecycle spans recorded (queued, running, terminal markers).")
+	s.stageLatency = r.HistogramVec("gpusimd_job_stage_seconds",
+		"Job stage wall-clock duration in seconds, by lifecycle stage.", []string{"stage"}, metrics.DefBuckets)
 
 	r.GaugeFunc("gpusimd_workers", "Simulation worker-pool size.",
 		func() float64 { return float64(s.workers) })

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"gpumembw/internal/config"
 	"gpumembw/internal/exp"
 	"gpumembw/internal/metrics"
+	"gpumembw/internal/obsv"
 	"gpumembw/internal/trace"
 )
 
@@ -80,6 +82,10 @@ type Options struct {
 	Progress io.Writer
 	// ErrLog, when non-nil, receives disk-cache I/O warnings.
 	ErrLog io.Writer
+	// Logger, when non-nil, receives structured lifecycle events (job
+	// transitions with trace IDs, cache-tier attribution). nil disables
+	// structured logging (tests); cmd/gpusimd always wires one.
+	Logger *slog.Logger
 }
 
 // job is the server-side job record. Mutable fields are guarded by
@@ -99,6 +105,12 @@ type job struct {
 	gen     uint64
 	owner   string
 	charged bool
+
+	// spans is the lifecycle timeline served by GET /v1/jobs/{id}/trace;
+	// profile is the bottleneck profile of a Profile=true run, served by
+	// GET /v1/jobs/{id}/profile once the job is done.
+	spans   []api.Span
+	profile *obsv.Profile
 }
 
 // Server owns the scheduler, the job table and the worker pool. Create
@@ -128,6 +140,10 @@ type Server struct {
 	httpLatency  *metrics.HistogramVec
 	rateLimited  *metrics.Counter
 	quotaDenied  *metrics.Counter
+	traceSpans   *metrics.Counter
+	stageLatency *metrics.HistogramVec
+
+	log *slog.Logger
 
 	wg sync.WaitGroup
 }
@@ -208,6 +224,10 @@ func newServer(opts Options) (*Server, error) {
 	if opts.RateLimit > 0 {
 		s.limiter = newLimiter(opts.RateLimit, opts.RateBurst)
 	}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.initMetrics()
 	return s, nil
@@ -243,11 +263,22 @@ func (s *Server) worker() {
 		gen := j.gen
 		now := time.Now()
 		j.StartedAt = &now
+		// The queued span is the open tail span; measure queue latency from
+		// its start (not SubmittedAt, which a re-enqueue does not reset).
+		if n := len(j.spans); n > 0 && j.spans[n-1].End == nil {
+			s.stageLatency.With("queued").Observe(now.Sub(j.spans[n-1].Start).Seconds())
+		}
+		j.endSpan(now) // close the queued span
+		j.beginSpan("running", now, nil)
+		s.traceSpans.Add(1)
+		profile := j.Spec.Profile
 		ctx := j.ctx
 		s.mu.Unlock()
+		s.log.Info("job running", "job", j.ID, "trace", j.TraceID,
+			"config", j.cref.Label(), "bench", j.ref.Label(), "profile", profile)
 
 		s.running.Add(1)
-		m, err := s.sched.RunJobContext(ctx, exp.Job{Config: j.cref, Workload: j.ref})
+		res, err := s.sched.RunJobEx(ctx, exp.Job{Config: j.cref, Workload: j.ref}, profile)
 		s.running.Add(-1)
 
 		s.mu.Lock()
@@ -261,20 +292,35 @@ func (s *Server) worker() {
 		}
 		done := time.Now()
 		j.FinishedAt = &done
+		j.spanAttr("tier", res.Tier)
+		s.stageLatency.With("running").Observe(done.Sub(now).Seconds())
 		if err != nil {
 			j.State = api.JobFailed
 			j.Error = err.Error()
+			j.spanAttr("error", err.Error())
 		} else {
 			// The memo and disk caches may have simulated this cell under
 			// different config/workload labels; the job answers with its own.
+			m := res.Metrics
 			m.Config = j.cref.Label()
 			m.Benchmark = j.ref.Label()
 			j.State = api.JobDone
 			j.Metrics = &m
+			j.profile = res.Profile
 		}
+		j.markTerminal(j.State, done)
+		s.traceSpans.Add(1)
+		state, traceID := j.State, j.TraceID
 		s.releaseQuotaLocked(j)
 		s.broadcastLocked()
 		s.mu.Unlock()
+		if err != nil {
+			s.log.Warn("job failed", "job", j.ID, "trace", traceID, "tier", res.Tier, "err", err)
+		} else {
+			s.log.Info("job "+string(state), "job", j.ID, "trace", traceID,
+				"tier", res.Tier, "cycles", res.Metrics.Cycles,
+				"wallMs", done.Sub(now).Milliseconds(), "profiled", res.Profile != nil)
+		}
 	}
 }
 
@@ -398,21 +444,36 @@ func (s *Server) releaseQuotaLocked(j *job) {
 
 // submit enqueues one resolved cell, deduplicating against the job table.
 // It returns the job and true if this call created or re-enqueued it.
-// owner is the submitting client's quota identity.
-func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRef, owner string) (*job, bool, error) {
+// owner is the submitting client's quota identity; traceID is the
+// request's trace ID, adopted by jobs this call creates or revives.
+func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRef, owner, traceID string) (*job, bool, error) {
 	id := cellID(cref, ref)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
-		// Canceled jobs are re-enqueueable. Everything else — including
-		// failed ones: the simulator is deterministic and the scheduler
+		// Canceled jobs are re-enqueueable, and so is a done-but-unprofiled
+		// job resubmitted with Profile=true: the metrics are memoized, so
+		// the re-run only adds the profile. Everything else — including
+		// failed jobs: the simulator is deterministic and the scheduler
 		// memoizes errors, so a retry would reproduce the failure — is
 		// shared as-is.
-		if j.State != api.JobCanceled {
+		revive := j.State == api.JobCanceled ||
+			(spec.Profile && j.State == api.JobDone && j.profile == nil)
+		if !revive {
+			if spec.Profile && j.State == api.JobQueued {
+				// Not yet popped: upgrade in place, the worker reads the
+				// flag at pop. (A running unprofiled job can be
+				// resubmitted once it's done.)
+				j.Spec.Profile = true
+			}
 			return j, false, nil
 		}
 		if err := s.quotaErrLocked(owner, 1); err != nil {
 			return nil, false, err
+		}
+		j.Spec.Profile = j.Spec.Profile || spec.Profile
+		if j.TraceID == "" {
+			j.TraceID = traceID
 		}
 		if err := s.enqueueLocked(j); err != nil {
 			return nil, false, err
@@ -428,6 +489,7 @@ func (s *Server) submit(spec api.JobSpec, cref exp.ConfigRef, ref exp.WorkloadRe
 			ID:          id,
 			Spec:        spec,
 			SubmittedAt: time.Now(),
+			TraceID:     traceID,
 		},
 		cref: cref,
 		ref:  ref,
@@ -452,9 +514,12 @@ func (s *Server) enqueueLocked(j *job) error {
 	}
 	j.State = api.JobQueued
 	j.Error = ""
+	j.Metrics = nil
 	j.StartedAt, j.FinishedAt = nil, nil
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.gen++
+	j.beginSpan("queued", time.Now(), nil)
+	s.traceSpans.Add(1)
 	s.pending = append(s.pending, j)
 	s.cond.Signal()
 	return nil
@@ -504,7 +569,7 @@ func sweepID(cells []resolvedCell) string {
 // its job IDs. An admitted sweep is registered (or re-found) as a sweep
 // resource addressable at GET /v1/sweeps/{id}. owner is the submitting
 // client's quota identity.
-func (s *Server) submitSweep(ex *sweepExpansion, owner string) (api.SweepResponse, error) {
+func (s *Server) submitSweep(ex *sweepExpansion, owner, traceID string) (api.SweepResponse, error) {
 	cells := ex.cells
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -528,7 +593,7 @@ func (s *Server) submitSweep(ex *sweepExpansion, owner string) (api.SweepRespons
 		j, ok := s.jobs[c.id]
 		if !ok || j.State == api.JobCanceled {
 			if !ok {
-				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now()}, cref: c.cref, ref: c.ref}
+				j = &job{Job: api.Job{ID: c.id, Spec: c.spec, SubmittedAt: time.Now(), TraceID: traceID}, cref: c.cref, ref: c.ref}
 			}
 			if err := s.enqueueLocked(j); err != nil {
 				return api.SweepResponse{}, err // draining flipped, or capacity bug
@@ -679,9 +744,12 @@ func (s *Server) cancelLocked(j *job) {
 	j.State = api.JobCanceled
 	now := time.Now()
 	j.FinishedAt = &now
+	j.markTerminal(api.JobCanceled, now)
+	s.traceSpans.Add(1)
 	j.cancel()
 	s.releaseQuotaLocked(j)
 	s.broadcastLocked()
+	s.log.Info("job canceled", "job", j.ID, "trace", j.TraceID)
 }
 
 // cancelQueuedLocked additionally removes j from the pending FIFO,

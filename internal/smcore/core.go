@@ -924,3 +924,14 @@ func (c *Core) OutstandingWork() string {
 	return fmt.Sprintf("core %d: memQ=%d missQ=%d iMissQ=%d mshr=%d resp=%d",
 		c.ID, c.memQ.Len(), c.missQ.Len(), c.iMissQ.Len(), c.mshr.Len(), c.respFIFO.Len())
 }
+
+// MissQueueOcc reports the L1 data miss queue's occupancy and capacity —
+// the per-core gauge behind the profiler's l1/miss-queue series.
+func (c *Core) MissQueueOcc() (length, capacity int) {
+	return c.missQ.Len(), c.missQ.Cap()
+}
+
+// MSHROcc reports the L1 MSHR file's live-entry count — the per-core
+// gauge behind the profiler's l1/mshr series (capacity is the config's
+// L1.MSHREntries).
+func (c *Core) MSHROcc() int { return c.mshr.Len() }

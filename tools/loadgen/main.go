@@ -11,11 +11,18 @@
 //
 //	gpusimd -addr :8372 -cache-dir /tmp/cache -cache-max-bytes 2K &
 //	loadgen -addr http://127.0.0.1:8372 -n 2000 -c 32 \
-//	        -p99-max 1500ms -max-5xx 0 -check-metrics -out loadgen.json
+//	        -p99-max 1500ms -max-5xx 0 -check-metrics -trace-sample 10 \
+//	        -out loadgen.json
 //
 // Rate-limited requests (429) back off per the daemon's Retry-After
 // header and retry; they are reported but do not fail the gate — the
 // throttle doing its job is not an error.
+//
+// -trace-sample N stamps a loadgen-chosen X-Trace-Id on one in N
+// submissions; after quiescence each sampled job's span timeline is
+// fetched and must be a complete, closed queued→…→terminal chain with
+// monotonic starts, or the gate fails — the tracing pipeline is load
+// tested alongside the data path.
 package main
 
 import (
@@ -92,15 +99,18 @@ type report struct {
 
 	MetricsChecked  bool     `json:"metricsChecked"`
 	MetricsMismatch string   `json:"metricsMismatch,omitempty"`
+	TraceSampled    int      `json:"traceSampled,omitempty"`
+	TraceReconciled int      `json:"traceReconciled,omitempty"`
 	GateFailures    []string `json:"gateFailures,omitempty"`
 	FinalStats      any      `json:"finalStats,omitempty"`
 }
 
 // worker state shared across the fleet.
 type runner struct {
-	c         *client.Client
-	base      string
-	opTimeout time.Duration
+	c           *client.Client
+	base        string
+	opTimeout   time.Duration
+	traceSample int // stamp a trace ID on 1 in traceSample submissions (0 = off)
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -110,6 +120,14 @@ type runner struct {
 	transport int
 	throttled int
 	waitTO    int
+	submits   int          // submissions issued, for the sampling cadence
+	sampled   []sampledJob // jobs submitted with a loadgen trace ID
+}
+
+// sampledJob is one traced submission awaiting reconciliation.
+type sampledJob struct {
+	traceID string
+	jobID   string
 }
 
 // record notes one HTTP interaction's latency and error class. 429s are
@@ -148,11 +166,38 @@ func timed[T any](r *runner, call func() (T, error)) (T, error) {
 	return v, err
 }
 
+// nextTraceID decides whether this submission is trace-sampled and, if
+// so, mints its deterministic trace ID.
+func (r *runner) nextTraceID() string {
+	if r.traceSample <= 0 {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submits++
+	if r.submits%r.traceSample != 0 {
+		return ""
+	}
+	return fmt.Sprintf("loadgen-%06d", r.submits)
+}
+
 // submit issues one submission, backing off and retrying on 429 per the
-// daemon's Retry-After hint.
+// daemon's Retry-After hint. Trace-sampled submissions carry a loadgen
+// trace ID and are remembered for post-run span-chain reconciliation.
 func (r *runner) submit(ctx context.Context, spec client.JobSpec) (*client.Job, error) {
+	traceID := r.nextTraceID()
 	for attempt := 0; ; attempt++ {
-		job, err := timed(r, func() (*client.Job, error) { return r.c.Submit(ctx, spec) })
+		job, err := timed(r, func() (*client.Job, error) {
+			if traceID != "" {
+				return r.c.SubmitTraced(ctx, spec, traceID)
+			}
+			return r.c.Submit(ctx, spec)
+		})
+		if err == nil && traceID != "" && job != nil {
+			r.mu.Lock()
+			r.sampled = append(r.sampled, sampledJob{traceID: traceID, jobID: job.ID})
+			r.mu.Unlock()
+		}
 		var apiErr *client.APIError
 		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests && attempt < 8 {
 			backoff := apiErr.RetryAfter
@@ -248,6 +293,63 @@ func percentile(sorted []time.Duration, q float64) float64 {
 	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
+// reconcileTraces fetches every sampled job's span timeline and checks
+// it is complete: every span closed, starts monotonic, and the chain
+// ending in a terminal marker. Runs after quiescence, so an open span
+// means the tracing pipeline lost an event, not that work is in flight.
+// Returns the distinct jobs checked plus one failure string per defect.
+func (r *runner) reconcileTraces(ctx context.Context) (int, []string) {
+	var failures []string
+	seen := map[string]bool{}
+	checked := 0
+	for _, s := range r.sampled {
+		if seen[s.jobID] {
+			continue
+		}
+		seen[s.jobID] = true
+		checked++
+		tr, err := r.c.Trace(ctx, s.jobID)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("trace %s (job %s): %v", s.traceID, s.jobID, err))
+			continue
+		}
+		if err := checkSpanChain(tr); err != nil {
+			failures = append(failures, fmt.Sprintf("trace %s (job %s): %v", s.traceID, s.jobID, err))
+		}
+	}
+	return checked, failures
+}
+
+// checkSpanChain validates one quiescent job's timeline. The job may
+// predate the sampled submission (cells are content-addressed and
+// deduplicated), so the trace ID is required to be present, not to
+// equal the sampled one.
+func checkSpanChain(tr *client.Trace) error {
+	if tr.TraceID == "" {
+		return fmt.Errorf("no trace ID on the timeline")
+	}
+	if len(tr.Spans) < 2 {
+		return fmt.Errorf("span chain has %d spans, want >= 2 (queued + terminal)", len(tr.Spans))
+	}
+	switch last := tr.Spans[len(tr.Spans)-1]; last.Name {
+	case "done", "failed", "canceled":
+	default:
+		return fmt.Errorf("chain ends in %q, not a terminal marker", last.Name)
+	}
+	for i, s := range tr.Spans {
+		if s.End == nil {
+			return fmt.Errorf("span %q still open after quiescence", s.Name)
+		}
+		if s.End.Before(s.Start) {
+			return fmt.Errorf("span %q ends before it starts", s.Name)
+		}
+		if i > 0 && s.Start.Before(tr.Spans[i-1].Start) {
+			return fmt.Errorf("span %q starts before its predecessor %q", s.Name, tr.Spans[i-1].Name)
+		}
+	}
+	return nil
+}
+
 // quiesce polls /v1/stats until no job is queued or running.
 func quiesce(ctx context.Context, c *client.Client, timeout time.Duration) (*client.Stats, error) {
 	deadline := time.Now().Add(timeout)
@@ -330,6 +432,7 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", 60*time.Second, "per-job wait deadline")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	checkM := flag.Bool("check-metrics", false, "after quiescence, verify /metrics parses and reconciles with /v1/stats")
+	traceSample := flag.Int("trace-sample", 0, "stamp a trace ID on 1 in N submissions and reconcile their span chains after the run (0 = off)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -340,7 +443,7 @@ func main() {
 	}
 
 	cells := pool()
-	r := &runner{c: c, base: c.BaseURL(), opTimeout: *opTimeout}
+	r := &runner{c: c, base: c.BaseURL(), opTimeout: *opTimeout, traceSample: *traceSample}
 	kindCounts := map[string]*int{}
 	for _, k := range []string{"submit", "submit+wait", "sweep", "stats", "list"} {
 		kindCounts[k] = new(int)
@@ -417,6 +520,18 @@ func main() {
 		if err := checkMetrics(r.base, st); err != nil {
 			rep.MetricsMismatch = err.Error()
 			rep.GateFailures = append(rep.GateFailures, "metrics reconciliation: "+err.Error())
+		}
+	}
+	if *traceSample > 0 {
+		rep.TraceSampled = len(r.sampled)
+		checked, failures := r.reconcileTraces(ctx)
+		rep.TraceReconciled = checked
+		for _, f := range failures {
+			rep.GateFailures = append(rep.GateFailures, "trace reconciliation: "+f)
+		}
+		if rep.TraceSampled == 0 {
+			rep.GateFailures = append(rep.GateFailures,
+				fmt.Sprintf("trace sampling produced no samples across %d ops (1 in %d)", *n, *traceSample))
 		}
 	}
 	if *p99Max > 0 && rep.LatencyMs.P99 > float64(*p99Max)/float64(time.Millisecond) {
