@@ -119,7 +119,24 @@ func main() {
 	}
 	fmt.Println()
 
+	// Cost rows, aligned under the speedup columns: estimated area and
+	// die-overhead of each configuration relative to the baseline, so
+	// every speedup reads next to what it costs.
 	baseCfg := config.Baseline()
+	ests := make([]area.Estimate, len(cols))
+	for i, cfg := range cols[1:] {
+		ests[i+1] = area.Compare(&baseCfg, &cfg)
+	}
+	fmt.Printf("%-24s", "area mm2")
+	for c := 1; c < len(res.Configs); c++ {
+		fmt.Printf(" %14.2f", ests[c].TotalMM2)
+	}
+	fmt.Println()
+	fmt.Printf("%-24s", "overhead")
+	for c := 1; c < len(res.Configs); c++ {
+		fmt.Printf(" %13.2f%%", 100*ests[c].OverheadFrac)
+	}
+	fmt.Println()
 	for _, cfg := range cols[1:] {
 		est := area.Compare(&baseCfg, &cfg)
 		fmt.Printf("\narea %s: +%.1f KB storage, +%.2f mm2 crossbar wires, %.2f mm2 total (%.2f%% of die)\n",

@@ -21,6 +21,10 @@
 //	gpusimctl sweep -configs baseline -config-file patch.json -benches mm -wait
 //	gpusimctl sweep -configs baseline -spec a.json -spec b.json -wait
 //	gpusimctl sweep-status <sweep-id> [-wait] [-json]
+//	gpusimctl explore -target-speedup 1.5 -minimize area -bench mm
+//	gpusimctl explore -area-budget 20 -bench mm -knob l2.num_banks=12,24,48
+//	gpusimctl explore-status <exploration-id> [-wait] [-json]
+//	gpusimctl knobs [-json]
 //	gpusimctl stats [-json]
 //	gpusimctl cluster [-json]
 //	gpusimctl cluster -drain http://10.0.0.2:8372
@@ -44,6 +48,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"gpumembw/client"
@@ -53,7 +59,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|profile|trace|cancel|list|sweep|sweep-status|stats|cluster|benchmarks|configs|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gpusimctl [-addr URL] <submit|get|wait|profile|trace|cancel|list|sweep|sweep-status|explore|explore-status|knobs|stats|cluster|benchmarks|configs|health> [flags]")
 	os.Exit(2)
 }
 
@@ -96,6 +102,12 @@ func main() {
 		cmdSweep(ctx, c, args)
 	case "sweep-status":
 		cmdSweepStatus(ctx, c, args)
+	case "explore":
+		cmdExplore(ctx, c, args)
+	case "explore-status":
+		cmdExploreStatus(ctx, c, args)
+	case "knobs":
+		cmdKnobs(ctx, c, args)
 	case "stats":
 		cmdStats(ctx, c, args)
 	case "cluster":
@@ -561,6 +573,22 @@ func printSpeedups(sw *client.Sweep) {
 		}
 		fmt.Println()
 	}
+	// The cost of each configuration column, versus the base column, so
+	// the table reads as speedup-per-mm² at a glance.
+	if len(sp.AreaMM2) == len(sp.Configs) {
+		fmt.Printf("%-12s", "area mm²")
+		for c := range sp.Configs {
+			fmt.Printf("  %12.2f", sp.AreaMM2[c])
+		}
+		fmt.Println()
+	}
+	if len(sp.OverheadFrac) == len(sp.Configs) {
+		fmt.Printf("%-12s", "overhead")
+		for c := range sp.Configs {
+			fmt.Printf("  %11.2f%%", 100*sp.OverheadFrac[c])
+		}
+		fmt.Println()
+	}
 }
 
 // cmdSweepStatus polls (or waits on) a sweep resource by ID.
@@ -680,5 +708,199 @@ func cmdStats(ctx context.Context, c *client.Client, args []string) {
 		if n := st.Jobs[state]; n > 0 {
 			fmt.Printf("jobs %-8s %d\n", state, n)
 		}
+	}
+}
+
+// cmdExplore starts (or joins) a design-space exploration and renders
+// its progress as a live round-by-round table until the search is done.
+func cmdExplore(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	benches := fs.String("bench", "", "comma-separated benchmarks to score candidates on")
+	var specs cliutil.StringList
+	fs.Var(&specs, "spec", "path to an inline workload spec JSON (repeatable)")
+	base := fs.String("base", "", "base configuration preset (default baseline)")
+	strategy := fs.String("strategy", "", "search strategy: halving (default) or climb")
+	target := fs.Float64("target-speedup", 0, "objective: reach this speedup, minimizing area")
+	minimize := fs.String("minimize", "", "with -target-speedup: quantity to minimize (only \"area\")")
+	budget := fs.Float64("area-budget", 0, "objective: stay under this area in mm², maximizing speedup")
+	maximize := fs.String("maximize", "", "with -area-budget: quantity to maximize (only \"speedup\")")
+	var knobs cliutil.StringList
+	fs.Var(&knobs, "knob", "custom lattice axis path=v1,v2,... (repeatable; default: the Table III ladder)")
+	maxRounds := fs.Int("max-rounds", 0, "refinement-round cap (default 8)")
+	wait := fs.Bool("wait", true, "follow the search round by round until it is done")
+	poll := fs.Duration("poll", 500*time.Millisecond, "progress poll interval for -wait")
+	asJSON := fs.Bool("json", false, "print the final exploration resource as JSON")
+	fs.Parse(args)
+
+	req := client.ExploreRequest{
+		Benchmarks: cliutil.SplitCSV(*benches),
+		Base:       *base,
+		Strategy:   *strategy,
+		Objective: client.ExploreObjective{
+			TargetSpeedup: *target,
+			Minimize:      *minimize,
+			AreaBudgetMM2: *budget,
+			Maximize:      *maximize,
+		},
+		MaxRounds: *maxRounds,
+	}
+	for _, path := range specs {
+		wl, err := readSpecFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		req.InlineSpecs = append(req.InlineSpecs, *wl)
+	}
+	for _, k := range knobs {
+		path, vals, ok := strings.Cut(k, "=")
+		if !ok {
+			fatal(fmt.Errorf("explore: -knob wants path=v1,v2,..., got %q", k))
+		}
+		req.Knobs = append(req.Knobs, client.ExploreKnob{Path: path, Values: cliutil.SplitCSV(vals)})
+	}
+	ex, err := c.Explore(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	if !*wait {
+		if *asJSON {
+			printJSON(ex)
+			return
+		}
+		fmt.Printf("exploration %s: %s\n", ex.ID, ex.State)
+		return
+	}
+	finishExploration(ctx, c, ex, *poll, *asJSON)
+}
+
+// finishExploration follows an exploration to its terminal state,
+// printing each completed round exactly once, then the frontier and the
+// recommendation.
+func finishExploration(ctx context.Context, c *client.Client, ex *client.Exploration, poll time.Duration, asJSON bool) {
+	printed := 0
+	header := false
+	render := func(ex *client.Exploration) {
+		if asJSON {
+			return
+		}
+		if !header {
+			fmt.Printf("exploration %s: strategy=%s base=%s grid=%d workloads=%v\n",
+				ex.ID, ex.Strategy, ex.Base, ex.GridSize, ex.Workloads)
+			fmt.Printf("%-10s  %7s  %13s  %10s  %9s\n", "round", "probes", "best speedup", "best area", "feasible")
+			header = true
+		}
+		for ; printed < len(ex.Rounds); printed++ {
+			r := ex.Rounds[printed]
+			feas := "no"
+			if r.Feasible {
+				feas = "yes"
+			}
+			fmt.Printf("%-10s  %7d  %12.4f×  %8.2fmm²  %9s\n", r.Label, r.Probes, r.BestSpeedup, r.BestAreaMM2, feas)
+		}
+	}
+	render(ex)
+	var err error
+	for !ex.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			fatal(ctx.Err())
+		case <-time.After(poll):
+		}
+		if ex, err = c.GetExploration(ctx, ex.ID); err != nil {
+			fatal(err)
+		}
+		render(ex)
+	}
+	render(ex)
+	if asJSON {
+		printJSON(ex)
+		if ex.State == client.ExplorationFailed {
+			os.Exit(1)
+		}
+		return
+	}
+	if ex.State == client.ExplorationFailed {
+		fatal(fmt.Errorf("exploration %s failed: %s", ex.ID, ex.Error))
+	}
+	fmt.Printf("\n%d probes of a %d-point grid (%.4f%%); tiers: %d simulated, %d memo, %d disk\n",
+		ex.Probes, ex.GridSize, 100*float64(ex.Probes)/float64(ex.GridSize),
+		ex.Tiers.Simulated, ex.Tiers.Memo, ex.Tiers.Disk)
+	fmt.Println("\npareto frontier:")
+	fmt.Printf("  %9s  %9s  %8s  %s\n", "speedup", "area mm²", "overhead", "sets")
+	for _, p := range ex.Frontier {
+		fmt.Printf("  %8.4f×  %9.2f  %7.2f%%  %s\n", p.Speedup, p.AreaMM2, 100*p.OverheadFrac, setsLabel(p.Sets))
+	}
+	if ex.Recommended != nil {
+		verdict := "meets the objective"
+		if !ex.Feasible {
+			verdict = "closest point — objective NOT met"
+		}
+		r := ex.Recommended
+		fmt.Printf("\nrecommended (%s): %.4f× at %.2f mm² (%.2f%% overhead)\n",
+			verdict, r.Speedup, r.AreaMM2, 100*r.OverheadFrac)
+		for _, s := range r.Sets {
+			fmt.Printf("  -set %s\n", s)
+		}
+	}
+	if !ex.Feasible {
+		os.Exit(1)
+	}
+}
+
+func setsLabel(sets []string) string {
+	if len(sets) == 0 {
+		return "(base)"
+	}
+	return strings.Join(sets, " ")
+}
+
+// cmdExploreStatus polls (or follows) an exploration resource by ID.
+func cmdExploreStatus(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("explore-status", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "follow the search until it reaches a terminal state")
+	poll := fs.Duration("poll", 500*time.Millisecond, "progress poll interval for -wait")
+	asJSON := fs.Bool("json", false, "print the exploration resource as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("expected one exploration ID"))
+	}
+	ex, err := c.GetExploration(ctx, fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if !*wait {
+		if *asJSON {
+			printJSON(ex)
+			return
+		}
+	}
+	finishExploration(ctx, c, ex, *poll, *asJSON)
+}
+
+// cmdKnobs renders the knob-space model: every dotted Set path with its
+// type, bounds and baseline value.
+func cmdKnobs(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("knobs", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the knob list as JSON")
+	fs.Parse(args)
+	knobs, err := c.Knobs(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(knobs)
+		return
+	}
+	fmt.Printf("%-28s  %-6s  %12s  %12s  %s\n", "path", "type", "min", "max", "baseline")
+	for _, k := range knobs {
+		minS, maxS := "-", "-"
+		if k.Type == "int" || k.Type == "float" {
+			minS = strconv.FormatFloat(k.Min, 'g', -1, 64)
+			maxS = "unbounded"
+			if k.Max != 0 {
+				maxS = strconv.FormatFloat(k.Max, 'g', -1, 64)
+			}
+		}
+		fmt.Printf("%-28s  %-6s  %12s  %12s  %s\n", k.Path, k.Type, minS, maxS, k.Baseline)
 	}
 }

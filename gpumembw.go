@@ -58,12 +58,15 @@
 package gpumembw
 
 import (
+	"context"
 	"io"
 
 	"gpumembw/client"
+	"gpumembw/internal/api"
 	"gpumembw/internal/config"
 	"gpumembw/internal/core"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/explore"
 	"gpumembw/internal/obsv"
 	"gpumembw/internal/smcore"
 	"gpumembw/internal/trace"
@@ -293,6 +296,50 @@ func ConfigNames() []string { return config.Names() }
 // ConfigByName returns the named preset. Unknown names are an error that
 // lists the valid ones.
 func ConfigByName(name string) (Config, error) { return config.ByName(name) }
+
+// ExploreRequest describes a design-space exploration over the
+// mitigation knob space: workloads to score candidates on, a base
+// preset, an objective (target-speedup ≥ X minimizing area, or
+// area-budget ≤ Y mm² maximizing speedup), and — optionally — a custom
+// knob lattice (default: the paper's Table III mitigation ladder).
+type ExploreRequest = api.ExploreRequest
+
+// ExploreObjective is the search goal of an ExploreRequest.
+type ExploreObjective = api.ExploreObjective
+
+// Exploration is the finished (or in-flight) exploration resource:
+// per-round progress, probe counts attributed by cache tier, the Pareto
+// frontier over (speedup, area), and the recommended point.
+type Exploration = api.Exploration
+
+// ExplorePoint is one frontier point: its knob assignments as
+// "path=value" sets, measured geomean speedup, and area cost.
+type ExplorePoint = api.ExplorePoint
+
+// Explore runs a design-space exploration in-process on a fresh
+// memoized engine and returns the finished exploration resource —
+// the library twin of `gpusimctl explore` / POST /v1/explore. The
+// search is deterministic: the same request always probes the same
+// cells in the same order and returns the same frontier; the resource
+// ID is the request's content address, identical to the daemon's.
+func Explore(ctx context.Context, req ExploreRequest) (*Exploration, error) {
+	p, err := explore.Compile(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := explore.Run(ctx, p, explore.SchedulerEval(exp.NewScheduler()), nil)
+	if err != nil {
+		ex := p.Resource(p.ID(), api.ExplorationFailed, explore.Status{}, nil, err.Error())
+		return &ex, err
+	}
+	ex := p.Resource(p.ID(), api.ExplorationDone, res.Status, res, "")
+	return &ex, nil
+}
+
+// Knobs returns the mitigation knob-space model: every dotted Set path
+// (the `-set`/ConfigPatch grammar) with its type, validation bounds and
+// baseline value — the axes Explore searches over.
+func Knobs() []config.Knob { return config.Knobs() }
 
 // Client is the typed HTTP client for gpusimd, the simulation daemon
 // (cmd/gpusimd): submit (config, benchmark) cells as async jobs, poll

@@ -116,6 +116,12 @@ type Job struct {
 	// Error is set once State == JobFailed.
 	Error string `json:"error,omitempty"`
 
+	// Tier attributes a done job to the cache tier that satisfied it:
+	// "simulated", "memo" or "disk" (exp.TierSimulated & co). Consumers
+	// like the design-space explorer use it to report how much of a run
+	// was actually simulated versus replayed.
+	Tier string `json:"tier,omitempty"`
+
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
@@ -236,6 +242,13 @@ type SweepSpeedups struct {
 	Configs   []string    `json:"configs"`
 	Workloads []string    `json:"workloads"`
 	Cells     [][]float64 `json:"cells"`
+
+	// AreaMM2 and OverheadFrac are the per-configuration-column area
+	// estimates from internal/area.Compare, measured against the paper's
+	// baseline — the denominator that turns a speedup column into a
+	// cost-effectiveness statement. Parallel to Configs.
+	AreaMM2      []float64 `json:"areaMM2,omitempty"`
+	OverheadFrac []float64 `json:"overheadFrac,omitempty"`
 }
 
 // Sweep is the sweep resource returned by GET /v1/sweeps/{id}: the
@@ -358,6 +371,136 @@ type ConfigList struct {
 // Health is the response of GET /healthz.
 type Health struct {
 	Status string `json:"status"`
+}
+
+// KnobList is the response of GET /v1/knobs: every patchable knob path
+// with its type, Validate bounds and baseline value — the
+// machine-readable form of "what can a -set flag or configPatch say",
+// and the axes the design-space explorer searches.
+type KnobList struct {
+	Knobs []config.Knob `json:"knobs"`
+}
+
+// ExploreObjective is the objective/constraint of an exploration, in one
+// of two forms: "reach TargetSpeedup, minimize area" (Minimize defaults
+// to "area", the only choice) or "stay within AreaBudgetMM2, maximize
+// speedup" (Maximize defaults to "speedup"). Exactly one of
+// TargetSpeedup and AreaBudgetMM2 must be set.
+type ExploreObjective struct {
+	TargetSpeedup float64 `json:"targetSpeedup,omitempty"`
+	Minimize      string  `json:"minimize,omitempty"`
+	AreaBudgetMM2 float64 `json:"areaBudgetMM2,omitempty"`
+	Maximize      string  `json:"maximize,omitempty"`
+}
+
+// ExploreKnob customizes one search axis: a knob path (any Set spelling)
+// and the explicit value ladder to search. When a request names no
+// knobs, the explorer uses the built-in Table III mitigation lattice.
+type ExploreKnob struct {
+	Path   string   `json:"path"`
+	Values []string `json:"values"`
+}
+
+// ExploreRequest is the body of POST /v1/explore. The exploration ID is
+// the content address of the canonicalized request, so resubmitting the
+// same search — from any client, against any daemon sharing the cache —
+// lands on the same resource and replays instead of re-simulating.
+type ExploreRequest struct {
+	// Benchmarks and InlineSpecs are the workloads scored by every
+	// probe (speedups are geometric means across them); at least one is
+	// required.
+	Benchmarks  []string     `json:"benchmarks,omitempty"`
+	InlineSpecs []trace.Spec `json:"inlineSpecs,omitempty"`
+	// Base anchors the lattice on a preset ("" = baseline).
+	Base string `json:"base,omitempty"`
+	// Strategy selects the search algorithm: "halving" (successive
+	// halving over a coarse-to-fine lattice; the default) or "climb"
+	// (greedy hill climbing from the base).
+	Strategy  string           `json:"strategy,omitempty"`
+	Objective ExploreObjective `json:"objective"`
+	Knobs     []ExploreKnob    `json:"knobs,omitempty"`
+	// MaxRounds bounds the refinement rounds after the first (0 = 8).
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// ExplorationState is the lifecycle of an exploration resource.
+type ExplorationState string
+
+const (
+	ExplorationRunning ExplorationState = "running"
+	ExplorationDone    ExplorationState = "done"
+	ExplorationFailed  ExplorationState = "failed"
+)
+
+// Terminal reports whether the state is final — waiting can stop.
+func (s ExplorationState) Terminal() bool {
+	return s == ExplorationDone || s == ExplorationFailed
+}
+
+// ExplorePoint is one scored lattice point: its non-base knob
+// assignments (Set syntax, path order; empty = the base configuration),
+// its measured speedup, and its area cost versus the base.
+type ExplorePoint struct {
+	Sets         []string `json:"sets"`
+	Speedup      float64  `json:"speedup"`
+	AreaMM2      float64  `json:"areaMM2"`
+	OverheadFrac float64  `json:"overheadFrac"`
+}
+
+// ExploreRound is one completed search round: how many fresh probes it
+// scored and the objective-best point seen so far.
+type ExploreRound struct {
+	Label       string  `json:"label"`
+	Probes      int     `json:"probes"`
+	BestSpeedup float64 `json:"bestSpeedup"`
+	BestAreaMM2 float64 `json:"bestAreaMM2"`
+	// Feasible reports whether any point probed so far satisfies the
+	// objective's constraint.
+	Feasible bool `json:"feasible"`
+}
+
+// ExploreTiers attributes an exploration run's simulation cells to the
+// cache tier that satisfied them. A rerun of a finished exploration
+// reports Simulated == 0: every cell replays from memo or disk.
+type ExploreTiers struct {
+	Simulated int64 `json:"simulated"`
+	Memo      int64 `json:"memo"`
+	Disk      int64 `json:"disk"`
+}
+
+// Exploration is the exploration resource returned by POST /v1/explore
+// and GET /v1/explorations/{id}. Everything except Tiers (run
+// attribution) and Error is a deterministic function of the request:
+// rerunning the same exploration reproduces the rounds, probe set,
+// frontier and recommendation byte-for-byte. GET supports ?wait= exactly
+// like sweeps: long-poll until the exploration is terminal or the
+// deadline passes.
+type Exploration struct {
+	ID       string           `json:"id"`
+	State    ExplorationState `json:"state"`
+	Strategy string           `json:"strategy"`
+	Base     string           `json:"base"`
+	// Workloads labels the scored workloads (benchmark names and inline
+	// spec names), in request order.
+	Workloads []string         `json:"workloads"`
+	Objective ExploreObjective `json:"objective"`
+	// GridSize is the exhaustive lattice size the search avoided
+	// enumerating; Probes is how many distinct points it actually
+	// scored.
+	GridSize int64          `json:"gridSize"`
+	Probes   int            `json:"probes"`
+	Rounds   []ExploreRound `json:"rounds"`
+	// ProbesDigest is a content hash over the sorted probe set — two
+	// runs explored identically iff their digests match.
+	ProbesDigest string       `json:"probesDigest,omitempty"`
+	Tiers        ExploreTiers `json:"tiers"`
+	// Feasible reports whether Recommended satisfies the constraint;
+	// false means the lattice cannot reach it and Recommended is the
+	// closest point instead.
+	Feasible    bool           `json:"feasible"`
+	Frontier    []ExplorePoint `json:"frontier,omitempty"`
+	Recommended *ExplorePoint  `json:"recommended,omitempty"`
+	Error       string         `json:"error,omitempty"`
 }
 
 // Error codes: the machine-readable class of every non-2xx response,

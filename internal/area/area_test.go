@@ -78,3 +78,66 @@ func TestShrinkingReducesEstimate(t *testing.T) {
 		t.Fatalf("shrinking queues must yield negative storage, got %g KB", e.StorageKB)
 	}
 }
+
+// TestTableIIIMitigationLadderGolden pins the full mitigation-ladder
+// estimates: each Table III rung — MSHRs, miss queues, L2 banking and
+// DRAM scaling at the paper's 2× and 4× points, plus the all-4×
+// combination — against exact golden StorageKB/TotalMM2/OverheadFrac
+// values. Any change to the area model's accounting (entry widths,
+// density calibration, which structures are counted) shows up here as
+// a diff against the numbers EXPERIMENTS.md reports.
+func TestTableIIIMitigationLadderGolden(t *testing.T) {
+	base := config.Baseline()
+	ladder := []struct {
+		name                              string
+		apply                             func(*config.Config)
+		storageKB, totalMM2, overheadFrac float64
+	}{
+		{"mshr-2x", func(c *config.Config) { c.L1.MSHREntries *= 2; c.L2.MSHREntries *= 2 },
+			6.75, 0.537128, 0.000767325},
+		{"mshr-4x", func(c *config.Config) { c.L1.MSHREntries *= 4; c.L2.MSHREntries *= 4 },
+			20.25, 1.61138, 0.00230198},
+		{"missq-2x", func(c *config.Config) { c.L1.MissQueueEntries *= 2; c.L2.MissQueueEntries *= 2 },
+			1.6875, 0.134282, 0.000191831},
+		{"missq-4x", func(c *config.Config) { c.L1.MissQueueEntries *= 4; c.L2.MissQueueEntries *= 4 },
+			5.0625, 0.402846, 0.000575494},
+		// Re-banking the same L2 capacity is area-neutral in the model:
+		// per-bank structure sizes are unchanged, and the SRAM arrays are
+		// repartitioned, not grown.
+		{"l2banks-2x", func(c *config.Config) { c.L2.NumBanks *= 2 }, 0, 0, 0},
+		{"l2banks-4x", func(c *config.Config) { c.L2.NumBanks *= 4 }, 0, 0, 0},
+		{"dram-2x", func(c *config.Config) { config.ScaleDRAM(c, 2) },
+			0.75, 0.0596809, 8.52584e-05},
+		{"dram-4x", func(c *config.Config) { config.ScaleDRAM(c, 4) },
+			2.25, 0.179043, 0.000255775},
+		// The all-4× rung multiplies the per-bank miss-queue and MSHR
+		// deltas across 48 banks, which is why it dwarfs the sum of the
+		// individual rungs.
+		{"all-4x", func(c *config.Config) {
+			c.L1.MSHREntries *= 4
+			c.L2.MSHREntries *= 4
+			c.L1.MissQueueEntries *= 4
+			c.L2.MissQueueEntries *= 4
+			c.L2.NumBanks *= 4
+			config.ScaleDRAM(c, 4)
+		}, 61.3125, 4.87891, 0.00696987},
+	}
+	for _, rung := range ladder {
+		cfg := config.Baseline()
+		rung.apply(&cfg)
+		cfg.Name = rung.name
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", rung.name, err)
+		}
+		e := Compare(&base, &cfg)
+		if math.Abs(e.StorageKB-rung.storageKB) > 1e-4 {
+			t.Errorf("%s: StorageKB = %.6g, golden %.6g", rung.name, e.StorageKB, rung.storageKB)
+		}
+		if math.Abs(e.TotalMM2-rung.totalMM2) > 1e-4 {
+			t.Errorf("%s: TotalMM2 = %.6g, golden %.6g", rung.name, e.TotalMM2, rung.totalMM2)
+		}
+		if math.Abs(e.OverheadFrac-rung.overheadFrac) > 1e-7 {
+			t.Errorf("%s: OverheadFrac = %.6g, golden %.6g", rung.name, e.OverheadFrac, rung.overheadFrac)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every enumerated knob must round-trip through Set: the canonical path
+// with the baseline value applied to the baseline config is a no-op
+// assignment that Set accepts. This pins Knobs() and Set to the same
+// field tree.
+func TestKnobsRoundTripThroughSet(t *testing.T) {
+	for _, k := range Knobs() {
+		cfg := Baseline()
+		if err := cfg.Set(k.Path + "=" + k.Baseline); err != nil {
+			t.Errorf("Set(%s=%s): %v", k.Path, k.Baseline, err)
+		}
+	}
+}
+
+// Every numeric knob must carry explicit bounds, so adding a Config
+// field without deciding its hostile-config cap fails here rather than
+// shipping an unbounded knob.
+func TestKnobBoundsComplete(t *testing.T) {
+	for _, k := range Knobs() {
+		if k.Type != "int" && k.Type != "float" {
+			continue
+		}
+		if _, ok := knobBounds[k.Path]; !ok {
+			t.Errorf("numeric knob %s has no bounds entry", k.Path)
+		}
+	}
+	// And no stale entries for knobs that no longer exist.
+	paths := map[string]bool{}
+	for _, k := range Knobs() {
+		paths[k.Path] = true
+	}
+	for p := range knobBounds {
+		if !paths[p] {
+			t.Errorf("knobBounds entry %s names no enumerated knob", p)
+		}
+	}
+}
+
+func TestKnobsSpotChecks(t *testing.T) {
+	byPath := map[string]Knob{}
+	for _, k := range Knobs() {
+		byPath[k.Path] = k
+	}
+	mshr, ok := byPath["l1.mshr_entries"]
+	if !ok {
+		t.Fatalf("l1.mshr_entries missing from %d knobs", len(byPath))
+	}
+	if mshr.Type != "int" || mshr.Baseline != "32" || mshr.Min != 1 || mshr.Max != 1<<20 {
+		t.Errorf("l1.mshr_entries = %+v", mshr)
+	}
+	if k := byPath["mode"]; k.Type != "mode" || k.Baseline != "normal" {
+		t.Errorf("mode knob = %+v", k)
+	}
+	if k := byPath["dram.timing.rcd"]; k.Type != "int" || k.Max != 1<<20 {
+		t.Errorf("dram.timing.rcd = %+v", k)
+	}
+	if k := byPath["core.clock_mhz"]; k.Type != "float" || k.Baseline != "1400" {
+		t.Errorf("core.clock_mhz = %+v", k)
+	}
+	for p := range byPath {
+		if strings.Contains(p, "m_hz") || strings.Contains(p, "mshre") {
+			t.Errorf("ugly path segment: %s", p)
+		}
+	}
+}
+
+// KnobByPath matches with Set's fuzzy spelling rules.
+func TestKnobByPathFuzzy(t *testing.T) {
+	for _, spelling := range []string{"l1.mshr_entries", "L1.MSHREntries", "l1.mshrentries"} {
+		k, err := KnobByPath(spelling)
+		if err != nil {
+			t.Fatalf("KnobByPath(%q): %v", spelling, err)
+		}
+		if k.Path != "l1.mshr_entries" {
+			t.Errorf("KnobByPath(%q) = %s", spelling, k.Path)
+		}
+	}
+	if _, err := KnobByPath("l1.nope"); err == nil {
+		t.Error("KnobByPath accepted unknown knob")
+	}
+}

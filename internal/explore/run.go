@@ -1,0 +1,440 @@
+package explore
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpumembw/internal/api"
+	"gpumembw/internal/area"
+	"gpumembw/internal/config"
+	"gpumembw/internal/core"
+	"gpumembw/internal/exp"
+)
+
+// Compile limits on hostile requests: the lattice and workload axes are
+// bounded like every other untrusted input, so a single request can
+// never explode the probe set.
+const (
+	maxWorkloads     = 64
+	maxAxes          = 32
+	maxValuesPerAxis = 16
+	maxMaxRounds     = 64
+	defaultRounds    = 8
+)
+
+// Plan is a compiled exploration: the canonicalized request plus the
+// resolved lattice, objective, strategy and workload refs. Two requests
+// that compile to the same canonical form share an ID — and therefore a
+// resource, a probe set and every underlying simulation cell.
+type Plan struct {
+	Request   api.ExploreRequest
+	Space     *Space
+	Objective Objective
+	Strategy  Strategy
+	Workloads []exp.WorkloadRef
+	MaxRounds int
+}
+
+// Compile validates and canonicalizes an exploration request. Errors
+// name the offending field — servers surface them as 400s.
+func Compile(req api.ExploreRequest) (*Plan, error) {
+	base := req.Base
+	if base == "" {
+		base = "baseline"
+	}
+	baseCfg, err := config.ByName(base)
+	if err != nil {
+		return nil, fmt.Errorf("explore: base: %w", err)
+	}
+	if n := len(req.Benchmarks) + len(req.InlineSpecs); n == 0 {
+		return nil, fmt.Errorf("explore: need at least one benchmark or inline spec")
+	} else if n > maxWorkloads {
+		return nil, fmt.Errorf("explore: at most %d workloads per exploration, got %d", maxWorkloads, n)
+	}
+	var workloads []exp.WorkloadRef
+	for _, b := range req.Benchmarks {
+		ref := exp.BenchRef(b)
+		if err := ref.Validate(); err != nil {
+			return nil, fmt.Errorf("explore: %w", err)
+		}
+		workloads = append(workloads, ref)
+	}
+	for i, sp := range req.InlineSpecs {
+		ref := exp.SpecRef(sp)
+		if err := ref.Validate(); err != nil {
+			return nil, fmt.Errorf("explore: inline spec %d: %w", i, err)
+		}
+		workloads = append(workloads, ref)
+	}
+	obj, err := ParseObjective(req.Objective.TargetSpeedup, req.Objective.AreaBudgetMM2,
+		req.Objective.Minimize, req.Objective.Maximize)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := StrategyByName(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Knobs) > maxAxes {
+		return nil, fmt.Errorf("explore: at most %d knobs, got %d", maxAxes, len(req.Knobs))
+	}
+	var axes []AxisSpec
+	for _, k := range req.Knobs {
+		if len(k.Values) > maxValuesPerAxis {
+			return nil, fmt.Errorf("explore: knob %s: at most %d values, got %d", k.Path, maxValuesPerAxis, len(k.Values))
+		}
+		axes = append(axes, AxisSpec{Path: k.Path, Values: k.Values})
+	}
+	space, err := NewSpace(base, baseCfg, axes)
+	if err != nil {
+		return nil, err
+	}
+	rounds := req.MaxRounds
+	if rounds == 0 {
+		rounds = defaultRounds
+	}
+	if rounds < 1 || rounds > maxMaxRounds {
+		return nil, fmt.Errorf("explore: maxRounds must be in [1, %d], got %d", maxMaxRounds, req.MaxRounds)
+	}
+
+	// Canonical request: defaults resolved, knob axes in lattice form.
+	canon := api.ExploreRequest{
+		Benchmarks:  req.Benchmarks,
+		InlineSpecs: req.InlineSpecs,
+		Base:        base,
+		Strategy:    strat.Name(),
+		MaxRounds:   rounds,
+	}
+	if obj.TargetSpeedup > 0 {
+		canon.Objective = api.ExploreObjective{TargetSpeedup: obj.TargetSpeedup, Minimize: "area"}
+	} else {
+		canon.Objective = api.ExploreObjective{AreaBudgetMM2: obj.AreaBudgetMM2, Maximize: "speedup"}
+	}
+	if len(req.Knobs) > 0 {
+		for _, ax := range space.Knobs {
+			canon.Knobs = append(canon.Knobs, api.ExploreKnob{Path: ax.Path, Values: ax.Values})
+		}
+	}
+	return &Plan{
+		Request:   canon,
+		Space:     space,
+		Objective: obj,
+		Strategy:  strat,
+		Workloads: workloads,
+		MaxRounds: rounds,
+	}, nil
+}
+
+// ID returns the exploration's content address: a hash of the canonical
+// request, so the same search from any spelling of the same semantics is
+// the same resource.
+func (p *Plan) ID() string {
+	b, err := json.Marshal(p.Request)
+	if err != nil {
+		panic("explore: canonical request not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return "ex-" + hex.EncodeToString(sum[:8])
+}
+
+// EvalResult is one probe cell's outcome: its metrics and the cache tier
+// that satisfied it.
+type EvalResult struct {
+	Metrics core.Metrics
+	Tier    string
+}
+
+// EvalBatch evaluates a batch of probe cells (one round's fresh
+// candidates × the plan's workloads) and returns results in job order.
+// The daemon backs it with its scheduler; the coordinator fans the batch
+// out across its workers.
+type EvalBatch func(ctx context.Context, jobs []exp.Job) ([]EvalResult, error)
+
+// SchedulerEval runs probe batches on an exp.Scheduler, one goroutine
+// per cell bounded by the scheduler's worker count, so a round's probes
+// exploit the same parallelism a sweep would.
+func SchedulerEval(s *exp.Scheduler) EvalBatch {
+	return func(ctx context.Context, jobs []exp.Job) ([]EvalResult, error) {
+		outs := make([]EvalResult, len(jobs))
+		sem := make(chan struct{}, s.Workers())
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j exp.Job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r, err := s.RunJobEx(ctx, j, false)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				outs[i] = EvalResult{Metrics: r.Metrics, Tier: r.Tier}
+			}(i, j)
+		}
+		wg.Wait()
+		return outs, firstErr
+	}
+}
+
+// Status is the driver's published progress: completed rounds, distinct
+// probes so far, and cache-tier attribution for this run.
+type Status struct {
+	Rounds []api.ExploreRound
+	Probes int
+	Tiers  api.ExploreTiers
+}
+
+// Result is a finished exploration's outcome.
+type Result struct {
+	Status
+	ProbesDigest string
+	Feasible     bool
+	Frontier     []api.ExplorePoint
+	Recommended  *api.ExplorePoint
+}
+
+// Run executes the plan: it scores the base point, lets the strategy
+// drive rounds through eval, and assembles the Pareto frontier and
+// recommendation. onRound (optional) observes progress after every
+// round. Everything except tier attribution is deterministic in the
+// plan; a rerun probes the identical candidate set in the identical
+// order and lands on byte-identical rounds, frontier and
+// recommendation.
+func Run(ctx context.Context, p *Plan, eval EvalBatch, onRound func(Status)) (*Result, error) {
+	sp := p.Space
+	obj := p.Objective
+
+	scored := map[string]Scored{}
+	var order []string // candidate keys in probe order
+	baseMetrics := make([]core.Metrics, len(p.Workloads))
+	var status Status
+	var incumbent Scored
+	haveIncumbent := false
+
+	roundFn := func(label string, cands []Candidate) ([]Scored, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Dedupe within the round, drop invalid lattice points, split
+		// cached from fresh.
+		var uniq, fresh []Candidate
+		inRound := map[string]bool{}
+		for _, c := range cands {
+			key := c.Key()
+			if inRound[key] || !sp.Valid(c) {
+				continue
+			}
+			inRound[key] = true
+			uniq = append(uniq, c)
+			if _, ok := scored[key]; !ok {
+				fresh = append(fresh, c)
+			}
+		}
+		var jobs []exp.Job
+		for _, c := range fresh {
+			cref, err := configRef(sp, c)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range p.Workloads {
+				jobs = append(jobs, exp.Job{Config: cref, Workload: w})
+			}
+		}
+		outs, err := eval(ctx, jobs)
+		if err != nil {
+			return nil, err
+		}
+		if len(outs) != len(jobs) {
+			return nil, fmt.Errorf("explore: evaluator returned %d results for %d cells", len(outs), len(jobs))
+		}
+		// The base candidate, when present, must be folded in first: it
+		// is every other candidate's speedup denominator.
+		baseKey := sp.Baseline().Key()
+		idxOf := map[string]int{}
+		for i, c := range fresh {
+			idxOf[c.Key()] = i * len(p.Workloads)
+		}
+		foldOrder := append([]Candidate{}, fresh...)
+		sort.SliceStable(foldOrder, func(i, j int) bool {
+			return (foldOrder[i].Key() == baseKey) && (foldOrder[j].Key() != baseKey)
+		})
+		for _, c := range foldOrder {
+			key := c.Key()
+			at := idxOf[key]
+			logSum := 0.0
+			for wi := range p.Workloads {
+				out := outs[at+wi]
+				switch out.Tier {
+				case exp.TierSimulated:
+					status.Tiers.Simulated++
+				case exp.TierMemo:
+					status.Tiers.Memo++
+				case exp.TierDisk:
+					status.Tiers.Disk++
+				}
+				if key == baseKey {
+					baseMetrics[wi] = out.Metrics
+					continue
+				}
+				logSum += math.Log(out.Metrics.Speedup(baseMetrics[wi]))
+			}
+			score := Score{Speedup: 1}
+			if key != baseKey {
+				score.Speedup = math.Exp(logSum / float64(len(p.Workloads)))
+				cfg, err := sp.Config(c)
+				if err != nil {
+					return nil, err
+				}
+				est := area.Compare(&sp.BaseCfg, &cfg)
+				score.AreaMM2 = est.TotalMM2
+				score.OverheadFrac = est.OverheadFrac
+			}
+			s := Scored{Cand: c, Score: score}
+			scored[key] = s
+			order = append(order, key)
+			if !haveIncumbent || obj.Better(s, incumbent) {
+				incumbent = s
+				haveIncumbent = true
+			}
+		}
+		status.Probes = len(order)
+		status.Rounds = append(status.Rounds, api.ExploreRound{
+			Label:       label,
+			Probes:      len(fresh),
+			BestSpeedup: incumbent.Score.Speedup,
+			BestAreaMM2: incumbent.Score.AreaMM2,
+			Feasible:    haveIncumbent && obj.Feasible(incumbent.Score),
+		})
+		if onRound != nil {
+			onRound(snapshotStatus(status))
+		}
+		// Return scores for every distinct requested candidate, cached
+		// or fresh, in request order.
+		out := make([]Scored, 0, len(uniq))
+		for _, c := range uniq {
+			out = append(out, scored[c.Key()])
+		}
+		return out, nil
+	}
+
+	// The base point first: every speedup is measured against it.
+	if _, err := roundFn("base", []Candidate{sp.Baseline()}); err != nil {
+		return nil, err
+	}
+	if err := p.Strategy.Search(sp, obj, p.MaxRounds, roundFn); err != nil {
+		return nil, err
+	}
+
+	all := make([]Scored, 0, len(order))
+	for _, key := range order {
+		all = append(all, scored[key])
+	}
+	frontier := Frontier(all)
+	rec, feasible := obj.Recommend(frontier)
+	res := &Result{
+		Status:       snapshotStatus(status),
+		ProbesDigest: probesDigest(sp, all),
+		Feasible:     feasible,
+	}
+	for _, s := range frontier {
+		res.Frontier = append(res.Frontier, point(sp, s))
+	}
+	if len(frontier) > 0 {
+		pt := point(sp, rec)
+		res.Recommended = &pt
+	}
+	return res, nil
+}
+
+func snapshotStatus(s Status) Status {
+	out := s
+	out.Rounds = append([]api.ExploreRound{}, s.Rounds...)
+	return out
+}
+
+// configRef wires a candidate to its content-addressed cell: the base
+// preset itself for the zero deviation, a sparse patch otherwise.
+func configRef(sp *Space, c Candidate) (exp.ConfigRef, error) {
+	sets := sp.Sets(c)
+	if len(sets) == 0 {
+		return exp.PresetRef(sp.BaseName), nil
+	}
+	patch, err := sp.Patch(c)
+	if err != nil {
+		return exp.ConfigRef{}, err
+	}
+	return exp.PatchRef(patch), nil
+}
+
+func point(sp *Space, s Scored) api.ExplorePoint {
+	sets := sp.Sets(s.Cand)
+	if sets == nil {
+		sets = []string{}
+	}
+	return api.ExplorePoint{
+		Sets:         sets,
+		Speedup:      s.Score.Speedup,
+		AreaMM2:      s.Score.AreaMM2,
+		OverheadFrac: s.Score.OverheadFrac,
+	}
+}
+
+// probesDigest hashes the sorted probe set: two runs explored the same
+// lattice points iff the digests match.
+func probesDigest(sp *Space, all []Scored) string {
+	lines := make([]string, len(all))
+	for i, s := range all {
+		lines[i] = strings.Join(sp.Sets(s.Cand), " ")
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Resource assembles the wire resource for a plan in a given state.
+func (p *Plan) Resource(id string, state api.ExplorationState, status Status, res *Result, errMsg string) api.Exploration {
+	labels := make([]string, len(p.Workloads))
+	for i, w := range p.Workloads {
+		labels[i] = w.Label()
+	}
+	ex := api.Exploration{
+		ID:        id,
+		State:     state,
+		Strategy:  p.Strategy.Name(),
+		Base:      p.Space.BaseName,
+		Workloads: labels,
+		Objective: p.Request.Objective,
+		GridSize:  p.Space.GridSize(),
+		Probes:    status.Probes,
+		Rounds:    status.Rounds,
+		Tiers:     status.Tiers,
+		Error:     errMsg,
+	}
+	if ex.Rounds == nil {
+		ex.Rounds = []api.ExploreRound{}
+	}
+	if res != nil {
+		ex.Probes = res.Probes
+		ex.Rounds = res.Rounds
+		ex.Tiers = res.Tiers
+		ex.ProbesDigest = res.ProbesDigest
+		ex.Feasible = res.Feasible
+		ex.Frontier = res.Frontier
+		ex.Recommended = res.Recommended
+	}
+	return ex
+}

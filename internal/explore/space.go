@@ -1,0 +1,346 @@
+// Package explore searches the mitigation knob space of the paper's
+// design study (Table III) instead of enumerating it: every probe is a
+// content-addressed simulation cell (so repeated searches replay from
+// the memo and disk caches), scored by measured speedup against its
+// area cost from internal/area, and a search strategy — successive
+// halving over a coarse-to-fine lattice, or greedy hill climbing from
+// the baseline — walks the lattice toward an objective ("reach 1.5×
+// speedup, minimize area" or "spend at most 10 mm², maximize speedup").
+// The result is the Pareto frontier over everything probed plus one
+// recommended point, reproducing Fig. 12's cost-effective methodology
+// as an optimization rather than a grid.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpumembw/internal/config"
+)
+
+// Axis is one searchable knob: a canonical dotted path and the ascending
+// ladder of values the lattice allows it, one of which is the base
+// configuration's own value.
+type Axis struct {
+	// Path is the canonical dotted knob path ("l2.num_banks").
+	Path string
+	// Values is the ascending value ladder, in Set's textual form.
+	Values []string
+	// Base indexes the base configuration's value within Values.
+	Base int
+}
+
+// Space is the search lattice: a base configuration and the knob axes.
+// The exhaustive grid it replaces has GridSize cells; strategies visit a
+// small, deterministic subset.
+type Space struct {
+	// BaseName is the preset the lattice is anchored on.
+	BaseName string
+	// BaseCfg is the resolved base configuration.
+	BaseCfg config.Config
+	// Knobs holds the axes in a fixed, deterministic order.
+	Knobs []Axis
+
+	valid map[string]bool // candidate-key → Validate verdict, memoized
+}
+
+// Candidate is one lattice point: a ladder level per axis, parallel to
+// Space.Knobs. The zero deviation (every knob at its base level) is the
+// base configuration itself.
+type Candidate struct {
+	levels []int
+}
+
+// Key returns the candidate's deterministic identity within its space.
+func (c Candidate) Key() string {
+	parts := make([]string, len(c.levels))
+	for i, l := range c.levels {
+		parts[i] = strconv.Itoa(l)
+	}
+	return strings.Join(parts, ",")
+}
+
+// level multipliers for the default Table III ladders, as exact
+// rationals so every rung of an integer knob stays integral.
+type ratio struct{ num, den int64 }
+
+// defaultLadder names one Table III knob and its ladder of multipliers
+// on the base value. {1,1} is the base rung; {2,1} and {4,1} are the
+// paper's 2× and 4× scaling points; the off-by-half rungs come from the
+// cost-effective configurations (48-entry L1 MSHRs, 16 B request flits,
+// 48 B reply flits).
+type defaultLadder struct {
+	path  string
+	rungs []ratio
+}
+
+var x124 = []ratio{{1, 1}, {2, 1}, {4, 1}}
+
+// defaultLadders is the Table III mitigation lattice: every structure
+// the paper scales, with the cost-effective intermediate values added
+// where Fig. 12 uses them.
+var defaultLadders = []defaultLadder{
+	{"core.mem_pipeline_width", x124},
+	{"l1.mshr_entries", []ratio{{1, 1}, {3, 2}, {2, 1}, {4, 1}}},
+	{"l1.miss_queue_entries", x124},
+	{"icnt.req_flit_bytes", []ratio{{1, 2}, {1, 1}, {2, 1}, {4, 1}}},
+	{"icnt.reply_flit_bytes", []ratio{{1, 1}, {3, 2}, {2, 1}, {4, 1}}},
+	{"l2.num_banks", x124},
+	{"l2.mshr_entries", x124},
+	{"l2.miss_queue_entries", x124},
+	{"l2.access_queue_entries", x124},
+	{"l2.response_queue_entries", x124},
+	{"l2.data_port_bytes", x124},
+	{"dram.sched_queue_entries", x124},
+	{"dram.banks_per_chip", x124},
+	{"dram.bus_width_bits", x124},
+}
+
+// NewSpace builds the lattice over base. With no explicit knobs the
+// Table III default ladders apply; explicit knobs give each axis its own
+// value list (the base configuration's value is inserted if absent).
+// Axes are sorted by path, so the lattice — and everything derived from
+// it — is independent of request spelling order.
+func NewSpace(baseName string, baseCfg config.Config, knobs []AxisSpec) (*Space, error) {
+	sp := &Space{BaseName: baseName, BaseCfg: baseCfg, valid: map[string]bool{}}
+	if len(knobs) == 0 {
+		for _, dl := range defaultLadders {
+			ax, err := defaultAxis(baseCfg, dl)
+			if err != nil {
+				return nil, err
+			}
+			sp.Knobs = append(sp.Knobs, ax)
+		}
+	} else {
+		seen := map[string]bool{}
+		for _, ks := range knobs {
+			ax, err := customAxis(baseCfg, ks)
+			if err != nil {
+				return nil, err
+			}
+			if seen[ax.Path] {
+				return nil, fmt.Errorf("explore: knob %q listed twice", ax.Path)
+			}
+			seen[ax.Path] = true
+			sp.Knobs = append(sp.Knobs, ax)
+		}
+	}
+	sort.Slice(sp.Knobs, func(i, j int) bool { return sp.Knobs[i].Path < sp.Knobs[j].Path })
+	if !sp.Valid(sp.Baseline()) {
+		return nil, fmt.Errorf("explore: base configuration %q is itself invalid", baseName)
+	}
+	return sp, nil
+}
+
+// AxisSpec is the request form of a custom axis: a knob path (any Set
+// spelling) and its explicit value ladder.
+type AxisSpec struct {
+	Path   string
+	Values []string
+}
+
+// baseKnobValue reads the base configuration's textual value for a knob
+// path, via the knob enumeration so spelling is fuzzy-matched.
+func baseKnobValue(baseCfg config.Config, path string) (config.Knob, string, error) {
+	k, err := config.KnobByPath(path)
+	if err != nil {
+		return config.Knob{}, "", fmt.Errorf("explore: %w", err)
+	}
+	// Read the value from baseCfg, not the baseline preset — the lattice
+	// may be anchored on any preset (HBM, cost-effective, ...).
+	v, err := config.KnobValue(&baseCfg, k.Path)
+	if err != nil {
+		return config.Knob{}, "", fmt.Errorf("explore: %w", err)
+	}
+	return k, v, nil
+}
+
+func defaultAxis(baseCfg config.Config, dl defaultLadder) (Axis, error) {
+	k, baseVal, err := baseKnobValue(baseCfg, dl.path)
+	if err != nil {
+		return Axis{}, err
+	}
+	bv, err := strconv.ParseInt(baseVal, 10, 64)
+	if err != nil {
+		return Axis{}, fmt.Errorf("explore: knob %s: default ladder needs an integer base, got %q", k.Path, baseVal)
+	}
+	ax := Axis{Path: k.Path, Base: -1}
+	for _, r := range dl.rungs {
+		v := bv * r.num
+		if v%r.den != 0 {
+			continue // non-integral rung for this base; skip it
+		}
+		v /= r.den
+		if v < 1 || (k.Max > 0 && float64(v) > k.Max) {
+			continue
+		}
+		val := strconv.FormatInt(v, 10)
+		if val == baseVal {
+			ax.Base = len(ax.Values)
+		}
+		ax.Values = append(ax.Values, val)
+	}
+	if ax.Base < 0 {
+		return Axis{}, fmt.Errorf("explore: knob %s: ladder lost the base value %s", k.Path, baseVal)
+	}
+	return ax, nil
+}
+
+func customAxis(baseCfg config.Config, ks AxisSpec) (Axis, error) {
+	k, baseVal, err := baseKnobValue(baseCfg, ks.Path)
+	if err != nil {
+		return Axis{}, err
+	}
+	if len(ks.Values) == 0 {
+		return Axis{}, fmt.Errorf("explore: knob %s: needs at least one value", k.Path)
+	}
+	if k.Type != "int" && k.Type != "float" {
+		return Axis{}, fmt.Errorf("explore: knob %s has type %s; only numeric knobs are searchable", k.Path, k.Type)
+	}
+	// Parse, dedupe and sort ascending; insert the base value if absent.
+	vals := append([]string{}, ks.Values...)
+	vals = append(vals, baseVal)
+	type pv struct {
+		f float64
+		s string
+	}
+	var parsed []pv
+	seen := map[float64]bool{}
+	for _, v := range vals {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("explore: knob %s: value %q is not numeric", k.Path, v)
+		}
+		if k.Min != 0 && f < k.Min || k.Max > 0 && f > k.Max {
+			return Axis{}, fmt.Errorf("explore: knob %s: value %q outside [%g, %g]", k.Path, v, k.Min, k.Max)
+		}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		s := strings.TrimSpace(v)
+		if k.Type == "int" {
+			if f != float64(int64(f)) {
+				return Axis{}, fmt.Errorf("explore: knob %s: value %q is not an integer", k.Path, v)
+			}
+			s = strconv.FormatInt(int64(f), 10)
+		}
+		parsed = append(parsed, pv{f, s})
+	}
+	sort.Slice(parsed, func(i, j int) bool { return parsed[i].f < parsed[j].f })
+	ax := Axis{Path: k.Path, Base: -1}
+	baseF, _ := strconv.ParseFloat(baseVal, 64)
+	for i, p := range parsed {
+		if p.f == baseF {
+			ax.Base = i
+		}
+		ax.Values = append(ax.Values, p.s)
+	}
+	if ax.Base < 0 {
+		return Axis{}, fmt.Errorf("explore: knob %s: ladder lost the base value %s", k.Path, baseVal)
+	}
+	return ax, nil
+}
+
+// Baseline returns the zero-deviation candidate.
+func (sp *Space) Baseline() Candidate {
+	levels := make([]int, len(sp.Knobs))
+	for i, ax := range sp.Knobs {
+		levels[i] = ax.Base
+	}
+	return Candidate{levels}
+}
+
+// AllMax returns the corner candidate with every knob at its top rung —
+// the paper's "scale everything" design point.
+func (sp *Space) AllMax() Candidate {
+	levels := make([]int, len(sp.Knobs))
+	for i, ax := range sp.Knobs {
+		levels[i] = len(ax.Values) - 1
+	}
+	return Candidate{levels}
+}
+
+// WithLevel returns c with knob i moved to ladder level lvl.
+func (sp *Space) WithLevel(c Candidate, i, lvl int) Candidate {
+	levels := append([]int{}, c.levels...)
+	levels[i] = lvl
+	return Candidate{levels}
+}
+
+// Level returns c's ladder level on knob i.
+func (sp *Space) Level(c Candidate, i int) int { return c.levels[i] }
+
+// Merge returns the elementwise maximum of two candidates — the cheapest
+// lattice point at least as scaled as both.
+func (sp *Space) Merge(a, b Candidate) Candidate {
+	levels := make([]int, len(sp.Knobs))
+	for i := range levels {
+		levels[i] = a.levels[i]
+		if b.levels[i] > levels[i] {
+			levels[i] = b.levels[i]
+		}
+	}
+	return Candidate{levels}
+}
+
+// Sets returns the candidate's non-base knob assignments in axis order
+// (which is path order) as Set-style strings. Empty for the baseline.
+func (sp *Space) Sets(c Candidate) []string {
+	var sets []string
+	for i, ax := range sp.Knobs {
+		if c.levels[i] != ax.Base {
+			sets = append(sets, ax.Path+"="+ax.Values[c.levels[i]])
+		}
+	}
+	return sets
+}
+
+// Patch returns the candidate as a sparse mitigation patch on the base
+// preset — the exact wire form a hand-written configPatch would use, so
+// the probe lands on the same content-addressed cell.
+func (sp *Space) Patch(c Candidate) (config.Patch, error) {
+	delta, err := config.DeltaFromSets(sp.Sets(c))
+	if err != nil {
+		return config.Patch{}, err
+	}
+	return config.Patch{Base: sp.BaseName, Delta: delta}, nil
+}
+
+// Config resolves the candidate to a concrete configuration.
+func (sp *Space) Config(c Candidate) (config.Config, error) {
+	cfg := sp.BaseCfg
+	if err := cfg.Set(sp.Sets(c)...); err != nil {
+		return config.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Valid reports whether the candidate resolves to a configuration that
+// passes Validate — cross-field constraints (bank divisibility, bus
+// width alignment, ...) prune lattice points the per-knob bounds admit.
+func (sp *Space) Valid(c Candidate) bool {
+	key := c.Key()
+	if v, ok := sp.valid[key]; ok {
+		return v
+	}
+	cfg, err := sp.Config(c)
+	ok := err == nil && cfg.Validate() == nil
+	sp.valid[key] = ok
+	return ok
+}
+
+// GridSize returns the exhaustive lattice size the explorer avoids
+// enumerating: the product of every axis's ladder length.
+func (sp *Space) GridSize() int64 {
+	n := int64(1)
+	for _, ax := range sp.Knobs {
+		n *= int64(len(ax.Values))
+		if n > 1<<40 { // plenty to report "huge"; avoid overflow
+			return 1 << 40
+		}
+	}
+	return n
+}

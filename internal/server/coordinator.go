@@ -92,6 +92,8 @@ type Coordinator struct {
 	sweeps     map[string]*sweepRec
 	reassigned int64
 
+	explorer *exploreHub
+
 	registry     *metrics.Registry
 	httpRequests *metrics.CounterVec
 	httpLatency  *metrics.HistogramVec
@@ -146,6 +148,10 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		co.workers = append(co.workers, &coordWorker{addr: addr, healthy: true})
 	}
 	co.initMetrics()
+	// Coordinator explorations fan probe cells out across the fleet; the
+	// workers' shared disk cache (not a coordinator journal) is what makes
+	// re-running a search free, so the hub runs unjournaled here.
+	co.explorer, _ = newExploreHub("", co.exploreEval, co.log) // dir "" never errors
 	co.wg.Add(1)
 	go co.prober(interval)
 	return co, nil
@@ -205,8 +211,11 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", co.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", co.handleSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", co.handleSweepGet)
+	mux.HandleFunc("POST /v1/explore", handleExploreSubmit(co.explorer))
+	mux.HandleFunc("GET /v1/explorations/{id}", handleExploreGet(co.explorer))
 	mux.HandleFunc("GET /v1/benchmarks", handleBenchmarks)
 	mux.HandleFunc("GET /v1/configs", handleConfigs)
+	mux.HandleFunc("GET /v1/knobs", handleKnobs)
 	mux.HandleFunc("GET /v1/cluster", co.handleCluster)
 	mux.HandleFunc("POST /v1/cluster/drain", co.handleDrain)
 	return withTrace(instrument(mux, co.httpRequests, co.httpLatency))
@@ -221,6 +230,7 @@ func (co *Coordinator) Shutdown(context.Context) error {
 	default:
 	}
 	close(co.stop)
+	co.explorer.shutdown()
 	co.wg.Wait()
 	return nil
 }

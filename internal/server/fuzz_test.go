@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gpumembw/internal/api"
+	"gpumembw/internal/explore"
 )
 
 // FuzzJobSpecDecode runs arbitrary request bodies through the exact
@@ -56,6 +57,63 @@ func FuzzJobSpecDecode(f *testing.F) {
 			t.Errorf("second resolve of an accepted spec failed: %v", err)
 		} else if id2 := cellID(cref2, ref2); id2 != id {
 			t.Errorf("non-deterministic cell ID: %s vs %s for %s", id, id2, data)
+		}
+	})
+}
+
+// FuzzExploreRequestDecode runs arbitrary request bodies through the
+// exact pipeline POST /v1/explore uses: JSON decode into
+// api.ExploreRequest, then explore.Compile canonicalization. The same
+// reject-don't-panic contract applies — any decodable body must either
+// compile into a plan or fail with an error the handler maps to a 400;
+// and compilation must be deterministic, since the plan ID is the
+// exploration resource's content address.
+func FuzzExploreRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"benchmarks":["dwt2d"],"objective":{"targetSpeedup":1.5}}`,
+		`{"benchmarks":["mm","sc"],"objective":{"targetSpeedup":1.2,"minimize":"area"},"strategy":"halving"}`,
+		`{"benchmarks":["mm"],"objective":{"areaBudgetMM2":20,"maximize":"speedup"},"strategy":"climb"}`,
+		`{"benchmarks":["mm"],"base":"P-inf","objective":{"targetSpeedup":2}}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5},"knobs":[{"path":"l2.num_banks","values":["12","24","48"]}]}`,
+		`{"inlineSpecs":[{"Name":"t","Iters":1,"LoadsPerIter":1,"Pattern":"stream"}],"objective":{"targetSpeedup":1.1}}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5,"areaBudgetMM2":20}}`,
+		`{"benchmarks":["mm"],"objective":{}}`,
+		`{"objective":{"targetSpeedup":1.5}}`,
+		`{"benchmarks":["nope"],"objective":{"targetSpeedup":1.5}}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":0.5}}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5,"minimize":"latency"}}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5},"knobs":[{"path":"nope","values":["1"]}]}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5},"maxRounds":-3}`,
+		`{"benchmarks":["mm"],"objective":{"targetSpeedup":1.5},"strategy":"annealing"}`,
+		`{}`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req api.ExploreRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		p, err := explore.Compile(req)
+		if err != nil {
+			return // handler maps any compile failure to a 400
+		}
+		id := p.ID()
+		if id == "" {
+			t.Errorf("accepted request produced an empty exploration ID: %s", data)
+		}
+		// Compilation must be deterministic: the same wire bytes always
+		// land on the same content-addressed exploration resource.
+		p2, err := explore.Compile(req)
+		if err != nil {
+			t.Errorf("second compile of an accepted request failed: %v", err)
+		} else if id2 := p2.ID(); id2 != id {
+			t.Errorf("non-deterministic exploration ID: %s vs %s for %s", id, id2, data)
+		}
+		if p.Space.GridSize() <= 0 {
+			t.Errorf("accepted request produced a non-positive grid: %s", data)
 		}
 	})
 }

@@ -26,8 +26,11 @@ import (
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	POST   /v1/sweeps         submit a config×workload cross product
 //	GET    /v1/sweeps/{id}    poll one sweep (?wait= long-polls)
+//	POST   /v1/explore        start (or join) a design-space exploration
+//	GET    /v1/explorations/{id}  poll one exploration (?wait= long-polls)
 //	GET    /v1/benchmarks     benchmark names (Table II order)
 //	GET    /v1/configs        full canonical preset configs (sorted by name)
+//	GET    /v1/knobs          the mitigation knob-space model (paths, bounds)
 //
 // Every route is instrumented with per-endpoint request counters and
 // latency histograms; the mutating routes (submit, sweep, cancel) sit
@@ -46,8 +49,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
 	mux.HandleFunc("POST /v1/sweeps", s.limited(s.handleSweep))
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("POST /v1/explore", s.limited(handleExploreSubmit(s.explorer)))
+	mux.HandleFunc("GET /v1/explorations/{id}", handleExploreGet(s.explorer))
 	mux.HandleFunc("GET /v1/benchmarks", handleBenchmarks)
 	mux.HandleFunc("GET /v1/configs", handleConfigs)
+	mux.HandleFunc("GET /v1/knobs", handleKnobs)
 	return withTrace(instrument(mux, s.httpRequests, s.httpLatency))
 }
 

@@ -25,6 +25,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -33,8 +34,10 @@ import (
 	"time"
 
 	"gpumembw/internal/api"
+	"gpumembw/internal/area"
 	"gpumembw/internal/config"
 	"gpumembw/internal/exp"
+	"gpumembw/internal/explore"
 	"gpumembw/internal/metrics"
 	"gpumembw/internal/obsv"
 	"gpumembw/internal/trace"
@@ -122,6 +125,7 @@ type Server struct {
 	sched    *exp.Scheduler
 	cache    CacheBackend
 	limiter  *limiter
+	explorer *exploreHub
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on enqueue and on drain
@@ -230,6 +234,20 @@ func newServer(opts Options) (*Server, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.initMetrics()
+	// Explorations score probe cells directly on the scheduler (sharing
+	// its memo and disk caches with the job API) and journal their
+	// requests under the cache dir, so a restarted daemon resumes every
+	// search from cached cells.
+	exploreDir := ""
+	if opts.CacheDir != "" {
+		exploreDir = filepath.Join(opts.CacheDir, "explore")
+	}
+	hub, err := newExploreHub(exploreDir, explore.SchedulerEval(s.sched), s.log)
+	if err != nil {
+		return nil, err
+	}
+	s.explorer = hub
+	s.explorer.reload()
 	return s, nil
 }
 
@@ -292,6 +310,7 @@ func (s *Server) worker() {
 		}
 		done := time.Now()
 		j.FinishedAt = &done
+		j.Tier = res.Tier
 		j.spanAttr("tier", res.Tier)
 		s.stageLatency.With("running").Observe(done.Sub(now).Seconds())
 		if err != nil {
@@ -515,6 +534,7 @@ func (s *Server) enqueueLocked(j *job) error {
 	j.State = api.JobQueued
 	j.Error = ""
 	j.Metrics = nil
+	j.Tier = ""
 	j.StartedAt, j.FinishedAt = nil, nil
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.gen++
@@ -676,7 +696,9 @@ func (rec *sweepRec) view(snap func(id string) api.Job) api.Sweep {
 // speedups computes the merged grid of a completed axis-form sweep:
 // Cells[w][c] relative to the first configuration column, exactly
 // exp.SweepResult.Speedups(0)'s convention. Callers have verified every
-// cell is done.
+// cell is done. Each configuration column also carries its area estimate
+// versus the base column, so every speedup in the grid has a cost next
+// to it.
 func (rec *sweepRec) speedups(snap func(id string) api.Job) *api.SweepSpeedups {
 	sp := &api.SweepSpeedups{
 		Configs:   rec.configs,
@@ -690,7 +712,29 @@ func (rec *sweepRec) speedups(snap func(id string) api.Job) *api.SweepSpeedups {
 			sp.Cells[w][c] = snap(rec.grid[c][w]).Metrics.Speedup(*base)
 		}
 	}
+	if baseCfg, err := specConfig(snap(rec.grid[0][0]).Spec); err == nil {
+		area2, overhead := make([]float64, len(rec.configs)), make([]float64, len(rec.configs))
+		for c := range rec.configs {
+			cfg, cerr := specConfig(snap(rec.grid[c][0]).Spec)
+			if cerr != nil {
+				return sp // a column without a resolvable config: omit the area row
+			}
+			est := area.Compare(&baseCfg, &cfg)
+			area2[c], overhead[c] = est.TotalMM2, est.OverheadFrac
+		}
+		sp.AreaMM2, sp.OverheadFrac = area2, overhead
+	}
 	return sp
+}
+
+// specConfig resolves the configuration value a job spec names, for the
+// sweep grid's per-column area estimates.
+func specConfig(spec api.JobSpec) (config.Config, error) {
+	cref, _, err := resolveSpec(spec)
+	if err != nil {
+		return config.Config{}, err
+	}
+	return cref.Resolve()
 }
 
 // sweepStatus assembles the GET /v1/sweeps/{id} resource view.
@@ -880,10 +924,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.cond.Broadcast()
 	s.broadcastLocked() // long-poll waiters return promptly during drain
 	s.mu.Unlock()
+	s.explorer.cancel() // abort exploration drivers; journals survive for resume
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.explorer.wg.Wait()
 		close(done)
 	}()
 	select {
