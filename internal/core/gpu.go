@@ -15,7 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
+	"math/bits"
 
 	"gpumembw/internal/cache"
 	"gpumembw/internal/config"
@@ -40,6 +40,7 @@ type GPU struct {
 	req   *icnt.Network
 	reply *icnt.Network
 	parts []*l2.Partition
+	banks []*l2.Bank // flat view indexed by global bank ID (request-network dst)
 	amap  dram.AddrMap
 	pool  *mem.FetchPool
 
@@ -51,11 +52,18 @@ type GPU struct {
 	fetchID   uint64
 	truncated bool
 
-	// noFastForward disables the idle fast-forward; tests use it to
-	// verify that skipping is invisible in every metric. ffSkipped counts
-	// the cycles the fast-forward jumped over (diagnostics and tests).
-	noFastForward bool
-	ffSkipped     int64
+	// engine selects the simulation loop (WithEngine); skipped counts the
+	// core cycles the event engine jumped over in bulk (diagnostics and
+	// the non-vacuity assertions in the parity tests).
+	engine  Engine
+	skipped int64
+
+	// icntWork flags that the 700 MHz domain (crossbars, L2 banks, DRAM
+	// return hand-off) holds work. The event engine skips the domain's
+	// ticks while it is clear; it is set on the idle→busy transitions —
+	// a core injecting a request, or a DRAM burst completing — and
+	// re-evaluated after busy domain ticks.
+	icntWork bool
 
 	// prof, when attached, receives one hierarchy gauge vector per core
 	// cycle. nil (the default) keeps the hot path at a single pointer
@@ -64,8 +72,9 @@ type GPU struct {
 	gaugeBuf []float64
 }
 
-// New assembles a GPU for the given configuration and workload.
-func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
+// New assembles a GPU for the given configuration and workload. Options
+// (WithEngine) tune how the GPU simulates, never what it produces.
+func New(cfg config.Config, wl *smcore.Workload, opts ...Option) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,7 +84,10 @@ func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
 	if wl.Addr == nil {
 		return nil, fmt.Errorf("core: workload %q has no address generator", wl.Name)
 	}
-	g := &GPU{cfg: cfg, wl: wl, amap: dram.NewAddrMap(&cfg), pool: &mem.FetchPool{}}
+	g := &GPU{cfg: cfg, wl: wl, amap: dram.NewAddrMap(&cfg), pool: &mem.FetchPool{}, engine: DefaultEngine()}
+	for _, opt := range opts {
+		opt(g)
+	}
 
 	newFetch := func(addr uint64, typ mem.AccessType, size, coreID, warpID int, issueCycle int64) *mem.Fetch {
 		g.fetchID++
@@ -109,10 +121,22 @@ func New(cfg config.Config, wl *smcore.Workload) (*GPU, error) {
 			part.SetFetchPool(g.pool)
 			g.parts = append(g.parts, part)
 		}
+		g.banks = make([]*l2.Bank, cfg.L2.NumBanks)
+		for _, part := range g.parts {
+			for _, b := range part.Banks {
+				g.banks[b.ID] = b
+			}
+		}
 		for _, c := range g.cores {
 			c.SetInject(func(f *mem.Fetch) bool {
-				return g.req.Inject(f, f.CoreID, f.BankID, f.RequestBytes())
+				if g.req.Inject(f, f.CoreID, f.BankID, f.RequestBytes()) {
+					g.icntWork = true
+					return true
+				}
+				return false
 			})
+			src := c.ID
+			c.SetInjectStamp(func() uint64 { return g.req.DrainStamp(src) })
 		}
 	case config.ModeInfiniteBW:
 		g.idealL2 = cache.NewTagArray(
@@ -148,8 +172,22 @@ func (g *GPU) idealLatency(addr uint64) int64 {
 func (g *GPU) Cycle() int64 { return g.cycle }
 
 // Run simulates until every core drains, MaxCycles elapses, or progress
-// stops. It returns the collected metrics.
+// stops. It returns the collected metrics. The engine option selects how
+// the simulation advances — the calendar-queue event engine (default) or
+// the reference tick loop — never what it produces: both engines emit
+// byte-identical metrics and profiles for every cell.
 func (g *GPU) Run() (Metrics, error) {
+	if g.engine == EngineTick {
+		return g.runTick()
+	}
+	return g.runEvent()
+}
+
+// runTick is the reference tick-everything loop: every unit of the
+// hierarchy advances every cycle, with no skip heuristics of any kind.
+// It exists as the one-flag bisect target (`gpusim -engine=tick`) and as
+// the oracle the event-engine parity tests compare against.
+func (g *GPU) runTick() (Metrics, error) {
 	icntRatio := g.cfg.Icnt.ClockMHz / g.cfg.Core.ClockMHz
 	dramRatio := g.cfg.DRAM.ClockMHz / g.cfg.Core.ClockMHz
 	normal := g.cfg.Mode == config.ModeNormal
@@ -210,110 +248,8 @@ func (g *GPU) Run() (Metrics, error) {
 			return g.collect(), fmt.Errorf("%w after cycle %d: %s",
 				ErrLivelock, lastProgress, g.cores[0].OutstandingWork())
 		}
-
-		if !g.noFastForward {
-			g.fastForward(normal, icntRatio, dramRatio, lastProgress)
-			// Re-run the loop-exit checks the skipped cycles flew past:
-			// the skip target is clamped to both limits, so landing on one
-			// reproduces exactly the cycle the unskipped run stopped at.
-			if g.cfg.MaxCycles > 0 && g.cycle >= g.cfg.MaxCycles {
-				g.truncated = true
-				break
-			}
-			if g.cycle-lastProgress > 200_000 {
-				return g.collect(), fmt.Errorf("%w after cycle %d: %s",
-					ErrLivelock, lastProgress, g.cores[0].OutstandingWork())
-			}
-		}
 	}
 	return g.collect(), nil
-}
-
-// fastForward skips over cycles in which no component can do any work:
-// every core is parked on fixed-latency completions (its next wake-up
-// cycle is known) and, in ModeNormal, the networks and memory partitions
-// are completely drained. The skipped cycles are bulk-accounted so that
-// every statistic — active cycles, replayed stall attributions, clock-
-// domain ratios — is identical to ticking through them one by one.
-//
-// Vijaykumar et al. (Memory Systems section of PAPERS.md) treat idle GPU
-// resources as exploitable slack; here the slack is the simulator's own
-// idle cycles, and skipping them is pure wall-clock profit.
-func (g *GPU) fastForward(normal bool, icntRatio, dramRatio float64, lastProgress int64) {
-	wake := int64(math.MaxInt64)
-	for _, c := range g.cores {
-		w, ok := c.NextWake()
-		if !ok {
-			return
-		}
-		if w < wake {
-			wake = w
-		}
-	}
-	// wake == MaxInt64 would mean every core is done; Run already breaks.
-	if wake == math.MaxInt64 || wake-1 <= g.cycle {
-		return
-	}
-	if normal {
-		if g.req.InFlight() != 0 || g.reply.InFlight() != 0 {
-			return
-		}
-		for _, p := range g.parts {
-			if !p.Idle() {
-				return
-			}
-		}
-	}
-	// Stop one cycle short of the wake-up so the event fires inside a
-	// normal Tick, and never skip past the truncation or livelock checks.
-	target := wake - 1
-	if g.cfg.MaxCycles > 0 && target > g.cfg.MaxCycles {
-		target = g.cfg.MaxCycles
-	}
-	if limit := lastProgress + 200_001; target > limit {
-		target = limit
-	}
-	if target <= g.cycle {
-		return
-	}
-
-	if g.prof != nil {
-		// No component state mutates across the skip (cores parked,
-		// networks drained, partitions idle), so the gauge vector at the
-		// skip's start stands for every skipped cycle; bulk-record it
-		// before the domain clocks advance.
-		g.prof.RecordN(g.sampleGauges(), target-g.cycle)
-	}
-
-	if normal {
-		// Step the clock-domain accumulators cycle by cycle — the exact
-		// float sequence the unskipped loop would produce — counting how
-		// many (idle) domain ticks each accumulates.
-		var icntTicks, dramTicks int64
-		for i := g.cycle; i < target; i++ {
-			g.icntAcc += icntRatio
-			for g.icntAcc >= 1 {
-				g.icntAcc--
-				icntTicks++
-			}
-			g.dramAcc += dramRatio
-			for g.dramAcc >= 1 {
-				g.dramAcc--
-				dramTicks++
-			}
-		}
-		g.req.SkipTicks(icntTicks)
-		g.reply.SkipTicks(icntTicks)
-		for _, p := range g.parts {
-			p.SkipTicks(icntTicks)
-			p.DRAM.SkipTicks(dramTicks)
-		}
-	}
-	for _, c := range g.cores {
-		c.SkipTo(target)
-	}
-	g.ffSkipped += target - g.cycle
-	g.cycle = target
 }
 
 // tickIcntDomain advances the 700 MHz domain one cycle: both crossbars and
@@ -321,15 +257,24 @@ func (g *GPU) fastForward(normal bool, icntRatio, dramRatio float64, lastProgres
 func (g *GPU) tickIcntDomain() {
 	g.req.Tick()
 	g.reply.Tick()
-	for _, p := range g.parts {
-		for _, bank := range p.Banks {
-			// Request ejection → L2 bank access queue.
-			if pkt, ok := g.req.Peek(bank.ID); ok && bank.CanAccept() {
-				g.req.Pop(bank.ID)
+	// Request ejection → L2 bank access queues, for occupied outputs only.
+	// Ejections touch nothing a partition tick reads outside its own bank,
+	// so hoisting them all ahead of the partition loop (in ascending bank
+	// order, which preserves each partition's internal bank order) leaves
+	// every observable byte unchanged.
+	for wi, word := range g.req.OccupiedDsts() {
+		for word != 0 {
+			d := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			bank := g.banks[d]
+			if pkt, ok := g.req.Peek(d); ok && bank.CanAccept() {
+				g.req.Pop(d)
 				bank.Accept(pkt.Fetch)
 				g.req.Release(pkt)
 			}
 		}
+	}
+	for _, p := range g.parts {
 		p.TickL2()
 		for _, bank := range p.Banks {
 			// L2 response queue → reply-network injection.
@@ -345,7 +290,7 @@ func (g *GPU) tickIcntDomain() {
 
 // AttachProfiler wires a bottleneck profiler into the run: from the next
 // cycle on, the GPU records one normalized gauge vector per core cycle
-// (bulk-accounted across fast-forwarded spans). Attach before Run; call
+// (bulk-accounted across event-engine jumps). Attach before Run; call
 // Snapshot on the returned profiler after Run completes. Ideal-memory
 // modes carry only the L1 gauges — the rest of the hierarchy does not
 // exist there.

@@ -9,6 +9,8 @@
 package dram
 
 import (
+	"math"
+
 	"gpumembw/internal/config"
 	"gpumembw/internal/mem"
 	"gpumembw/internal/stats"
@@ -112,6 +114,16 @@ type Channel struct {
 
 	inflight []inflight
 
+	// scanIdleUntil memoizes a failed FR-FCFS scan: before this command
+	// cycle no queued request can newly become issuable, because the only
+	// things that change between cycles are the clock (scanWake collects
+	// the earliest cycle a blocking time gate opens) and external events —
+	// a Push or a response pop — which clear the memo. Issued commands
+	// re-scan the very next cycle (the memo is only set when nothing
+	// issues).
+	scanIdleUntil int64
+	scanWake      int64
+
 	// Infinite mode (P_DRAM) state: responses release after a fixed delay.
 	infinite    bool
 	infiniteLat int64 // in command-clock cycles
@@ -163,6 +175,18 @@ func (c *Channel) Idle() bool {
 	return c.sched.Empty() && len(c.inflight) == 0 && c.ret.Empty()
 }
 
+// NextWake implements the event engine's sched.Wakeable contract, in
+// command-clock cycles. A channel with pending work must tick every
+// cycle — FR-FCFS scheduling decisions and the pending/bus-busy
+// statistics are per-cycle — so it reports ok=false until it drains,
+// then sleeps until a pushed request reschedules it.
+func (c *Channel) NextWake() (int64, bool) {
+	if !c.Idle() {
+		return 0, false
+	}
+	return math.MaxInt64, true
+}
+
 // Push enqueues a request. It returns false when the scheduler queue is
 // full. In infinite mode the request completes after the fixed latency.
 func (c *Channel) Push(f *mem.Fetch) bool {
@@ -179,17 +203,19 @@ func (c *Channel) Push(f *mem.Fetch) bool {
 	// Stamp the DRAM coordinates once: the FR-FCFS scans below re-read
 	// them every command cycle the request sits in the queue.
 	f.DRAMBank, f.DRAMRow = c.amap.BankRow(f.Addr)
+	c.scanIdleUntil = 0 // a new request may be issuable immediately
 	return c.sched.Push(f)
 }
 
 // PopResponse removes the oldest completed read, if any.
 func (c *Channel) PopResponse() (*mem.Fetch, bool) {
+	c.scanIdleUntil = 0 // a freed return slot may unblock a read CAS
 	return c.ret.Pop()
 }
 
 // SkipTicks advances the command clock by n cycles without doing any work.
-// Valid only while the channel is Idle(): the caller's idle fast-forward
-// guarantees every skipped Tick would have been a no-op.
+// Valid only while the channel is Idle(): the event engine's deferred
+// idle ticks guarantee every skipped Tick would have been a no-op.
 func (c *Channel) SkipTicks(n int64) {
 	c.now += n
 }
@@ -230,12 +256,20 @@ func (c *Channel) Tick() {
 	if c.sched.Empty() {
 		return
 	}
+	if c.now < c.scanIdleUntil {
+		// A previous scan proved nothing can issue before scanIdleUntil.
+		return
+	}
 	// FR-FCFS: first ready column access (row hit), else oldest request
 	// drives a row activation/precharge. One command per cycle.
+	c.scanWake = math.MaxInt64
 	if c.issueReadyCAS() {
 		return
 	}
-	c.issueRowCommand()
+	if c.issueRowCommand() {
+		return
+	}
+	c.scanIdleUntil = c.scanWake
 }
 
 func (c *Channel) completeInfinite() {
@@ -273,21 +307,28 @@ func (c *Channel) completeBursts() {
 // command was issued.
 func (c *Channel) issueReadyCAS() bool {
 	if c.nextCAS > c.now {
+		c.wakeAt(c.nextCAS)
 		return false
 	}
 	for i := 0; i < c.sched.Len(); i++ {
 		f := c.sched.At(i)
 		b := &c.banks[f.DRAMBank]
-		if b.openRow != f.DRAMRow || b.casReady > c.now {
+		if b.openRow != f.DRAMRow {
+			continue // only a row command (an issue) can change this
+		}
+		if b.casReady > c.now {
+			c.wakeAt(b.casReady)
 			continue
 		}
 		isRead := f.Type.NeedsReply()
 		if isRead {
 			if c.readAfter > c.now {
+				c.wakeAt(c.readAfter)
 				continue
 			}
-			// Reserve a return-queue slot so the completed burst
-			// can always retire.
+			// Reserve a return-queue slot so the completed burst can
+			// always retire. A full queue only frees on a response pop,
+			// which clears the scan memo.
 			if c.ret.Cap() > 0 && c.ret.Len()+c.retReserved >= c.ret.Cap() {
 				continue
 			}
@@ -301,6 +342,7 @@ func (c *Channel) issueReadyCAS() bool {
 			dataStart = c.now + int64(t.WL)
 		}
 		if c.busBusyUntil > dataStart {
+			c.wakeAt(c.busBusyUntil - (dataStart - c.now))
 			continue
 		}
 		c.sched.RemoveAt(i)
@@ -325,8 +367,9 @@ func (c *Channel) issueReadyCAS() bool {
 }
 
 // issueRowCommand advances the oldest request that needs its row opened:
-// precharge a conflicting open row, or activate the needed row.
-func (c *Channel) issueRowCommand() {
+// precharge a conflicting open row, or activate the needed row. It reports
+// whether a command was issued.
+func (c *Channel) issueRowCommand() bool {
 	t := c.cfg.DRAM.Timing
 	for i := 0; i < c.sched.Len(); i++ {
 		f := c.sched.At(i)
@@ -339,8 +382,9 @@ func (c *Channel) issueRowCommand() {
 				b.openRow = -1
 				b.actReady = maxI64(b.actReady, c.now+int64(t.RP))
 				c.Stats.Precharges++
-				return
+				return true
 			}
+			c.wakeAt(b.preReady)
 			continue
 		}
 		if b.actReady <= c.now && c.nextAct <= c.now {
@@ -350,8 +394,17 @@ func (c *Channel) issueRowCommand() {
 			b.actReady = c.now + int64(t.RC)
 			c.nextAct = c.now + int64(t.RRD)
 			c.Stats.Activates++
-			return
+			return true
 		}
+		c.wakeAt(maxI64(b.actReady, c.nextAct))
+	}
+	return false
+}
+
+// wakeAt lowers the pending scan's earliest time-gate opening.
+func (c *Channel) wakeAt(cycle int64) {
+	if cycle < c.scanWake {
+		c.scanWake = cycle
 	}
 }
 

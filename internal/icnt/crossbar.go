@@ -21,6 +21,8 @@ package icnt
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"gpumembw/internal/mem"
 )
@@ -61,16 +63,20 @@ type Network struct {
 	in  []*mem.Queue[*Packet] // per-source injection FIFOs
 	out []*mem.Queue[*Packet] // per-destination ejection FIFOs
 
-	inFlits  []int   // flits resident in each injection FIFO
-	outResvd []int   // ejection slots reserved by in-transfer packets
-	lockSrc  []int   // output → source it is locked to (-1 if free)
-	rr       []int   // output → round-robin arbitration pointer
-	headDst  []int32 // source → destination of its head packet (-1 if empty)
-	dstWork  []int32 // output → number of sources whose head targets it
+	inFlits    []int    // flits resident in each injection FIFO
+	drainStamp []uint64 // per-source count of drained flits (backpressure memo)
+	outResvd   []int    // ejection slots reserved by in-transfer packets
+	outOcc     []uint64 // bitset of destinations with a non-empty ejection FIFO
+	lockSrc    []int    // output → source it is locked to (-1 if free)
+	rr         []int    // output → round-robin arbitration pointer
+	headDst    []int32  // source → destination of its head packet (-1 if empty)
+	dstWork    []int32  // output → number of sources whose head targets it
+	srcBusy    int      // number of sources with a head packet (headDst != -1)
 
 	pool []*Packet // freelist of released packets
 
 	inCap     int // injection capacity in flits
+	flitShift int // log2(flitBytes) when a power of two, else -1
 	now       int64
 	unbounded bool
 
@@ -83,19 +89,25 @@ type Network struct {
 // interconnect cycles). outCap ≤ 0 makes the ejection FIFOs unbounded.
 func NewNetwork(name string, sources, dests, flitBytes, inCapFlits, outCapPackets int, latency int) *Network {
 	n := &Network{
-		name:      name,
-		flitBytes: flitBytes,
-		latency:   int64(latency),
-		in:        make([]*mem.Queue[*Packet], sources),
-		out:       make([]*mem.Queue[*Packet], dests),
-		inFlits:   make([]int, sources),
-		outResvd:  make([]int, dests),
-		lockSrc:   make([]int, dests),
-		rr:        make([]int, dests),
-		headDst:   make([]int32, sources),
-		dstWork:   make([]int32, dests),
-		inCap:     inCapFlits,
-		unbounded: outCapPackets <= 0,
+		name:       name,
+		flitBytes:  flitBytes,
+		latency:    int64(latency),
+		in:         make([]*mem.Queue[*Packet], sources),
+		out:        make([]*mem.Queue[*Packet], dests),
+		inFlits:    make([]int, sources),
+		drainStamp: make([]uint64, sources),
+		outResvd:   make([]int, dests),
+		outOcc:     make([]uint64, (dests+63)/64),
+		lockSrc:    make([]int, dests),
+		rr:         make([]int, dests),
+		headDst:    make([]int32, sources),
+		dstWork:    make([]int32, dests),
+		inCap:      inCapFlits,
+		flitShift:  -1,
+		unbounded:  outCapPackets <= 0,
+	}
+	if flitBytes > 0 && flitBytes&(flitBytes-1) == 0 {
+		n.flitShift = bits.TrailingZeros(uint(flitBytes))
 	}
 	for i := range n.in {
 		n.in[i] = mem.NewQueue[*Packet](0) // flit budget enforced separately
@@ -111,6 +123,12 @@ func NewNetwork(name string, sources, dests, flitBytes, inCapFlits, outCapPacket
 // FlitBytes returns the network's flit size.
 func (n *Network) FlitBytes() int { return n.flitBytes }
 
+// DrainStamp returns a counter that advances whenever a flit leaves source
+// src's injection FIFO. A caller whose Inject failed on backpressure can
+// skip retrying until the stamp moves: with no drain the same attempt must
+// fail again (only the failing source itself can add flits).
+func (n *Network) DrainStamp(src int) uint64 { return n.drainStamp[src] }
+
 // CanInject reports whether a packet of the given byte size fits in
 // source src's injection FIFO. An empty FIFO always accepts one packet,
 // so oversized packets cannot deadlock narrow-flit networks.
@@ -118,7 +136,20 @@ func (n *Network) CanInject(src, bytes int) bool {
 	if n.inCap <= 0 || n.in[src].Empty() {
 		return true
 	}
-	return n.inFlits[src]+mem.Flits(bytes, n.flitBytes) <= n.inCap
+	return n.inFlits[src]+n.flits(bytes) <= n.inCap
+}
+
+// flits sizes a packet in flits, shifting instead of dividing when the
+// flit size is a power of two (it always is in practice, and the division
+// sat on the per-attempt injection path).
+func (n *Network) flits(bytes int) int {
+	if n.flitShift >= 0 {
+		if f := (bytes + n.flitBytes - 1) >> uint(n.flitShift); f > 1 {
+			return f
+		}
+		return 1
+	}
+	return mem.Flits(bytes, n.flitBytes)
 }
 
 // Inject queues fetch for transfer from src to dst and reports whether it
@@ -129,10 +160,11 @@ func (n *Network) Inject(f *mem.Fetch, src, dst, bytes int) bool {
 		return false
 	}
 	p := n.getPacket()
-	*p = Packet{Fetch: f, Src: src, Dst: dst, Flits: mem.Flits(bytes, n.flitBytes)}
+	*p = Packet{Fetch: f, Src: src, Dst: dst, Flits: n.flits(bytes)}
 	if n.in[src].Empty() {
 		n.headDst[src] = int32(dst)
 		n.dstWork[dst]++
+		n.srcBusy++
 	}
 	n.in[src].Push(p)
 	n.inFlits[src] += p.Flits
@@ -159,9 +191,18 @@ func (n *Network) Pop(dst int) (*Packet, bool) {
 		return nil, false
 	}
 	n.out[dst].Pop()
+	if n.out[dst].Empty() {
+		n.outOcc[dst>>6] &^= 1 << uint(dst&63)
+	}
 	n.Stats.PacketsDelivered++
 	return p, true
 }
+
+// OccupiedDsts returns a bitset (64 destinations per word) of the
+// destinations whose ejection FIFO holds at least one packet — possibly
+// not yet consumable, if its pipeline latency has not elapsed. Scanning it
+// beats peeking every destination when deliveries are sparse.
+func (n *Network) OccupiedDsts() []uint64 { return n.outOcc }
 
 // Release returns a packet obtained from Pop to the network's freelist.
 // Optional: unreleased packets are simply garbage collected.
@@ -186,6 +227,11 @@ func (n *Network) getPacket() *Packet {
 func (n *Network) Tick() {
 	n.now++
 	n.Stats.Cycles++
+	if n.srcBusy == 0 {
+		// No source holds a head packet, so no output can have work this
+		// cycle; packets parked in ejection FIFOs need no switching.
+		return
+	}
 	for d, w := range n.dstWork {
 		if w != 0 {
 			n.tickOutput(d)
@@ -195,8 +241,8 @@ func (n *Network) Tick() {
 
 // SkipTicks advances the network clock by n cycles without doing any work.
 // Valid only while the network is completely empty (InFlight() == 0): the
-// caller's idle fast-forward guarantees every skipped Tick would have been
-// a no-op beyond the cycle counters.
+// event engine's bulk idle replay guarantees every skipped Tick would have
+// been a no-op beyond the cycle counters.
 func (n *Network) SkipTicks(ticks int64) {
 	n.now += ticks
 	n.Stats.Cycles += ticks
@@ -222,6 +268,7 @@ func (n *Network) tickOutput(d int) {
 	}
 	p.sent++
 	n.inFlits[src]--
+	n.drainStamp[src]++
 	n.Stats.FlitsTransferred++
 	n.Stats.BusyOutputCycles++
 	if p.sent >= p.Flits {
@@ -232,6 +279,7 @@ func (n *Network) tickOutput(d int) {
 			n.dstWork[next.Dst]++
 		} else {
 			n.headDst[src] = -1
+			n.srcBusy--
 		}
 		n.lockSrc[d] = -1
 		n.outResvd[d]--
@@ -239,6 +287,7 @@ func (n *Network) tickOutput(d int) {
 		if !n.out[d].Push(p) {
 			panic(fmt.Sprintf("icnt %s: ejection overflow at output %d despite reservation", n.name, d))
 		}
+		n.outOcc[d>>6] |= 1 << uint(d&63)
 	}
 }
 
@@ -271,6 +320,18 @@ func (n *Network) arbitrate(d int) int {
 // (injected but not yet consumed), used by drain checks in tests.
 func (n *Network) InFlight() int64 {
 	return n.Stats.PacketsInjected - n.Stats.PacketsDelivered
+}
+
+// NextWake implements the event engine's sched.Wakeable contract, in the
+// network's own clock domain. A crossbar holding packets may move flits
+// (and records busy-output statistics) every cycle, so it reports
+// ok=false while any packet is in flight; drained, it sleeps until an
+// injection reschedules it.
+func (n *Network) NextWake() (int64, bool) {
+	if n.InFlight() != 0 {
+		return 0, false
+	}
+	return math.MaxInt64, true
 }
 
 // PortOcc reports output-port activity for the profiler: busy counts

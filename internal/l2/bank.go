@@ -12,6 +12,8 @@
 package l2
 
 import (
+	"math"
+
 	"gpumembw/internal/cache"
 	"gpumembw/internal/config"
 	"gpumembw/internal/mem"
@@ -93,6 +95,15 @@ type Bank struct {
 	portBusyUntil int64
 	now           int64
 
+	// parked memoizes a blocked access-queue head: its stall cause cannot
+	// change until the port frees (parkedUntil, for StallPort), a fill
+	// arrives, or a response/miss slot drains — each of which clears the
+	// memo. The head itself is frozen while parked (pops happen only on a
+	// successful process), so replaying the attribution is exact.
+	parked      bool
+	parkedCause StallCause
+	parkedUntil int64
+
 	portCycles int64 // port occupancy per line transfer
 	tagLat     int64
 
@@ -143,6 +154,7 @@ func (b *Bank) CanFill(f *mem.Fetch) bool {
 // the response queue one per cycle as space allows. The fill fetch itself
 // (the bank-generated DRAM request) dies here and returns to the pool.
 func (b *Bank) Fill(f *mem.Fetch) {
+	b.parked = false // tags, MSHR and port state all change here
 	b.Stats.Fills++
 	b.tags.Fill(f.Addr)
 	b.portBusyUntil = b.now + b.portCycles
@@ -179,6 +191,7 @@ func (b *Bank) PopResponse() (*mem.Fetch, bool) {
 		return nil, false
 	}
 	b.respQ.Pop()
+	b.parked = false // a drained slot may unblock a bp-ICNT stall
 	return tf.fetch, true
 }
 
@@ -198,6 +211,7 @@ func (b *Bank) PopMiss() (*mem.Fetch, bool) {
 		return nil, false
 	}
 	b.missQ.Pop()
+	b.parked = false // a drained slot may unblock a bp-DRAM stall
 	return tf.fetch, true
 }
 
@@ -222,6 +236,15 @@ func (b *Bank) Tick() {
 		return
 	}
 	b.Stats.AccessOccupancy.Observe(occ, b.accessQ.Cap())
+	if b.parked {
+		if b.parkedUntil > b.now {
+			// The head re-attempt would fail exactly as it did last cycle:
+			// replay its attribution without the tag and queue lookups.
+			b.Stats.StallCycles[b.parkedCause]++
+			return
+		}
+		b.parked = false
+	}
 	f, _ := b.accessQ.Peek()
 	cause := b.process(f)
 	if cause == StallNone {
@@ -234,6 +257,13 @@ func (b *Bank) Tick() {
 		return
 	}
 	b.Stats.StallCycles[cause]++
+	b.parked = true
+	b.parkedCause = cause
+	if cause == StallPort {
+		b.parkedUntil = b.portBusyUntil
+	} else {
+		b.parkedUntil = math.MaxInt64
+	}
 }
 
 // process attempts to service f, returning StallNone on success or the

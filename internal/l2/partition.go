@@ -1,6 +1,8 @@
 package l2
 
 import (
+	"math"
+
 	"gpumembw/internal/config"
 	"gpumembw/internal/dram"
 	"gpumembw/internal/mem"
@@ -136,13 +138,34 @@ func (p *Partition) ConsumeResponse(b *Bank) {
 }
 
 // SkipTicks advances every bank clock by n L2 cycles without doing any
-// work. Valid only while the partition is Idle(): the caller's idle
-// fast-forward guarantees every skipped TickL2 would have been a no-op.
+// work. Valid only while the partition is Idle(): the event engine's
+// deferred idle ticks guarantee every skipped TickL2 would have been a
+// no-op.
 // The DRAM channel runs in its own clock domain and is skipped separately.
 func (p *Partition) SkipTicks(n int64) {
 	for _, b := range p.Banks {
 		b.now += n
 	}
+}
+
+// NextWake implements the event engine's sched.Wakeable contract for the
+// partition's 700 MHz half: the L2 banks and their network hand-offs. It
+// reports ok=false while any bank queue holds work or a DRAM fill waits
+// for delivery — every such cycle does real work or records stall
+// attribution — and sleeps otherwise (a request ejection or a completed
+// DRAM burst wakes it). The DRAM channel is its own Wakeable: it ticks
+// on a different clock.
+func (p *Partition) NextWake() (int64, bool) {
+	if _, ok := p.DRAM.PeekResponse(); ok {
+		return 0, false
+	}
+	for _, b := range p.Banks {
+		if b.accessQ.Len() != 0 || len(b.fillPending) != 0 ||
+			b.missQ.Len() != 0 || b.respQ.Len() != 0 {
+			return 0, false
+		}
+	}
+	return math.MaxInt64, true
 }
 
 // Idle reports whether the partition holds no work in any queue, MSHR or

@@ -6,8 +6,8 @@
 // time-resolved view behind the paper's Fig. 5 analysis.
 //
 // The engine drives the profiler one gauge vector per core cycle
-// (Record), or in bulk across idle fast-forwarded spans whose state is
-// provably frozen (RecordN). Memory stays O(1) regardless of run length:
+// (Record), or in bulk across idle spans the event engine jumps over,
+// whose state is provably frozen (RecordN). Memory stays O(1) regardless of run length:
 // the series holds at most MaxWindows windows, and when the budget fills,
 // adjacent windows merge pairwise and the window size doubles — early
 // cycles keep their resolution until late cycles need the space.
@@ -71,7 +71,7 @@ func (p *Profiler) Cycles() int64 { return p.cycles }
 func (p *Profiler) Record(vals []float64) { p.RecordN(vals, 1) }
 
 // RecordN accumulates the same gauge vector for n consecutive cycles —
-// the bulk path for idle fast-forwarded spans, where no component state
+// the bulk path for idle spans the event engine jumps, where no component state
 // mutates and the frozen vector is exactly what per-cycle sampling would
 // have observed.
 func (p *Profiler) RecordN(vals []float64, n int64) {

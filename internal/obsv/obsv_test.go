@@ -39,7 +39,7 @@ func snapshotJSON(t *testing.T, p *Profiler) []byte {
 }
 
 func TestRecordNMatchesRepeatedRecord(t *testing.T) {
-	// The bulk fast-forward path must be indistinguishable from sampling
+	// The bulk jump path must be indistinguishable from sampling
 	// the same frozen vector cycle by cycle — including across window
 	// boundaries and budget doublings.
 	perCycle := NewProfiler(testDefs)

@@ -42,8 +42,12 @@ const (
 )
 
 // ringSize bounds the completion ring; it must exceed every schedulable
-// in-core latency, including the largest Fig. 3 fixed miss latency (800).
+// in-core latency, including the largest Fig. 3 fixed miss latency (800),
+// and stay a power of two so the slot index is a mask, not a modulo.
 const ringSize = 2048
+
+// Compile-time check that ringSize is a power of two.
+var _ = [1]struct{}{}[ringSize&(ringSize-1)]
 
 const ibufCap = 2
 
@@ -105,6 +109,12 @@ type ringEvt struct {
 // NewFetchFn mints a routed memory fetch; the GPU provides it so the core
 // stays decoupled from the interconnect and address mapping.
 type NewFetchFn func(addr uint64, typ mem.AccessType, sizeBytes, coreID, warpID int, issueCycle int64) *mem.Fetch
+
+// InjectStampFn reports the request crossbar's drain stamp for this core's
+// injection port (icnt.Network.DrainStamp): it moves only when a flit
+// leaves the port's FIFO, so an unchanged stamp proves a failed injection
+// would fail again.
+type InjectStampFn func() uint64
 
 // InjectFn pushes a request packet into the request crossbar, returning
 // false when the injection port is full.
@@ -207,16 +217,65 @@ type Core struct {
 	issueDirty bool
 	lastStall  int // cached classification; -1 when no stall was recorded
 
-	// evtCount and nextEvtHint summarize the completion ring for the idle
-	// fast-forward: how many events are scheduled and a lower bound on the
-	// next one's cycle (exact while it lies in the future).
+	// aliveMask tracks warps with instructions left to issue; blockedMem
+	// and blockedALU mark warps whose head instruction hit a data hazard.
+	// A blocked warp's scoreboard and head instruction cannot change until
+	// a completion for that warp lands (applyCompletions clears its bits),
+	// so the scheduler scan skips it outright — with 48 warps mostly
+	// waiting on loads, the scan touches a handful of warps instead of all
+	// of them. The counts feed the stall classification for the skipped
+	// warps.
+	//
+	// blockedStr and blockedHeavy park structural hazards the same way:
+	// a warp that found too little memory-pipeline space stays parked until
+	// a slot frees (the memQ pop in Tick unparks them all), and a warp that
+	// found the heavy pipe reserved stays parked until the reservation
+	// expires (checked at the top of each scan). Both conditions are frozen
+	// in between, so re-scanning those warps would fail identically.
+	aliveMask     []uint64
+	aliveCount    int
+	blockedMem    []uint64
+	blockedALU    []uint64
+	blockedStr    []uint64
+	blockedHeavy  []uint64
+	nBlockedMem   int
+	nBlockedALU   int
+	nBlockedStr   int
+	nBlockedHeavy int
+
+	// lsuParked memoizes a blocked memory-pipeline head: the head's L1
+	// lookup, MSHR probe and miss-queue check depend only on L1/MSHR/miss-
+	// queue state, none of which can change while the head stays blocked
+	// except through a reply (consumeResponse) or a miss-queue drain — both
+	// of which clear the memo. While parked, lsuTick replays the recorded
+	// stall class without redoing the lookups.
+	lsuParked      bool
+	lsuParkedStall int
+
+	// evtCount and nextEvtHint summarize the completion ring for NextWake:
+	// how many events are scheduled and a lower bound on the next one's
+	// cycle (exact while it lies in the future).
 	evtCount    int
 	nextEvtHint int64
 
 	newFetch NewFetchFn
 	inject   InjectFn
 	idealLat IdealLatencyFn
-	pool     *mem.FetchPool
+
+	// injectFailF memoizes a head packet whose injection bounced off
+	// crossbar backpressure, with the port's drain stamp at the time; the
+	// retry is skipped until the stamp moves. The pointer cannot go stale:
+	// the packet stays at its queue's head until the injection succeeds,
+	// which clears the memo. The queue lengths at the bounce let the next
+	// attempt skip even the head peeks: equal lengths (pops happen only on
+	// success, which clears the memo) mean the same queue choice and the
+	// same head.
+	injectStamp        InjectStampFn
+	injectFailF        *mem.Fetch
+	injectFailStamp    uint64
+	injectFailMissLen  int
+	injectFailIMissLen int
+	pool               *mem.FetchPool
 
 	done bool
 
@@ -261,6 +320,15 @@ func NewCore(id int, cfg *config.Config, wl *Workload, newFetch NewFetchFn) *Cor
 	for i := 0; i < nWarps; i++ {
 		c.fetchMask[i>>6] |= 1 << uint(i&63)
 	}
+	c.aliveMask = make([]uint64, (nWarps+63)/64)
+	if total > 0 {
+		copy(c.aliveMask, c.fetchMask)
+		c.aliveCount = nWarps
+	}
+	c.blockedMem = make([]uint64, (nWarps+63)/64)
+	c.blockedALU = make([]uint64, (nWarps+63)/64)
+	c.blockedStr = make([]uint64, (nWarps+63)/64)
+	c.blockedHeavy = make([]uint64, (nWarps+63)/64)
 	c.issueDirty = true
 	c.lastStall = -1
 	c.regMasks = make([]uint64, len(wl.Program.Body))
@@ -284,6 +352,10 @@ func NewCore(id int, cfg *config.Config, wl *Workload, newFetch NewFetchFn) *Cor
 
 // SetInject wires the request-network injection callback (ModeNormal).
 func (c *Core) SetInject(fn InjectFn) { c.inject = fn }
+
+// SetInjectStamp wires the request-network drain-stamp callback that lets
+// the core skip provably futile re-injections under backpressure.
+func (c *Core) SetInjectStamp(fn InjectStampFn) { c.injectStamp = fn }
 
 // SetIdealLatency wires the P∞ latency oracle (ModeInfiniteBW).
 func (c *Core) SetIdealLatency(fn IdealLatencyFn) { c.idealLat = fn }
@@ -346,6 +418,12 @@ func (c *Core) Tick() {
 	c.lsuTick()
 	if c.memQ.Len() != memQBefore {
 		c.issueDirty = true // LSU freed memory-pipeline slots
+		if c.nBlockedStr > 0 {
+			for wi := range c.blockedStr {
+				c.blockedStr[wi] = 0
+			}
+			c.nBlockedStr = 0
+		}
 	}
 	c.issueTick()
 	c.fetchTick()
@@ -360,7 +438,7 @@ func (c *Core) schedule(delta int64, e ringEvt) {
 	if delta >= ringSize {
 		panic(fmt.Sprintf("smcore: completion delta %d exceeds ring size", delta))
 	}
-	slot := (c.now + delta) % ringSize
+	slot := (c.now + delta) & (ringSize - 1)
 	c.ring[slot] = append(c.ring[slot], e)
 	if abs := c.now + delta; c.evtCount == 0 || abs < c.nextEvtHint {
 		c.nextEvtHint = abs
@@ -369,7 +447,13 @@ func (c *Core) schedule(delta int64, e ringEvt) {
 }
 
 func (c *Core) applyCompletions() {
-	slot := c.now % ringSize
+	if c.evtCount == 0 || c.nextEvtHint > c.now {
+		// The hint tracks the exact earliest pending event (schedule
+		// min-updates it, the post-drain rescan below restores it), so
+		// cycles before it cannot fire anything.
+		return
+	}
+	slot := c.now & (ringSize - 1)
 	evts := c.ring[slot]
 	if len(evts) == 0 {
 		return
@@ -391,12 +475,35 @@ func (c *Core) applyCompletions() {
 			} else {
 				w.pendingALU &^= bit
 			}
+			// The warp's scoreboard changed: put it back in the scan. The
+			// next scan re-blocks it if a hazard remains.
+			word, wbit := e.warpID>>6, uint64(1)<<uint(e.warpID&63)
+			if c.blockedMem[word]&wbit != 0 {
+				c.blockedMem[word] &^= wbit
+				c.nBlockedMem--
+			}
+			if c.blockedALU[word]&wbit != 0 {
+				c.blockedALU[word] &^= wbit
+				c.nBlockedALU--
+			}
 		case evtICacheFill:
 			c.icache.Fill(e.line)
 			c.iPendingClear(e.line)
 		}
 	}
 	c.ring[slot] = evts[:0]
+	if c.evtCount > 0 {
+		// Restore the exact hint: the rescan steps to the next non-empty
+		// slot, so the cycles in between return on the hint compare alone.
+		// The total rescan work over a run is bounded by the cycles spent
+		// with events pending — no worse than checking the slot each cycle.
+		for d := int64(1); d < ringSize; d++ {
+			if len(c.ring[(c.now+d)&(ringSize-1)]) > 0 {
+				c.nextEvtHint = c.now + d
+				break
+			}
+		}
+	}
 }
 
 // consumeResponse retires one reply packet per cycle: L1I fills and L1D
@@ -407,6 +514,7 @@ func (c *Core) consumeResponse() {
 		return
 	}
 	f, _ := c.respFIFO.Pop()
+	c.lsuParked = false // a fill or MSHR release may unblock the LSU head
 	f.ReplyCycle = c.now
 	lat := c.now - f.IssueCycle
 	switch f.Type {
@@ -438,6 +546,12 @@ func (c *Core) lsuTick() {
 		return // occupancy 0 is outside the histogram's usage lifetime
 	}
 	c.Stats.MemQOcc.Observe(occ, c.memQ.Cap())
+	if c.lsuParked {
+		// The head re-attempt would fail exactly as it did last cycle:
+		// replay its stall attribution without the lookups.
+		c.Stats.L1Stalls[c.lsuParkedStall]++
+		return
+	}
 	head, _ := c.memQ.Peek()
 	if c.cfg.Mode != config.ModeNormal {
 		c.lsuIdeal(head)
@@ -445,6 +559,7 @@ func (c *Core) lsuTick() {
 	}
 	if head.store {
 		if c.missQ.Full() {
+			c.lsuParked, c.lsuParkedStall = true, L1StallBpL2
 			c.Stats.L1Stalls[L1StallBpL2]++
 			return
 		}
@@ -470,6 +585,7 @@ func (c *Core) lsuTick() {
 	if c.mshr.Pending(head.line) {
 		// Secondary miss: merge.
 		if c.mshr.Allocate(head.line, head) != cache.AllocMerged {
+			c.lsuParked, c.lsuParkedStall = true, L1StallMSHR
 			c.Stats.L1Stalls[L1StallMSHR]++
 			return
 		}
@@ -481,14 +597,17 @@ func (c *Core) lsuTick() {
 	// Primary miss: needs an MSHR entry, a replaceable line and a miss-
 	// queue slot; the first missing resource names the stall (Fig. 9).
 	if c.mshr.Full() {
+		c.lsuParked, c.lsuParkedStall = true, L1StallMSHR
 		c.Stats.L1Stalls[L1StallMSHR]++
 		return
 	}
 	if !c.l1.HasReplaceable(head.line) {
+		c.lsuParked, c.lsuParkedStall = true, L1StallCache
 		c.Stats.L1Stalls[L1StallCache]++
 		return
 	}
 	if c.missQ.Full() {
+		c.lsuParked, c.lsuParkedStall = true, L1StallBpL2
 		c.Stats.L1Stalls[L1StallBpL2]++
 		return
 	}
@@ -537,17 +656,18 @@ func (c *Core) lsuIdeal(head tx) {
 }
 
 // issueScan carries the per-scan hazard observations of one issueTick.
+// Data hazards are not here: a data-blocked warp is parked in the
+// blockedMem/blockedALU bitsets and skipped until a completion frees it.
 type issueScan struct {
-	sawStrMem  bool
-	sawStrALU  bool
-	sawDataMem bool
-	sawDataALU bool
-	anyInst    bool
-	anyAlive   bool
+	sawStrMem bool
+	sawStrALU bool
+	anyInst   bool
 }
 
 // issueTick implements the greedy-then-oldest scheduler and the Fig. 7
-// stall taxonomy.
+// stall taxonomy. The scan iterates only live warps not parked on a data
+// hazard; the parked warps' stall contribution comes from the blocked
+// counts, which classify exactly as scanning them would have.
 func (c *Core) issueTick() {
 	if !c.issueDirty {
 		// Nothing changed since the last failed scan — unless a str-ALU
@@ -562,38 +682,54 @@ func (c *Core) issueTick() {
 		}
 	}
 	c.issueDirty = false
+	if c.nBlockedHeavy > 0 && c.heavyBusyUntil <= c.now {
+		// The heavy-pipe reservation expired: its parked warps can issue
+		// again.
+		for wi := range c.blockedHeavy {
+			c.blockedHeavy[wi] = 0
+		}
+		c.nBlockedHeavy = 0
+	}
 	var s issueScan
 
-	if c.tryIssue(&c.warps[c.greedy], &s) {
+	gWord, gBit := c.greedy>>6, uint64(1)<<uint(c.greedy&63)
+	if (c.blockedMem[gWord]|c.blockedALU[gWord]|c.blockedStr[gWord]|c.blockedHeavy[gWord])&gBit == 0 &&
+		c.tryIssue(&c.warps[c.greedy], &s) {
 		c.issueDirty = true
 		c.lastStall = -1
 		return
 	}
-	for i := range c.warps {
-		if int32(i) == c.greedy {
-			continue
-		}
-		if c.tryIssue(&c.warps[i], &s) {
-			c.greedy = int32(i)
-			c.issueDirty = true
-			c.lastStall = -1
-			return
+	for wi, word := range c.aliveMask {
+		cand := word &^ (c.blockedMem[wi] | c.blockedALU[wi] | c.blockedStr[wi] | c.blockedHeavy[wi])
+		for cand != 0 {
+			i := wi<<6 + bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			if int32(i) == c.greedy {
+				continue
+			}
+			if c.tryIssue(&c.warps[i], &s) {
+				c.greedy = int32(i)
+				c.issueDirty = true
+				c.lastStall = -1
+				return
+			}
 		}
 	}
 	c.lastStall = -1
-	if !s.anyAlive {
+	if c.aliveCount == 0 {
 		return
 	}
 	// Nothing issued: classify per §IV-A5 — structural beats data beats
-	// fetch.
+	// fetch. Parked warps classify exactly as scanning them would have:
+	// their hazard condition is frozen while they sit parked.
 	switch {
-	case s.sawStrMem:
+	case s.sawStrMem || c.nBlockedStr > 0:
 		c.lastStall = StallStrMem
-	case s.sawStrALU:
+	case s.sawStrALU || c.nBlockedHeavy > 0:
 		c.lastStall = StallStrALU
-	case s.sawDataMem:
+	case c.nBlockedMem > 0:
 		c.lastStall = StallDataMem
-	case s.sawDataALU:
+	case c.nBlockedALU > 0:
 		c.lastStall = StallDataALU
 	case !s.anyInst:
 		c.lastStall = StallFetch
@@ -609,7 +745,6 @@ func (c *Core) tryIssue(w *warp, s *issueScan) bool {
 	if !w.aliveForIssue() {
 		return false
 	}
-	s.anyAlive = true
 	if w.ibufLen == 0 {
 		return false
 	}
@@ -617,11 +752,21 @@ func (c *Core) tryIssue(w *warp, s *issueScan) bool {
 	in := w.ibuf[0]
 	mask := c.regMasks[w.bodyIdx]
 	if w.pendingLoad&mask != 0 {
-		s.sawDataMem = true
+		// Park the warp until a completion touches its scoreboard; the
+		// hazard cannot clear any other way.
+		word, bit := w.id>>6, uint64(1)<<uint(w.id&63)
+		if c.blockedMem[word]&bit == 0 {
+			c.blockedMem[word] |= bit
+			c.nBlockedMem++
+		}
 		return false
 	}
 	if w.pendingALU&mask != 0 {
-		s.sawDataALU = true
+		word, bit := w.id>>6, uint64(1)<<uint(w.id&63)
+		if c.blockedALU[word]&bit == 0 {
+			c.blockedALU[word] |= bit
+			c.nBlockedALU++
+		}
 		return false
 	}
 	switch in.Kind {
@@ -634,6 +779,13 @@ func (c *Core) tryIssue(w *warp, s *issueScan) bool {
 			panic("smcore: memory instruction generated no addresses")
 		}
 		if c.memQ.Free() < len(w.addrCache) {
+			// Park until a memory-pipeline slot frees: the warp's head and
+			// address list are frozen, and memQ space only grows on a pop.
+			word, bit := w.id>>6, uint64(1)<<uint(w.id&63)
+			if c.blockedStr[word]&bit == 0 {
+				c.blockedStr[word] |= bit
+				c.nBlockedStr++
+			}
 			s.sawStrMem = true
 			return false
 		}
@@ -647,6 +799,13 @@ func (c *Core) tryIssue(w *warp, s *issueScan) bool {
 		}
 	case OpHeavyALU:
 		if c.heavyBusyUntil > c.now {
+			// Park until the reservation expires; the scan's entry check
+			// unparks every heavy-blocked warp once it does.
+			word, bit := w.id>>6, uint64(1)<<uint(w.id&63)
+			if c.blockedHeavy[word]&bit == 0 {
+				c.blockedHeavy[word] |= bit
+				c.nBlockedHeavy++
+			}
 			s.sawStrALU = true
 			return false
 		}
@@ -674,6 +833,10 @@ func (c *Core) tryIssue(w *warp, s *issueScan) bool {
 	if w.bodyIdx == len(c.wl.Program.Body) {
 		w.bodyIdx = 0
 		w.iter++
+	}
+	if w.issued == w.total {
+		c.aliveMask[w.id>>6] &^= 1 << uint(w.id&63)
+		c.aliveCount--
 	}
 	c.Stats.Issued++
 	return true
@@ -766,6 +929,14 @@ func (c *Core) drainMissQueues() {
 	if c.inject == nil || (c.missQ.Empty() && c.iMissQ.Empty()) {
 		return
 	}
+	if c.injectFailF != nil &&
+		c.missQ.Len() == c.injectFailMissLen && c.iMissQ.Len() == c.injectFailIMissLen &&
+		c.injectStamp != nil && c.injectStamp() == c.injectFailStamp {
+		// Unchanged queues (pops happen only on a success, which clears the
+		// memo) pick the same head, and with no flit drained the same head
+		// must bounce again.
+		return
+	}
 	first, second := c.missQ, c.iMissQ
 	if c.injectToggle {
 		first, second = second, first
@@ -778,9 +949,19 @@ func (c *Core) drainMissQueues() {
 			return
 		}
 	}
+	if f == c.injectFailF && c.injectStamp != nil && c.injectStamp() == c.injectFailStamp {
+		return // no flit drained since the last bounce: it must bounce again
+	}
 	if c.inject(f) {
 		q.Pop()
+		c.lsuParked = false // a drained slot may unblock a bp-L2 stall
 		c.injectToggle = !c.injectToggle
+		c.injectFailF = nil
+	} else if c.injectStamp != nil {
+		c.injectFailF = f
+		c.injectFailStamp = c.injectStamp()
+		c.injectFailMissLen = c.missQ.Len()
+		c.injectFailIMissLen = c.iMissQ.Len()
 	}
 }
 
@@ -807,8 +988,8 @@ func (c *Core) checkDone() {
 // NextWake reports whether the core's state provably cannot change before
 // some future cycle, and that cycle. It returns ok=false when the core may
 // make progress (or record different statistics) on the very next tick.
-// The GPU's idle fast-forward uses it to jump over runs of no-op cycles
-// while every warp waits on fixed-latency completions.
+// The event engine uses it to park the core on its calendar wheel and jump
+// over runs of no-op cycles while every warp waits on completions.
 func (c *Core) NextWake() (int64, bool) {
 	if c.done {
 		// A drained core ticks as a no-op and keeps no statistics.
@@ -838,6 +1019,13 @@ func (c *Core) NextWake() (int64, bool) {
 		}
 	}
 	if wake < 0 {
+		if c.mshr.Len() != 0 || c.iPendingCount != 0 {
+			// No scheduled completion, queues drained, fetch parked: the
+			// only thing the core is waiting on is a reply in flight. The
+			// engine parks the core off the wheel and re-schedules it the
+			// exact cycle a reply reaches its ejection port.
+			return math.MaxInt64, true
+		}
 		return 0, false
 	}
 	return wake, true
@@ -854,7 +1042,7 @@ func (c *Core) nextEventCycle() int64 {
 	}
 	// The hint went stale when its slot fired; rescan from the next slot.
 	for d := int64(1); d < ringSize; d++ {
-		if len(c.ring[(c.now+d)%ringSize]) > 0 {
+		if len(c.ring[(c.now+d)&(ringSize-1)]) > 0 {
 			c.nextEvtHint = c.now + d
 			return c.nextEvtHint
 		}

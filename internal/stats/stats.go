@@ -19,6 +19,11 @@ var BucketLabels = [OccupancyBuckets]string{"(0-25%)", "[25-50%)", "[50-75%)", "
 type OccupancyHist struct {
 	Buckets  [OccupancyBuckets]int64
 	Lifetime int64 // cycles with occupancy ≥ 1
+
+	// lut maps occupancy → bucket for the capacity this histogram observes
+	// (constant per call site), replacing the per-cycle division on the
+	// hot path with a table load.
+	lut []uint8
 }
 
 // Observe records one cycle with the given occupancy out of capacity.
@@ -33,16 +38,17 @@ func (h *OccupancyHist) Observe(occupancy, capacity int) {
 		h.Buckets[4]++
 		return
 	}
-	switch frac := 4 * occupancy / capacity; frac {
-	case 0:
-		h.Buckets[0]++
-	case 1:
-		h.Buckets[1]++
-	case 2:
-		h.Buckets[2]++
-	default:
-		h.Buckets[3]++
+	if len(h.lut) != capacity {
+		h.lut = make([]uint8, capacity)
+		for o := 1; o < capacity; o++ {
+			b := 4 * o / capacity
+			if b > 3 {
+				b = 3
+			}
+			h.lut[o] = uint8(b)
+		}
 	}
+	h.Buckets[h.lut[occupancy]]++
 }
 
 // Fractions returns each bucket as a fraction of the usage lifetime.

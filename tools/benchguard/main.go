@@ -19,6 +19,17 @@
 // packages to keep that unlikely. Pass -raw to compare absolute ns/op
 // instead (same-machine baselines).
 //
+// Custom metrics reported via b.ReportMetric (sim-cycles/s, flits/cycle,
+// row-hit-%, ...) are gated too, as higher-is-better rates: a metric that
+// drops more than the threshold below its baseline fails the comparison.
+// Wall-clock rates like sim-cycles/s scale inversely with machine speed,
+// so on a runner slower than the baseline machine (factor > 1) the floor
+// is relaxed by that same factor; per-sim-cycle metrics are deterministic
+// and unaffected. A baseline metric that disappears from the current run
+// also fails — losing the measurement is losing the gate. Every benchmark
+// and metric is printed with its signed delta, so an intentional speedup
+// shows up as an explicit +NN% line to quote when refreshing the baseline.
+//
 // Benchmarks may carry job labels as sub-benchmark names
 // ("BenchmarkSimulatorThroughput/bench=ii", ".../spec=custom"); each
 // labelled entry is parsed and compared independently, with only the
@@ -35,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -252,8 +264,14 @@ func cmdCompare(args []string) {
 			factor, factor*(1+threshold))
 	}
 
+	// Wall-clock rate metrics (per real second) scale inversely with the
+	// machine-speed factor; on a slower runner the regression floor drops
+	// with it. A faster runner only raises rates, so the floor never
+	// tightens beyond the plain threshold.
+	metricFloor := (1 - threshold) / math.Max(1, factor)
+
 	failed := false
-	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline", "current", "delta")
 	for _, n := range names {
 		b := base.Benchmarks[n]
 		c, ok := cur.Benchmarks[n]
@@ -262,11 +280,11 @@ func cmdCompare(args []string) {
 			// has coverage under "<name>/..."; there is no like-for-like
 			// ratio to check, so report the split without failing.
 			if split := subBenchmarks(cur.Benchmarks, n); len(split) > 0 {
-				fmt.Printf("%-34s %14.1f %14s %8s  SPLIT into %s (refresh the baseline)\n",
+				fmt.Printf("%-40s %14.1f %14s %9s  SPLIT into %s (refresh the baseline)\n",
 					n, b.NsPerOp, "-", "-", strings.Join(split, ", "))
 				continue
 			}
-			fmt.Printf("%-34s %14.1f %14s %8s  MISSING\n", n, b.NsPerOp, "-", "-")
+			fmt.Printf("%-40s %14.1f %14s %9s  MISSING\n", n, b.NsPerOp, "-", "-")
 			failed = true
 			continue
 		}
@@ -276,17 +294,64 @@ func cmdCompare(args []string) {
 			verdict = fmt.Sprintf("  REGRESSION (>%.0f%% beyond the suite median)", 100*threshold)
 			failed = true
 		}
-		fmt.Printf("%-34s %14.1f %14.1f %7.2fx%s\n", n, b.NsPerOp, c.NsPerOp, ratio, verdict)
+		fmt.Printf("%-40s %14.1f %14.1f %9s%s\n", n, b.NsPerOp, c.NsPerOp, signedDelta(ratio), verdict)
+
+		// Custom metrics, higher-is-better.
+		for _, mn := range metricNames(b.Metrics, c.Metrics) {
+			bv, inBase := b.Metrics[mn]
+			cv, inCur := c.Metrics[mn]
+			row := "  " + mn
+			switch {
+			case !inBase:
+				fmt.Printf("%-40s %14s %14.4g %9s  new (not in baseline)\n", row, "-", cv, "-")
+			case !inCur:
+				fmt.Printf("%-40s %14.4g %14s %9s  MISSING metric\n", row, bv, "-", "-")
+				failed = true
+			case bv == 0:
+				fmt.Printf("%-40s %14.4g %14.4g %9s\n", row, bv, cv, "-")
+			default:
+				r := cv / bv
+				verdict := ""
+				if r < metricFloor {
+					verdict = fmt.Sprintf("  REGRESSION (metric dropped >%.0f%% below baseline)", 100*threshold)
+					failed = true
+				}
+				fmt.Printf("%-40s %14.4g %14.4g %9s%s\n", row, bv, cv, signedDelta(r), verdict)
+			}
+		}
 	}
 	for n := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[n]; !ok {
-			fmt.Printf("%-34s %14s %14.1f %8s  new (not in baseline)\n", n, "-", cur.Benchmarks[n].NsPerOp, "-")
+			fmt.Printf("%-40s %14s %14.1f %9s  new (not in baseline)\n", n, "-", cur.Benchmarks[n].NsPerOp, "-")
 		}
 	}
 	if failed {
-		fmt.Println("\nFAIL: wall-time regression against the committed baseline.")
+		fmt.Println("\nFAIL: regression against the committed baseline.")
 		fmt.Println("If intentional, refresh BENCH.json (see tools/benchguard docs).")
 		os.Exit(1)
 	}
-	fmt.Println("\nOK: no benchmark regressed beyond the threshold.")
+	fmt.Println("\nOK: no benchmark or metric regressed beyond the threshold.")
+}
+
+// signedDelta renders a current/baseline ratio as an explicit signed
+// percentage ("+101.1%", "-3.2%", "+0.0%").
+func signedDelta(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+}
+
+// metricNames returns the sorted union of the two metric maps' keys.
+func metricNames(a, b map[string]float64) []string {
+	set := map[string]bool{}
+	for n := range a {
+		set[n] = true
+	}
+	for n := range b {
+		set[n] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
